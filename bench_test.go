@@ -1,0 +1,259 @@
+package tinyleo
+
+// The benchmark harness: one testing.B benchmark per paper table/figure.
+// Each benchmark regenerates its experiment at Small scale (the shapes of
+// the paper's results at laptop runtimes); run cmd/tinyleo-bench
+// -scale=paper for paper-sized dimensions. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+var (
+	benchLibOnce sync.Once
+	benchLib     *Library
+	benchLibErr  error
+
+	benchOutsOnce sync.Once
+	benchOuts     []*experiments.SparsifyOutcome
+	benchOutsErr  error
+)
+
+func benchLibrary(b *testing.B) *Library {
+	b.Helper()
+	benchLibOnce.Do(func() { benchLib, benchLibErr = experiments.Small.BuildLibrary() })
+	if benchLibErr != nil {
+		b.Fatal(benchLibErr)
+	}
+	return benchLib
+}
+
+func benchOutcomes(b *testing.B) []*experiments.SparsifyOutcome {
+	b.Helper()
+	lib := benchLibrary(b)
+	benchOutsOnce.Do(func() { benchOuts, benchOutsErr = experiments.RunSparsification(experiments.Small, lib) })
+	if benchOutsErr != nil {
+		b.Fatal(benchOutsErr)
+	}
+	return benchOuts
+}
+
+func discard(tabs ...*metrics.Table) {
+	for _, t := range tabs {
+		t.Render(io.Discard)
+	}
+}
+
+// BenchmarkTable1_TextureLibrary regenerates Table 1: building the
+// Earth-repeat ground-track library and its statistics.
+func BenchmarkTable1_TextureLibrary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lib, err := experiments.Small.BuildLibrary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(experiments.Table1(lib))
+	}
+}
+
+// BenchmarkFigure3_DemandUnevenness regenerates Figure 3 (spatial long
+// tail + diurnal dynamics).
+func BenchmarkFigure3_DemandUnevenness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		discard(experiments.Figure3(experiments.Small)...)
+	}
+}
+
+// BenchmarkFigure4_SatelliteWaste regenerates Figure 4 (uniform network
+// waste under uneven demand).
+func BenchmarkFigure4_SatelliteWaste(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		discard(experiments.Figure4(experiments.Small)...)
+	}
+}
+
+// BenchmarkFigure9_NetworkDynamics regenerates Figure 9 (establishable
+// ISLs and path churn, non-uniform vs uniform).
+func BenchmarkFigure9_NetworkDynamics(b *testing.B) {
+	outs := benchOutcomes(b)
+	tiny := experiments.RealizeConstellation(outs[0].Lib, outs[0].TinyLEO)
+	side := 1
+	for side*side < len(tiny) {
+		side++
+	}
+	uniform := baseline.WalkerConfig{
+		InclinationDeg: 53, AltitudeKm: 550, Planes: side, SatsPerPlane: side, PhasingF: 1,
+	}.Satellites()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		discard(experiments.Figure9(experiments.Small, tiny, uniform)...)
+	}
+}
+
+// BenchmarkFigure15_Sparsification regenerates the headline Figure 15a/b/c
+// pipeline (TinyLEO vs truncated ILP vs MegaReduce vs Starlink-like) over
+// all three Figure 13 demand scenarios, plus Figure 14's layouts.
+func BenchmarkFigure15_Sparsification(b *testing.B) {
+	lib := benchLibrary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := experiments.RunSparsification(experiments.Small, lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(experiments.Figure13(outs), experiments.Figure14(outs),
+			experiments.Figure15a(outs), experiments.Figure15b(outs),
+			experiments.Figure15c(outs))
+	}
+}
+
+// BenchmarkFigure15d_DiurnalDynamics regenerates Figure 15d (satellite
+// savings from diurnal-aware planning).
+func BenchmarkFigure15d_DiurnalDynamics(b *testing.B) {
+	lib := benchLibrary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure15d(experiments.Small, lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tab)
+	}
+}
+
+// BenchmarkFigure15e_OrbitalParameters regenerates Figure 15e (parameter
+// importance and distributions).
+func BenchmarkFigure15e_OrbitalParameters(b *testing.B) {
+	outs := benchOutcomes(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		discard(experiments.Figure15e(outs)...)
+	}
+}
+
+// BenchmarkFigure16_IntentEnforcement regenerates Figure 16 (dynamic
+// enforcement of fixed geographic intents by the orbital MPC).
+func BenchmarkFigure16_IntentEnforcement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, _, err := experiments.Figure16(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tabs...)
+	}
+}
+
+// BenchmarkFigure17_ControlPlaneCost regenerates Figure 17a-c (signaling
+// message comparison vs TS-SDN).
+func BenchmarkFigure17_ControlPlaneCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Figure17(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tabs...)
+	}
+}
+
+// BenchmarkFigure17d_FailureRepair regenerates Figure 17d (repair time
+// decomposition under random link failures).
+func BenchmarkFigure17d_FailureRepair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure17d(experiments.Small, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tab)
+	}
+}
+
+// BenchmarkFigure18_RoutingPolicies regenerates Figure 18 (policy
+// enforcement with guaranteed delivery).
+func BenchmarkFigure18_RoutingPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure18(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tab)
+	}
+}
+
+// BenchmarkFigure19a_RoutingStretch regenerates Figure 19a (routing
+// stretch vs the mega-constellation).
+func BenchmarkFigure19a_RoutingStretch(b *testing.B) {
+	outs := benchOutcomes(b)
+	var backbone *experiments.SparsifyOutcome
+	for _, o := range outs {
+		if o.Scenario == "internet-backbone" {
+			backbone = o
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Figure19a(experiments.Small, backbone)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tab)
+	}
+}
+
+// BenchmarkFigure19bcd_DataPlane regenerates Figures 19b/c/d (RTT,
+// utilization, and failover latency).
+func BenchmarkFigure19bcd_DataPlane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Figure19bcd(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tabs...)
+	}
+}
+
+// BenchmarkAblation_Solver regenerates the solver ablation (DESIGN.md):
+// per-iteration add cap × pruning.
+func BenchmarkAblation_Solver(b *testing.B) {
+	lib := benchLibrary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationSolver(experiments.Small, lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tab)
+	}
+}
+
+// BenchmarkAblation_MPCLifetime regenerates the MPC lifetime-preference
+// ablation.
+func BenchmarkAblation_MPCLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.AblationMPCLifetime(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tab)
+	}
+}
+
+// BenchmarkDiscussion_Federation regenerates the §7 multi-operator
+// federation study.
+func BenchmarkDiscussion_Federation(b *testing.B) {
+	lib := benchLibrary(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.DiscussionFederation(experiments.Small, lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discard(tab)
+	}
+}

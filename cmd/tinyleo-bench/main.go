@@ -1,0 +1,204 @@
+// Command tinyleo-bench regenerates the paper's evaluation tables and
+// figures (§6). Each experiment prints the same rows/series the paper
+// reports; see EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	tinyleo-bench [-scale small|paper] [-run all|table1|fig3|fig4|fig9|fig13|
+//	               fig14|fig15|fig15d|fig15e|fig16|fig17|fig17d|fig18|fig19a|fig19bcd]
+//	               [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/texture"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
+	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, ablations, discussion)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	scale, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tinyleo-bench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	sel := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		sel[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return sel["all"] || sel[name] }
+	emit := func(tabs ...*metrics.Table) {
+		for _, t := range tabs {
+			if *csv {
+				fmt.Printf("# %s\n", t.Title)
+				t.RenderCSV(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "tinyleo-bench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	needLib := want("table1") || want("fig9") || want("fig13") || want("fig14") ||
+		want("fig15") || want("fig15d") || want("fig15e") || want("fig19a") ||
+		want("ablations") || want("discussion")
+
+	start := time.Now()
+	var library *texture.Library
+	if needLib {
+		fmt.Fprintf(os.Stderr, "building texture library (%s scale)...\n", scale.Name)
+		l, err := scale.BuildLibrary()
+		if err != nil {
+			fail("library", err)
+		}
+		library = l
+		fmt.Fprintf(os.Stderr, "library: %d tracks, %d coverage entries (%.1fs)\n",
+			l.NumTracks(), l.NNZ(), time.Since(start).Seconds())
+	}
+
+	if want("table1") {
+		emit(experiments.Table1(library))
+	}
+	if want("fig3") {
+		emit(experiments.Figure3(scale)...)
+	}
+	if want("fig4") {
+		emit(experiments.Figure4(scale)...)
+	}
+
+	needOuts := want("fig9") || want("fig13") || want("fig14") || want("fig15") ||
+		want("fig15e") || want("fig19a") || want("discussion")
+	var outs []*experiments.SparsifyOutcome
+	if needOuts {
+		fmt.Fprintf(os.Stderr, "running sparsification pipeline...\n")
+		o, err := experiments.RunSparsification(scale, library)
+		if err != nil {
+			fail("sparsification", err)
+		}
+		outs = o
+	}
+	if want("fig9") {
+		tiny := experiments.RealizeConstellation(outs[0].Lib, outs[0].TinyLEO)
+		side := 1
+		for side*side < len(tiny) {
+			side++
+		}
+		uniform := baseline.WalkerConfig{
+			InclinationDeg: 53, AltitudeKm: 550, Planes: side, SatsPerPlane: side, PhasingF: 1,
+		}.Satellites()
+		emit(experiments.Figure9(scale, tiny, uniform)...)
+	}
+	if want("fig13") {
+		emit(experiments.Figure13(outs))
+	}
+	if want("fig14") {
+		emit(experiments.Figure14(outs))
+		fmt.Println(experiments.Figure1Maps(outs))
+	}
+	if want("fig15") {
+		emit(experiments.Figure15a(outs), experiments.Figure15b(outs), experiments.Figure15c(outs))
+	}
+	if want("fig15d") {
+		tab, err := experiments.Figure15d(scale, library)
+		if err != nil {
+			fail("fig15d", err)
+		}
+		emit(tab)
+	}
+	if want("fig15e") {
+		emit(experiments.Figure15e(outs)...)
+	}
+	if want("fig16") {
+		tabs, _, err := experiments.Figure16(scale)
+		if err != nil {
+			fail("fig16", err)
+		}
+		emit(tabs...)
+	}
+	if want("fig17") {
+		tabs, err := experiments.Figure17(scale)
+		if err != nil {
+			fail("fig17", err)
+		}
+		emit(tabs...)
+	}
+	if want("fig17d") {
+		tab, err := experiments.Figure17d(scale, 1000)
+		if err != nil {
+			fail("fig17d", err)
+		}
+		emit(tab)
+	}
+	if want("fig18") {
+		tab, err := experiments.Figure18(scale)
+		if err != nil {
+			fail("fig18", err)
+		}
+		emit(tab)
+	}
+	if want("fig19a") {
+		var backbone *experiments.SparsifyOutcome
+		for _, o := range outs {
+			if o.Scenario == "internet-backbone" {
+				backbone = o
+			}
+		}
+		tab, err := experiments.Figure19a(scale, backbone)
+		if err != nil {
+			fail("fig19a", err)
+		}
+		emit(tab)
+	}
+	if want("fig19bcd") {
+		tabs, err := experiments.Figure19bcd(scale)
+		if err != nil {
+			fail("fig19bcd", err)
+		}
+		emit(tabs...)
+	}
+	if want("ablations") {
+		tab, err := experiments.AblationSolver(scale, library)
+		if err != nil {
+			fail("ablation-solver", err)
+		}
+		emit(tab)
+		tab, err = experiments.AblationLibraryRichness(scale)
+		if err != nil {
+			fail("ablation-library", err)
+		}
+		emit(tab)
+		tab, err = experiments.AblationMPCLifetime(scale)
+		if err != nil {
+			fail("ablation-mpc", err)
+		}
+		emit(tab)
+	}
+	if want("discussion") {
+		tab, err := experiments.DiscussionFederation(scale, library)
+		if err != nil {
+			fail("discussion-federation", err)
+		}
+		emit(tab)
+		tab, err = experiments.DiscussionRadioOverlap(scale, outs)
+		if err != nil {
+			fail("discussion-overlap", err)
+		}
+		emit(tab)
+	}
+	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+}

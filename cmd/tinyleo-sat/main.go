@@ -1,0 +1,58 @@
+// Command tinyleo-sat is a satellite agent: it registers with tinyleo-ctl
+// over the southbound API, prints and acknowledges every topology command,
+// and can inject a synthetic ISL failure report to exercise the repair
+// loop (§4.2's "repairing unpredictable failures").
+//
+//	tinyleo-sat -controller 127.0.0.1:7601 -id 3 -fail-peer 7 -fail-after 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/southbound"
+)
+
+func main() {
+	addr := flag.String("controller", "127.0.0.1:7601", "controller address")
+	id := flag.Uint("id", 0, "satellite ID")
+	failPeer := flag.Int("fail-peer", -1, "report an ISL failure toward this peer (-1 = never)")
+	failAfter := flag.Duration("fail-after", 2*time.Second, "when to report the failure")
+	runFor := flag.Duration("run-for", 10*time.Second, "how long to stay up")
+	flag.Parse()
+
+	agent, err := southbound.DialAgent(*addr, uint32(*id), 10*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tinyleo-sat: %v\n", err)
+		os.Exit(1)
+	}
+	defer agent.Close()
+	fmt.Printf("sat %d registered with %s\n", *id, *addr)
+
+	agent.OnCommand = func(m *southbound.Message) {
+		switch m.Type {
+		case southbound.MsgSetISL:
+			state := "down"
+			if m.Up {
+				state = "up"
+			}
+			fmt.Printf("sat %d: ISL to %d -> %s (seq %d)\n", *id, m.Peer, state, m.Seq)
+		case southbound.MsgSetRing:
+			fmt.Printf("sat %d: ring successor -> %d (seq %d)\n", *id, m.Peer, m.Seq)
+		case southbound.MsgInstallRoute:
+			fmt.Printf("sat %d: route installed, %d segments (seq %d)\n", *id, len(m.Cells), m.Seq)
+		}
+	}
+
+	if *failPeer >= 0 {
+		time.AfterFunc(*failAfter, func() {
+			fmt.Printf("sat %d: reporting ISL failure toward %d\n", *id, *failPeer)
+			if err := agent.ReportFailure(uint32(*failPeer)); err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-sat: report: %v\n", err)
+			}
+		})
+	}
+	time.Sleep(*runFor)
+}

@@ -1,0 +1,123 @@
+// Command tinyleo-synth is the offline LEO network synthesizer (§5): it
+// builds the Earth-repeat texture library, synthesizes one of the paper's
+// demand scenarios, runs Algorithm 1, and prints the planned sparse
+// constellation (one orbit slot per line, CSV).
+//
+// Usage:
+//
+//	tinyleo-synth [-scale small|paper] [-scenario starlink|backbone|latam]
+//	              [-epsilon 0.99] [-demand-units 0 (calibrate to Starlink)]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "small or paper")
+	scenario := flag.String("scenario", "starlink", "demand scenario: starlink, backbone, latam")
+	epsilon := flag.Float64("epsilon", 0, "availability target (0 = scale default)")
+	demandUnits := flag.Float64("demand-units", 0, "peak demand in satellite units (0 = calibrate to a Starlink-like constellation)")
+	diurnal := flag.Bool("diurnal", false, "apply the Figure-3b diurnal activity model")
+	showMap := flag.Bool("map", false, "print ASCII world maps of the demand and the planned supply to stderr")
+	flag.Parse()
+
+	scale, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tinyleo-synth: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	eps := *epsilon
+	if eps == 0 {
+		eps = scale.Epsilon
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building texture library...\n")
+	lib, err := scale.BuildLibrary()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tinyleo-synth: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "library: %d candidate tracks (%.1fs)\n", lib.NumTracks(), time.Since(start).Seconds())
+
+	opt := scale.ScenarioOptions()
+	if *demandUnits > 0 {
+		opt.TotalSatUnits = *demandUnits
+	}
+	if *diurnal {
+		m := demand.DefaultDiurnal
+		opt.Diurnal = &m
+	}
+	var dem *demand.Demand
+	switch *scenario {
+	case "starlink":
+		dem = demand.StarlinkCustomers(opt)
+	case "backbone":
+		dem = demand.InternetBackbone(opt)
+	case "latam":
+		dem = demand.LatinAmerica(opt)
+	default:
+		fmt.Fprintf(os.Stderr, "tinyleo-synth: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if *demandUnits == 0 {
+		fmt.Fprintf(os.Stderr, "calibrating demand to a Starlink-like constellation at ε=%.3f...\n", eps)
+		sats := baseline.StarlinkSatellites()
+		sup := baseline.Supply(baseline.SupplyConfig{
+			Grid: lib.Grid, Slots: lib.Slots, SlotSeconds: lib.SlotSeconds,
+			SubSamples: scale.SubSamples,
+		}, sats)
+		f := dem.CalibrateToSupply(sup, eps)
+		fmt.Fprintf(os.Stderr, "demand scale factor: %.3f\n", f)
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", dem)
+
+	res, err := core.Sparsify(core.Problem{
+		Library: lib, Demand: dem.Y, Epsilon: eps,
+		OnIteration: func(it core.IterationStat) {
+			if it.Iteration%25 == 0 {
+				fmt.Fprintf(os.Stderr, "  iter %d: %d satellites, availability %.4f\n",
+					it.Iteration, it.Satellites, it.Availability)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tinyleo-synth: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "plan: %d satellites on %d tracks, availability %.4f (%.1fs total)\n",
+		res.Satellites, len(res.ChosenTracks()), res.Availability, time.Since(start).Seconds())
+
+	if *showMap {
+		m := lib.Grid.NumCells()
+		fmt.Fprintln(os.Stderr, "--- demand (peak slot) ---")
+		fmt.Fprint(os.Stderr, geo.RenderMap(lib.Grid, func(cell int) float64 {
+			return dem.At(0, cell)
+		}))
+		supply := lib.Supply(res.X)
+		fmt.Fprintln(os.Stderr, "--- planned supply (slot 0) ---")
+		fmt.Fprint(os.Stderr, geo.RenderMap(lib.Grid, func(cell int) float64 {
+			return supply[cell%m]
+		}))
+	}
+
+	// CSV plan to stdout: one orbital slot per line.
+	fmt.Println("track,satellites,p,q,altitude_km,period_min,inclination_deg,raan_deg,phase_deg")
+	for _, j := range res.ChosenTracks() {
+		tr := lib.Tracks[j]
+		fmt.Printf("%d,%d,%d,%d,%.1f,%.2f,%.1f,%.1f,%.1f\n",
+			j, res.X[j], tr.Spec.P, tr.Spec.Q,
+			tr.Elements.Altitude()/1e3, tr.Elements.Period()/60,
+			tr.InclinationDeg(), tr.RAANDeg(), tr.PhaseDeg())
+	}
+}

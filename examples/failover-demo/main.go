@@ -1,0 +1,152 @@
+// Failover demo: shows the two recovery paths of §4.3 side by side on an
+// emulated network, then exercises the real southbound TCP repair loop.
+//
+//  1. TinyLEO's data plane reroutes locally (anycast + gateway ring) in
+//     milliseconds when an ISL dies mid-flow.
+//
+//  2. A legacy routing-table plane must buffer and wait ~84 ms for the
+//     remote control plane (Figure 17d/19d).
+//
+//  3. The same failure report travels over a real TCP southbound session
+//     to a controller that answers with repair commands.
+//
+//     go run ./examples/failover-demo
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tinyleo "repro"
+
+	"repro/internal/southbound"
+)
+
+func main() {
+	emulatedFailover()
+	southboundRepair()
+}
+
+// emulatedFailover builds a 3-cell chain with two gateways per cell and
+// kills the primary ISL mid-flow.
+func emulatedFailover() {
+	fmt.Println("== emulated data-plane failover ==")
+	build := func() *tinyleo.Network {
+		n := tinyleo.NewNetwork()
+		// cells: 10 (sats 0,1) -> 20 (sats 2,3) -> 30 (sats 4,5)
+		for id, cell := range map[int]int{0: 10, 1: 10, 2: 20, 3: 20, 4: 30, 5: 30} {
+			n.AddSatellite(id, cell)
+		}
+		n.Connect(0, 2, 0.005)
+		n.Connect(1, 3, 0.005)
+		n.Connect(2, 4, 0.005)
+		n.Connect(3, 5, 0.005)
+		n.Connect(0, 1, 0.001)
+		n.Connect(2, 3, 0.001)
+		n.Connect(4, 5, 0.001)
+		n.SetRing([]int{0, 1})
+		n.SetRing([]int{2, 3})
+		n.SetRing([]int{4, 5})
+		return n
+	}
+
+	run := func(name string, legacy bool) {
+		n := build()
+		if legacy {
+			n.Sats[0].RoutingTable = map[uint32]int{4: 2}
+			n.Sats[2].RoutingTable = map[uint32]int{4: 4}
+		}
+		var deliveries []float64
+		n.OnDeliver = func(s *tinyleo.Satellite, p *tinyleo.Packet) {
+			deliveries = append(deliveries, n.Sim.Now())
+		}
+		// Primary ISL 0-2 dies at t=50 ms.
+		n.Sim.Schedule(0.050, func() { n.Link(0, 2).Down() })
+		if legacy {
+			// Remote control plane repairs after the paper's 83.8 ms.
+			n.Sim.Schedule(0.050+0.0838, func() {
+				n.Sats[0].RoutingTable[4] = 1
+				n.Sats[1].RoutingTable = map[uint32]int{4: 3}
+				n.Sats[3].RoutingTable = map[uint32]int{4: 5}
+				n.Sats[5].RoutingTable = map[uint32]int{4: 4}
+				n.FlushBuffers()
+			})
+		}
+		// 10 ms cadence flow for 200 ms.
+		for i := 0; i < 20; i++ {
+			i := i
+			n.Sim.Schedule(float64(i)*0.010, func() {
+				if legacy {
+					p := &tinyleo.Packet{}
+					p.Base.Ver = 1
+					p.Base.HopLimit = 32
+					p.Base.FlowID = 4
+					p.SentAt = n.Sim.Now()
+					n.Inject(0, p)
+					return
+				}
+				p, err := tinyleo.NewGeoPacket(0, []int{20, 30}, 1, uint32(i), nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				n.Inject(0, p)
+			})
+		}
+		n.Sim.Run(1)
+		gap := 0.0
+		for i := 1; i < len(deliveries); i++ {
+			if d := deliveries[i] - deliveries[i-1]; d > gap {
+				gap = d
+			}
+		}
+		fmt.Printf("%-28s delivered %2d/20, max delivery gap %5.1f ms, failovers=%d\n",
+			name, len(deliveries), gap*1e3, n.Sats[0].Failovers)
+	}
+	run("TinyLEO geo anycast:", false)
+	run("legacy routing tables:", true)
+}
+
+// southboundRepair runs the failure-report → repair-command loop over a
+// real localhost TCP session.
+func southboundRepair() {
+	fmt.Println("== southbound TCP repair loop ==")
+	ctl, err := tinyleo.ListenSouthbound("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.OnFailure = func(report *tinyleo.SouthboundMessage) []*tinyleo.SouthboundMessage {
+		// Repair policy: tear down the dead ISL, bring up a spare.
+		return []*tinyleo.SouthboundMessage{
+			{Type: southbound.MsgSetISL, SatID: report.SatID, Peer: report.Peer, Up: false},
+			{Type: southbound.MsgSetISL, SatID: report.SatID, Peer: report.Peer + 1, Up: true},
+		}
+	}
+	agent, err := tinyleo.DialSouthbound(ctl.Addr(), 7, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+
+	repaired := make(chan *tinyleo.SouthboundMessage, 2)
+	agent.OnCommand = func(m *tinyleo.SouthboundMessage) { repaired <- m }
+
+	start := time.Now()
+	if err := agent.ReportFailure(42); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case m := <-repaired:
+			state := "down"
+			if m.Up {
+				state = "up"
+			}
+			fmt.Printf("repair command %d: ISL to %d -> %s (after %v)\n",
+				i+1, m.Peer, state, time.Since(start).Round(time.Microsecond))
+		case <-time.After(2 * time.Second):
+			log.Fatal("controller never repaired")
+		}
+	}
+}

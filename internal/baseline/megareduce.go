@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MegaReduceConfig drives the MegaReduce baseline [66, 67]: iteratively
+// fine-tune a *uniform* constellation (it stays a Walker layout throughout,
+// which is the method's defining constraint and why TinyLEO beats it on
+// uneven demands) until no shrink move keeps the availability target.
+type MegaReduceConfig struct {
+	Supply SupplyConfig
+	// Demand is the unfolded demand vector.
+	Demand []float64
+	// Epsilon is the availability target.
+	Epsilon float64
+	// Start is the initial (feasible) configuration. If it is already
+	// infeasible, Reduce returns an error.
+	Start WalkerConfig
+	// Inclinations optionally lets the shrinker also try re-inclining the
+	// shell (MegaReduce's "fine-tuning" dimension).
+	Inclinations []float64
+	// MaxIterations caps the shrink loop (0 = 10,000).
+	MaxIterations int
+	// OnStep observes accepted shrink moves.
+	OnStep func(cfg WalkerConfig, availability float64)
+}
+
+// MegaReduceResult is the final shrunk uniform constellation.
+type MegaReduceResult struct {
+	Config       WalkerConfig
+	Satellites   int
+	Availability float64
+	Steps        int
+}
+
+// ErrInfeasibleStart reports that the starting configuration misses the
+// availability target.
+var ErrInfeasibleStart = errors.New("baseline: starting constellation misses availability target")
+
+// MegaReduce runs the iterative shrinker.
+func MegaReduce(cfg MegaReduceConfig) (*MegaReduceResult, error) {
+	if cfg.Epsilon <= 0 || cfg.Epsilon > 1 {
+		return nil, fmt.Errorf("baseline: epsilon %v outside (0,1]", cfg.Epsilon)
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	eval := func(w WalkerConfig) float64 {
+		return Availability(Supply(cfg.Supply, w.Satellites()), cfg.Demand)
+	}
+	cur := cfg.Start
+	avail := eval(cur)
+	if avail < cfg.Epsilon {
+		return nil, fmt.Errorf("%w: availability %.4f < %.4f", ErrInfeasibleStart, avail, cfg.Epsilon)
+	}
+	res := &MegaReduceResult{Config: cur, Satellites: cur.NumSatellites(), Availability: avail}
+	for res.Steps < maxIter {
+		// Candidate shrink moves, best (largest saving) first.
+		var moves []WalkerConfig
+		if cur.Planes > 1 {
+			m := cur
+			m.Planes--
+			moves = append(moves, m)
+		}
+		if cur.SatsPerPlane > 1 {
+			m := cur
+			m.SatsPerPlane--
+			moves = append(moves, m)
+		}
+		// Re-inclination at the shrunk sizes.
+		for _, inc := range cfg.Inclinations {
+			if inc == cur.InclinationDeg {
+				continue
+			}
+			if cur.Planes > 1 {
+				m := cur
+				m.Planes--
+				m.InclinationDeg = inc
+				moves = append(moves, m)
+			}
+			if cur.SatsPerPlane > 1 {
+				m := cur
+				m.SatsPerPlane--
+				m.InclinationDeg = inc
+				moves = append(moves, m)
+			}
+		}
+		accepted := false
+		bestAvail := 0.0
+		var best WalkerConfig
+		for _, m := range moves {
+			if a := eval(m); a >= cfg.Epsilon && a > bestAvail {
+				bestAvail, best, accepted = a, m, true
+			}
+		}
+		if !accepted {
+			break
+		}
+		cur, avail = best, bestAvail
+		res.Steps++
+		res.Config, res.Satellites, res.Availability = cur, cur.NumSatellites(), avail
+		if cfg.OnStep != nil {
+			cfg.OnStep(cur, avail)
+		}
+	}
+	return res, nil
+}

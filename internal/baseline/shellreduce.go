@@ -1,0 +1,298 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/orbit"
+)
+
+// ShellReduceConfig drives the multi-shell MegaReduce variant used in the
+// Figure 15 pipeline: starting from a mega-constellation's shells, it
+// iteratively removes whole orbital planes (then individual satellites)
+// while the availability target holds. The layout stays uniform at plane
+// granularity — MegaReduce's defining constraint — which is why it cannot
+// approach TinyLEO's savings on longitudinally uneven demand.
+type ShellReduceConfig struct {
+	Supply  SupplyConfig
+	Demand  []float64
+	Epsilon float64
+	Shells  []Shell
+	// MaxSteps caps accepted shrink moves (0 = 100,000).
+	MaxSteps int
+	// OnStep observes accepted moves.
+	OnStep func(removedSats int, availability float64)
+}
+
+// ShellReduceResult is the shrunk constellation.
+type ShellReduceResult struct {
+	Satellites   int
+	Removed      int
+	Availability float64
+	Steps        int
+	// Remaining holds the surviving satellites.
+	Remaining []orbit.Elements
+	// PerShell counts survivors per input shell.
+	PerShell []int
+}
+
+// ErrShellStartInfeasible reports that the starting shells miss the target.
+var ErrShellStartInfeasible = errors.New("baseline: starting shells miss availability target")
+
+// MegaReduceShells runs the shrinker. It caches each satellite's coverage
+// row so every candidate move is evaluated as a sparse delta rather than a
+// full constellation re-simulation.
+func MegaReduceShells(cfg ShellReduceConfig) (*ShellReduceResult, error) {
+	if cfg.Epsilon <= 0 || cfg.Epsilon > 1 {
+		return nil, fmt.Errorf("baseline: epsilon %v outside (0,1]", cfg.Epsilon)
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	sup := cfg.Supply
+	sup.fillDefaults()
+
+	// Expand shells, remembering (shell, plane) of every satellite.
+	type satMeta struct{ shell, plane int }
+	var sats []orbit.Elements
+	var meta []satMeta
+	for si, sh := range cfg.Shells {
+		w := sh.Config
+		els := w.Satellites()
+		for k, e := range els {
+			sats = append(sats, e)
+			meta = append(meta, satMeta{shell: si, plane: k / w.SatsPerPlane})
+		}
+	}
+	if len(sats) == 0 {
+		return nil, errors.New("baseline: empty shell set")
+	}
+
+	// Per-satellite coverage rows.
+	rows := perSatSupplyRows(sup, sats)
+
+	// Dense running supply and demand bookkeeping.
+	supply := make([]float64, len(cfg.Demand))
+	for _, r := range rows {
+		for i, idx := range r.idx {
+			supply[idx] += r.val[i]
+		}
+	}
+	totalDemand := 0.0
+	for _, y := range cfg.Demand {
+		totalDemand += y
+	}
+	satisfied := func() float64 {
+		s := 0.0
+		for k, y := range cfg.Demand {
+			if v := supply[k]; v < y {
+				s += v
+			} else {
+				s += y
+			}
+		}
+		return s
+	}
+	avail := func(sat float64) float64 {
+		if totalDemand == 0 {
+			return 1
+		}
+		return sat / totalDemand
+	}
+	curSat := satisfied()
+	if avail(curSat) < cfg.Epsilon {
+		return nil, fmt.Errorf("%w: availability %.4f < %.4f", ErrShellStartInfeasible, avail(curSat), cfg.Epsilon)
+	}
+
+	alive := make([]bool, len(sats))
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := len(sats)
+
+	// satisfiedAfterRemoval computes the satisfied demand if `group` were
+	// removed, without mutating state.
+	satisfiedAfterRemoval := func(group []int) float64 {
+		// Aggregate the group's removal per index first (group members can
+		// overlap in coverage).
+		delta := map[int]float64{}
+		for _, s := range group {
+			r := rows[s]
+			for i, idx := range r.idx {
+				delta[int(idx)] += r.val[i]
+			}
+		}
+		sat := curSat
+		for idx, d := range delta {
+			y := cfg.Demand[idx]
+			before := supply[idx]
+			after := before - d
+			ob, oa := before, after
+			if ob > y {
+				ob = y
+			}
+			if oa > y {
+				oa = y
+			}
+			sat += oa - ob
+		}
+		return sat
+	}
+	remove := func(group []int) {
+		for _, s := range group {
+			if !alive[s] {
+				continue
+			}
+			alive[s] = false
+			aliveCount--
+			r := rows[s]
+			for i, idx := range r.idx {
+				supply[idx] -= r.val[i]
+			}
+		}
+		curSat = satisfied()
+	}
+	planeMembers := func(shell, plane int) []int {
+		var g []int
+		for s, m := range meta {
+			if alive[s] && m.shell == shell && m.plane == plane {
+				g = append(g, s)
+			}
+		}
+		return g
+	}
+
+	res := &ShellReduceResult{}
+	// Phase 1: remove whole planes while feasible.
+	for res.Steps < maxSteps {
+		bestSat, bestSize := -1.0, 0
+		var bestGroup []int
+		for si, sh := range cfg.Shells {
+			for p := 0; p < sh.Config.Planes; p++ {
+				g := planeMembers(si, p)
+				if len(g) == 0 {
+					continue
+				}
+				if s := satisfiedAfterRemoval(g); avail(s) >= cfg.Epsilon {
+					// Prefer the biggest removable plane; tie-break by the
+					// least availability damage.
+					if len(g) > bestSize || (len(g) == bestSize && s > bestSat) {
+						bestSat, bestSize, bestGroup = s, len(g), g
+					}
+				}
+			}
+		}
+		if bestGroup == nil {
+			break
+		}
+		remove(bestGroup)
+		res.Steps++
+		if cfg.OnStep != nil {
+			cfg.OnStep(len(bestGroup), avail(curSat))
+		}
+	}
+	// Phase 2: thin whole shells one satellite-per-plane at a time (remove
+	// the last slot of every remaining plane of a shell), which keeps the
+	// layout uniform — MegaReduce's defining constraint. Finer-grained
+	// single-satellite removal would produce a *non-uniform* constellation
+	// and is exactly what MegaReduce cannot do.
+	for res.Steps < maxSteps {
+		bestSat, bestShell := -1.0, -1
+		var bestGroup []int
+		for si, sh := range cfg.Shells {
+			// One satellite from every remaining plane: the highest alive
+			// in-plane slot index of each plane of shell si.
+			var group []int
+			for p := 0; p < sh.Config.Planes; p++ {
+				gm := planeMembers(si, p)
+				if len(gm) > 1 { // keep at least one satellite per plane
+					group = append(group, gm[len(gm)-1])
+				}
+			}
+			if len(group) == 0 {
+				continue
+			}
+			if sv := satisfiedAfterRemoval(group); avail(sv) >= cfg.Epsilon && sv > bestSat {
+				bestSat, bestShell, bestGroup = sv, si, group
+			}
+		}
+		if bestShell < 0 {
+			break
+		}
+		remove(bestGroup)
+		res.Steps++
+		if cfg.OnStep != nil {
+			cfg.OnStep(len(bestGroup), avail(curSat))
+		}
+	}
+
+	res.Satellites = aliveCount
+	res.Removed = len(sats) - aliveCount
+	res.Availability = avail(curSat)
+	res.PerShell = make([]int, len(cfg.Shells))
+	for s, m := range meta {
+		if alive[s] {
+			res.PerShell[m.shell]++
+			res.Remaining = append(res.Remaining, sats[s])
+		}
+	}
+	return res, nil
+}
+
+// satRow is one satellite's sparse coverage over the unfolded space.
+type satRow struct {
+	idx []int32
+	val []float64
+}
+
+// perSatSupplyRows computes each satellite's coverage contribution.
+func perSatSupplyRows(cfg SupplyConfig, sats []orbit.Elements) []satRow {
+	rows := make([]satRow, len(sats))
+	m := cfg.Grid.NumCells()
+	inc := 1.0 / float64(cfg.SubSamples)
+	for si, el := range sats {
+		lam := cfg.Coverage.FootprintRadius(el.Altitude())
+		acc := map[int]float64{}
+		for s := 0; s < cfg.Slots; s++ {
+			slotCells := map[int]int{}
+			total := 0
+			for ss := 0; ss < cfg.SubSamples; ss++ {
+				t := (float64(s) + float64(ss)*inc) * cfg.SlotSeconds
+				sub := el.SubSatellitePoint(t)
+				for _, cell := range cfg.Grid.CellsWithin(sub, lam) {
+					slotCells[cell]++
+					total++
+				}
+			}
+			if total == 0 {
+				continue
+			}
+			for cell, n := range slotCells {
+				if cfg.CountSatellites {
+					acc[s*m+cell] += float64(n) * inc
+				} else {
+					acc[s*m+cell] += float64(n) / float64(total)
+				}
+			}
+		}
+		r := satRow{idx: make([]int32, 0, len(acc)), val: make([]float64, 0, len(acc))}
+		for k := range acc {
+			r.idx = append(r.idx, int32(k))
+		}
+		sortInt32(r.idx)
+		for _, k := range r.idx {
+			r.val = append(r.val, acc[int(k)])
+		}
+		rows[si] = r
+	}
+	return rows
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/orbit"
+)
+
+// SupplyConfig parameterizes supply evaluation of a concrete constellation
+// over the unfolded (slot × cell) space, mirroring the texture library's
+// coverage semantics so constellations and sparsifier outputs are directly
+// comparable.
+type SupplyConfig struct {
+	Grid        *geo.Grid
+	Slots       int
+	SlotSeconds float64
+	SubSamples  int
+	Coverage    orbit.CoverageParams
+	Parallelism int
+	// CountSatellites switches the supply semantics: false (default)
+	// yields capacity supply — each satellite's coverage sums to 1 per
+	// slot, the paper's A_t(i,j) "fraction of satellite j's radio link
+	// coverage over cell i" — used by the sparsifier's demand accounting.
+	// True yields visibility counts (1 per covered cell), the §4.2
+	// geographic invariant ("number of available satellites over a cell")
+	// used by the control plane.
+	CountSatellites bool
+}
+
+func (c *SupplyConfig) fillDefaults() {
+	if c.Grid == nil {
+		c.Grid = geo.DefaultGrid()
+	}
+	if c.Slots <= 0 {
+		c.Slots = 96
+	}
+	if c.SlotSeconds <= 0 {
+		c.SlotSeconds = 900
+	}
+	if c.SubSamples <= 0 {
+		c.SubSamples = 3
+	}
+	if c.Coverage.MinElevation == 0 {
+		c.Coverage = orbit.DefaultCoverageParams
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+}
+
+// Supply computes the unfolded supply vector (length slots × cells) of a
+// concrete satellite list: entry [t·m+i] is the number of satellites
+// (fractionally weighted by sub-slot presence) covering cell i at slot t.
+func Supply(cfg SupplyConfig, sats []orbit.Elements) []float64 {
+	cfg.fillDefaults()
+	m := cfg.Grid.NumCells()
+	out := make([]float64, cfg.Slots*m)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for _, el := range sats {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(el orbit.Elements) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			local := map[int]float64{}
+			lam := cfg.Coverage.FootprintRadius(el.Altitude())
+			inc := 1.0 / float64(cfg.SubSamples)
+			for s := 0; s < cfg.Slots; s++ {
+				slotCells := map[int]int{}
+				total := 0
+				for ss := 0; ss < cfg.SubSamples; ss++ {
+					t := (float64(s) + float64(ss)*inc) * cfg.SlotSeconds
+					sub := el.SubSatellitePoint(t)
+					for _, cell := range cfg.Grid.CellsWithin(sub, lam) {
+						slotCells[cell]++
+						total++
+					}
+				}
+				if total == 0 {
+					continue
+				}
+				for cell, n := range slotCells {
+					if cfg.CountSatellites {
+						local[s*m+cell] += float64(n) * inc
+					} else {
+						local[s*m+cell] += float64(n) / float64(total)
+					}
+				}
+			}
+			mu.Lock()
+			for k, v := range local {
+				out[k] += v
+			}
+			mu.Unlock()
+		}(el)
+	}
+	wg.Wait()
+	return out
+}
+
+// Availability returns the fraction of demand satisfied by supply
+// (Σ min(supply, demand) / Σ demand); both vectors are unfolded.
+func Availability(supply, demand []float64) float64 {
+	if len(supply) != len(demand) {
+		panic("baseline: availability dimension mismatch")
+	}
+	tot, sat := 0.0, 0.0
+	for k, y := range demand {
+		tot += y
+		if s := supply[k]; s < y {
+			sat += s
+		} else {
+			sat += y
+		}
+	}
+	if tot == 0 {
+		return 1
+	}
+	return sat / tot
+}
+
+// WasteRatio returns the paper's Figure 4 statistic per satellite-slot:
+// (supply − satisfied demand) / satisfied demand aggregated over the whole
+// horizon, i.e. how much of the deployed capacity is wasted relative to
+// what serves users.
+func WasteRatio(supply, demand []float64) float64 {
+	totSup, totSat := 0.0, 0.0
+	for k, s := range supply {
+		totSup += s
+		y := demand[k]
+		if s < y {
+			totSat += s
+		} else {
+			totSat += y
+		}
+	}
+	if totSat == 0 {
+		if totSup == 0 {
+			return 0
+		}
+		return 1e9 // all supply wasted
+	}
+	return (totSup - totSat) / totSat
+}

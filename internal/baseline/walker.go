@@ -1,0 +1,91 @@
+// Package baseline implements the constellations TinyLEO is evaluated
+// against in §6.1: uniform Walker constellations, a Starlink-like
+// multi-shell mega-constellation, the MegaReduce iterative shrinker, and a
+// truncated exact branch-and-bound solver standing in for the paper's
+// 2-month-truncated Gurobi runs.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/orbit"
+)
+
+// WalkerConfig describes a Walker-delta constellation i:T/P/F — the
+// homogeneous layout used by operational mega-constellations (§2.3).
+type WalkerConfig struct {
+	InclinationDeg float64
+	AltitudeKm     float64
+	Planes         int // P
+	SatsPerPlane   int // S = T/P
+	PhasingF       int // relative phasing between adjacent planes
+}
+
+// NumSatellites returns P × S.
+func (w WalkerConfig) NumSatellites() int { return w.Planes * w.SatsPerPlane }
+
+// Satellites generates the orbital elements of every satellite in the
+// Walker constellation: planes evenly spaced in RAAN over 360°, satellites
+// evenly spaced in phase within each plane, with inter-plane phase offset
+// F·360°/(P·S).
+func (w WalkerConfig) Satellites() []orbit.Elements {
+	total := w.NumSatellites()
+	out := make([]orbit.Elements, 0, total)
+	a := geom.EarthRadius + w.AltitudeKm*1e3
+	inc := geom.Deg2Rad(w.InclinationDeg)
+	for p := 0; p < w.Planes; p++ {
+		raan := 2 * math.Pi * float64(p) / float64(w.Planes)
+		for s := 0; s < w.SatsPerPlane; s++ {
+			phase := 2*math.Pi*float64(s)/float64(w.SatsPerPlane) +
+				2*math.Pi*float64(w.PhasingF)*float64(p)/float64(total)
+			out = append(out, orbit.Elements{
+				SemiMajor:   a,
+				Inclination: inc,
+				RAAN:        geom.NormalizeAngle(raan),
+				Phase:       geom.NormalizeAngle(phase),
+			})
+		}
+	}
+	return out
+}
+
+func (w WalkerConfig) String() string {
+	return fmt.Sprintf("walker{%.1f°:%d/%d/%d @%.0fkm}",
+		w.InclinationDeg, w.NumSatellites(), w.Planes, w.PhasingF, w.AltitudeKm)
+}
+
+// Shell is one orbital shell of a multi-shell constellation.
+type Shell struct {
+	Name   string
+	Config WalkerConfig
+}
+
+// StarlinkShells approximates Starlink's deployed constellation as of
+// 2025-01 (the paper's reference: 6,793 satellites in 5 shells, mostly at
+// 53–53.2° with a 97.6° polar complement, Figure 2). Plane/satellite counts
+// follow the public FCC filings, with the v2 43° shell sized so the total
+// matches the paper's 6,793 exactly.
+func StarlinkShells() []Shell {
+	return []Shell{
+		{"shell1-53.0", WalkerConfig{53.0, 550, 72, 22, 17}},
+		{"shell2-53.2", WalkerConfig{53.2, 540, 72, 22, 17}},
+		{"shell3-70.0", WalkerConfig{70.0, 570, 36, 20, 11}},
+		{"shell4-97.6a", WalkerConfig{97.6, 560, 6, 58, 1}},
+		{"shell5-97.6b", WalkerConfig{97.6, 560, 4, 43, 1}},
+		{"shell6-43.0", WalkerConfig{43.0, 530, 45, 53, 13}},
+	}
+}
+
+// ShellSatellites expands a list of shells to concrete satellites.
+func ShellSatellites(shells []Shell) []orbit.Elements {
+	var out []orbit.Elements
+	for _, sh := range shells {
+		out = append(out, sh.Config.Satellites()...)
+	}
+	return out
+}
+
+// StarlinkSatellites returns the full approximated Starlink constellation.
+func StarlinkSatellites() []orbit.Elements { return ShellSatellites(StarlinkShells()) }

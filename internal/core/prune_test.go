@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/demand"
+)
+
+// TestPruneNeverBreaksAvailability: the backward-elimination pass must
+// keep the availability at or above ε while only removing satellites.
+func TestPruneNeverBreaksAvailability(t *testing.T) {
+	lib := testLibrary(t)
+	d := demand.StarlinkCustomers(demand.ScenarioOptions{
+		Grid: lib.Grid, Slots: lib.Slots, SlotSeconds: lib.SlotSeconds,
+		TotalSatUnits: 60,
+	})
+	for _, eps := range []float64{0.7, 0.8, 0.85} {
+		res, err := Sparsify(Problem{Library: lib, Demand: d.Y, Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Availability < eps-1e-9 {
+			t.Errorf("ε=%v: availability %v after pruning", eps, res.Availability)
+		}
+		if v := Verify(lib, res.X, d.Y); v < eps-1e-9 {
+			t.Errorf("ε=%v: independent availability %v", eps, v)
+		}
+		if res.Pruned < 0 {
+			t.Errorf("negative pruned count")
+		}
+	}
+}
+
+// TestPruneImprovesOrMatchesBatchGreedy: with batched adds (the paper's
+// ⌈·⌉ coefficient), pruning must recover some of the overshoot.
+func TestPruneImprovesOrMatchesBatchGreedy(t *testing.T) {
+	lib := testLibrary(t)
+	d := demand.StarlinkCustomers(demand.ScenarioOptions{
+		Grid: lib.Grid, Slots: lib.Slots, SlotSeconds: lib.SlotSeconds,
+		TotalSatUnits: 80,
+	})
+	p := Problem{Library: lib, Demand: d.Y, Epsilon: 0.8, MaxAddPerIteration: 16}
+	withPrune, err := Sparsify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DisablePrune = true
+	without, err := Sparsify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPrune.Satellites > without.Satellites {
+		t.Errorf("pruning made the plan bigger: %d vs %d",
+			withPrune.Satellites, without.Satellites)
+	}
+	if without.Pruned != 0 {
+		t.Errorf("DisablePrune still pruned %d", without.Pruned)
+	}
+	if withPrune.Satellites+withPrune.Pruned != withoutPruneForward(withPrune) {
+		t.Logf("pruned %d of %d forward picks", withPrune.Pruned,
+			withPrune.Satellites+withPrune.Pruned)
+	}
+}
+
+func withoutPruneForward(r *Result) int { return r.Satellites + r.Pruned }
+
+// TestPruneRespectsExpansionFloor: incremental expansion must never prune
+// below the already-launched counts.
+func TestPruneRespectsExpansionFloor(t *testing.T) {
+	lib := testLibrary(t)
+	base := demand.StarlinkCustomers(demand.ScenarioOptions{
+		Grid: lib.Grid, Slots: lib.Slots, SlotSeconds: lib.SlotSeconds,
+		TotalSatUnits: 40,
+	})
+	p := Problem{Library: lib, Demand: base.Y, Epsilon: 0.8}
+	first, err := Sparsify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extra demand duplicates the base; generous over-provisioning so
+	// pruning has something to chew on.
+	grown, err := Expand(p, first, base.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range first.X {
+		if grown.X[j] < first.X[j] {
+			t.Fatalf("expansion pruned below the launched floor at track %d: %d < %d",
+				j, grown.X[j], first.X[j])
+		}
+	}
+}
+
+// TestTraceExcludesPruning: the trace records forward picks; pruning is
+// accounted separately so availability in the trace stays monotone.
+func TestTraceExcludesPruning(t *testing.T) {
+	lib := testLibrary(t)
+	d := demand.StarlinkCustomers(demand.ScenarioOptions{
+		Grid: lib.Grid, Slots: lib.Slots, SlotSeconds: lib.SlotSeconds,
+		TotalSatUnits: 60,
+	})
+	res, err := Sparsify(Problem{Library: lib, Demand: d.Y, Epsilon: 0.8, MaxAddPerIteration: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := 0
+	for _, it := range res.Trace {
+		forward += it.Added
+	}
+	if forward != res.Satellites+res.Pruned {
+		t.Errorf("trace adds %d, satellites+pruned = %d", forward, res.Satellites+res.Pruned)
+	}
+}

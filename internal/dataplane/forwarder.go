@@ -1,0 +1,177 @@
+package dataplane
+
+import (
+	"sort"
+
+	"repro/internal/netem"
+)
+
+// Satellite is one forwarding node.
+type Satellite struct {
+	ID   int
+	Cell int // home geographic cell
+
+	net      *Network
+	links    map[int]*netem.Link
+	RingNext int // successor on the intra-cell gateway ring, -1 if none
+
+	// RoutingTable is the legacy baseline's per-destination next hop
+	// (destination *satellite* ID → peer satellite ID). Only consulted for
+	// packets without a geo segment header.
+	RoutingTable map[uint32]int
+
+	// Buffer holds packets waiting for control-plane repair (§4.3 worst
+	// case: the ring is disconnected).
+	Buffer []*Packet
+
+	// multipath holds installed multipath groups by destination cell.
+	multipath map[int]*MultipathGroup
+
+	// Stats
+	Forwarded int64 // packets sent onward
+	Delivered int64 // packets handed to the ground segment here
+	Dropped   int64
+	Buffered  int64
+	RingHops  int64 // forwards that used the ring fallback
+	Failovers int64 // forwards that bypassed a down/absent primary link
+}
+
+// Receive processes a packet arriving at (or injected into) the satellite.
+func (s *Satellite) Receive(p *Packet) {
+	p.HopTrace = append(p.HopTrace, s.ID)
+	if p.Geo != nil {
+		s.forwardGeo(p)
+		return
+	}
+	s.forwardLegacy(p)
+}
+
+// forwardGeo implements §4.3's geographic segment anycast.
+func (s *Satellite) forwardGeo(p *Packet) {
+	g := p.Geo
+	// Consume every segment this satellite's cell satisfies (a route may
+	// legitimately enter the cell that several segments point at after
+	// anycast shortcuts).
+	for g.CurrentSegment() == s.Cell {
+		g.Advance()
+	}
+	if g.SegmentsLeft == 0 {
+		// Final segment reached: this satellite covers the destination
+		// cell; hand off to the ground segment.
+		s.Delivered++
+		if s.net.OnDeliver != nil {
+			s.net.OnDeliver(s, p)
+		}
+		return
+	}
+	if p.Base.HopLimit == 0 {
+		s.drop(p, "hop limit")
+		return
+	}
+	p.Base.HopLimit--
+
+	next := g.CurrentSegment()
+	// Primary: any up ISL to a satellite covering the next-hop cell.
+	// Anycast: any such gateway works; pick deterministically (lowest peer
+	// ID) among up links, counting a failover if a down link was skipped.
+	var candidates []int
+	sawDown := false
+	for peer, l := range s.links {
+		ps := s.net.Sats[peer]
+		if ps == nil || ps.Cell != next {
+			continue
+		}
+		if !l.IsUp() {
+			sawDown = true
+			continue
+		}
+		candidates = append(candidates, peer)
+	}
+	if len(candidates) > 0 {
+		sort.Ints(candidates)
+		if sawDown {
+			s.Failovers++
+		}
+		s.send(candidates[0], p)
+		return
+	}
+	if sawDown {
+		s.Failovers++
+	}
+	// Fallback: pass clockwise along the intra-cell gateway ring; the ring
+	// visits every gateway of this cell, one of which has the ISL toward
+	// the next cell (§4.3 delivery guarantee).
+	if s.RingNext >= 0 {
+		if l := s.links[s.RingNext]; l != nil && l.IsUp() {
+			s.RingHops++
+			s.send(s.RingNext, p)
+			return
+		}
+	}
+	// Worst case: ring disconnected by failures. Buffer until the MPC
+	// repairs the topology (§4.3).
+	s.Buffered++
+	s.Buffer = append(s.Buffer, p)
+}
+
+// forwardLegacy implements the routing-table baseline: no anycast, no
+// local failover — a down next-hop link means the packet waits for the
+// remote control plane (we buffer it, mirroring Figure 19d's comparison).
+func (s *Satellite) forwardLegacy(p *Packet) {
+	dstSat := p.Base.FlowID // legacy mode: FlowID carries the destination satellite
+	if uint32(s.ID) == dstSat {
+		s.Delivered++
+		if s.net.OnDeliver != nil {
+			s.net.OnDeliver(s, p)
+		}
+		return
+	}
+	if p.Base.HopLimit == 0 {
+		s.drop(p, "hop limit")
+		return
+	}
+	p.Base.HopLimit--
+	nh, ok := s.RoutingTable[dstSat]
+	if !ok {
+		s.drop(p, "no route")
+		return
+	}
+	l := s.links[nh]
+	if l == nil || !l.IsUp() {
+		// Legacy data plane cannot reroute locally; wait for control plane.
+		s.Buffered++
+		s.Buffer = append(s.Buffer, p)
+		return
+	}
+	s.send(nh, p)
+}
+
+func (s *Satellite) send(peer int, p *Packet) {
+	l := s.links[peer]
+	if l == nil {
+		s.drop(p, "missing link")
+		return
+	}
+	if !l.Send(s.ID, p.WireSize(), p) {
+		s.drop(p, "link down or queue full")
+		return
+	}
+	s.Forwarded++
+}
+
+func (s *Satellite) drop(p *Packet, reason string) {
+	s.Dropped++
+	if s.net.OnDrop != nil {
+		s.net.OnDrop(s, p, reason)
+	}
+}
+
+// Peers returns the satellite's ISL peers in ascending order.
+func (s *Satellite) Peers() []int {
+	out := make([]int, 0, len(s.links))
+	for p := range s.links {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,76 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Multipath load balancing (§4.2's "multipath load balancing [39]" policy,
+// Figure 18c): a source satellite holds several installed geographic
+// routes for a destination and sprays flows across them by flow hash, so
+// one flow stays on one path (no reordering) while the aggregate spreads.
+
+// MultipathGroup is a set of routes toward one destination cell.
+type MultipathGroup struct {
+	DstCell int
+	Routes  [][]int // each a full cell route, last element == DstCell
+}
+
+// InstallMultipath installs a group at satellite sat. Routes must be
+// non-empty and agree on the destination cell.
+func (n *Network) InstallMultipath(sat int, routes [][]int) (*MultipathGroup, error) {
+	s := n.Sats[sat]
+	if s == nil {
+		return nil, fmt.Errorf("dataplane: unknown satellite %d", sat)
+	}
+	if len(routes) == 0 {
+		return nil, errors.New("dataplane: empty multipath group")
+	}
+	dst := -1
+	for _, r := range routes {
+		if len(r) == 0 {
+			return nil, errors.New("dataplane: empty route in multipath group")
+		}
+		d := r[len(r)-1]
+		if dst == -1 {
+			dst = d
+		} else if d != dst {
+			return nil, fmt.Errorf("dataplane: multipath routes disagree on destination (%d vs %d)", dst, d)
+		}
+	}
+	g := &MultipathGroup{DstCell: dst, Routes: routes}
+	if s.multipath == nil {
+		s.multipath = map[int]*MultipathGroup{}
+	}
+	s.multipath[dst] = g
+	return g, nil
+}
+
+// RouteFor deterministically picks the group's route for a flow ID.
+func (g *MultipathGroup) RouteFor(flow uint32) []int {
+	h := fnv.New32a()
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(flow>>24), byte(flow>>16), byte(flow>>8), byte(flow)
+	h.Write(b[:])
+	return g.Routes[int(h.Sum32())%len(g.Routes)]
+}
+
+// SendFlow emits a packet of the given flow from satellite sat toward the
+// installed multipath destination, choosing the route by flow hash.
+func (n *Network) SendFlow(sat, dstCell int, flow, seq uint32, payload []byte) error {
+	s := n.Sats[sat]
+	if s == nil {
+		return fmt.Errorf("dataplane: unknown satellite %d", sat)
+	}
+	g := s.multipath[dstCell]
+	if g == nil {
+		return fmt.Errorf("dataplane: no multipath group for cell %d at satellite %d", dstCell, sat)
+	}
+	p, err := NewGeoPacket(uint32(sat), g.RouteFor(flow), flow, seq, payload)
+	if err != nil {
+		return err
+	}
+	n.Inject(sat, p)
+	return nil
+}

@@ -1,0 +1,117 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+)
+
+// Network is an emulated satellite data plane: satellites joined by netem
+// links, forwarding geo-segment (TinyLEO) or legacy routed packets.
+type Network struct {
+	Sim  *netem.Sim
+	Sats map[int]*Satellite
+	// OnDeliver fires when a packet reaches a satellite covering its final
+	// segment cell (i.e. is handed to the ground segment).
+	OnDeliver func(sat *Satellite, p *Packet)
+	// OnDrop fires when a packet is dropped (hop limit, no route, queue).
+	OnDrop func(sat *Satellite, p *Packet, reason string)
+
+	links []*netem.Link
+	// Defaults for new links.
+	ISLRateBps float64
+	QueueLimit int
+}
+
+// ISLRateBpsDefault is the paper's 200 Gbps laser ISL.
+const ISLRateBpsDefault = 200e9
+
+// NewNetwork creates an empty network on a fresh simulator.
+func NewNetwork() *Network {
+	return &Network{
+		Sim:        netem.NewSim(),
+		Sats:       map[int]*Satellite{},
+		ISLRateBps: ISLRateBpsDefault,
+		QueueLimit: 4096,
+	}
+}
+
+// AddSatellite registers a satellite homed to cell.
+func (n *Network) AddSatellite(id, cell int) *Satellite {
+	s := &Satellite{ID: id, Cell: cell, net: n, links: map[int]*netem.Link{}, RingNext: -1}
+	n.Sats[id] = s
+	return s
+}
+
+// Connect creates an ISL between satellites a and b with one-way
+// propagation delay (seconds). Returns the link.
+func (n *Network) Connect(a, b int, delay float64) *netem.Link {
+	sa, sb := n.Sats[a], n.Sats[b]
+	if sa == nil || sb == nil {
+		panic(fmt.Sprintf("dataplane: Connect unknown satellites %d-%d", a, b))
+	}
+	l := netem.NewLink(n.Sim, a, b, n.ISLRateBps, delay, n.QueueLimit, n.deliver)
+	sa.links[b] = l
+	sb.links[a] = l
+	n.links = append(n.links, l)
+	return l
+}
+
+// Link returns the ISL between a and b, or nil.
+func (n *Network) Link(a, b int) *netem.Link {
+	if sa := n.Sats[a]; sa != nil {
+		return sa.links[b]
+	}
+	return nil
+}
+
+// Links returns every ISL in creation order.
+func (n *Network) Links() []*netem.Link { return n.links }
+
+// deliver is the netem receive hook: hand the packet to the receiving
+// satellite's forwarder.
+func (n *Network) deliver(at, from int, payload any) {
+	s := n.Sats[at]
+	if s == nil {
+		return
+	}
+	s.Receive(payload.(*Packet))
+}
+
+// Inject starts a packet at satellite sat (e.g. received from a ground
+// terminal) and forwards it.
+func (n *Network) Inject(sat int, p *Packet) {
+	s := n.Sats[sat]
+	if s == nil {
+		panic(fmt.Sprintf("dataplane: Inject at unknown satellite %d", sat))
+	}
+	p.SentAt = n.Sim.Now()
+	s.Receive(p)
+}
+
+// SetRing installs an intra-cell gateway ring: members in cycle order;
+// each member's RingNext points at its successor. A nil/short slice clears
+// nothing (rings of <2 satellites don't exist).
+func (n *Network) SetRing(members []int) {
+	if len(members) < 2 {
+		return
+	}
+	for i, id := range members {
+		if s := n.Sats[id]; s != nil {
+			s.RingNext = members[(i+1)%len(members)]
+		}
+	}
+}
+
+// FlushBuffers re-attempts forwarding of every buffered packet (called
+// after the control plane repairs topology, §4.3's "buffered until MPC
+// repairs the ring").
+func (n *Network) FlushBuffers() {
+	for _, s := range n.Sats {
+		buf := s.Buffer
+		s.Buffer = nil
+		for _, p := range buf {
+			s.Receive(p)
+		}
+	}
+}

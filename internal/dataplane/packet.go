@@ -1,0 +1,260 @@
+// Package dataplane implements TinyLEO's geographic segment anycast data
+// plane (paper §4.3): an SRv6-style segment routing header whose segments
+// are geographic cells rather than node addresses, a per-satellite
+// forwarder that delivers packets segment by segment via any satellite
+// covering the next cell, an intra-cell gateway-ring fallback, local
+// failover around dead ISLs, and buffering when a ring is partitioned.
+// A legacy per-satellite routing-table forwarder is included as the
+// baseline (Figure 19).
+//
+// The wire format follows the layered-decoding discipline of gopacket:
+// each header type owns its Marshal/Unmarshal pair, headers chain via a
+// NextHeader byte, and decoding is zero-allocation-on-error with explicit
+// truncation checks.
+package dataplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header type identifiers (the NextHeader byte).
+const (
+	NextHeaderNone       = 0x00
+	NextHeaderGeoSegment = 0x2B // mirrors IPv6's routing-header protocol 43
+	NextHeaderPayload    = 0x3B // no-next-header, mirrors IPv6's 59
+)
+
+// Version is the wire-format version.
+const Version = 1
+
+// BaseHeaderLen is the fixed encoded size of BaseHeader.
+const BaseHeaderLen = 20
+
+// BaseHeader is the fixed per-packet header (an IPv6-like shim).
+type BaseHeader struct {
+	Ver        uint8
+	NextHeader uint8
+	HopLimit   uint8
+	Flags      uint8
+	SrcNode    uint32 // originating node (satellite or terminal) ID
+	DstCell    uint16 // final destination geographic cell
+	FlowID     uint32
+	Seq        uint32
+	PayloadLen uint16
+}
+
+// Flag bits.
+const (
+	// FlagControl marks control-plane packets (failure reports etc.).
+	FlagControl = 1 << 0
+)
+
+// Marshal appends the encoded header to dst and returns the result.
+func (h *BaseHeader) Marshal(dst []byte) []byte {
+	var b [BaseHeaderLen]byte
+	b[0] = h.Ver
+	b[1] = h.NextHeader
+	b[2] = h.HopLimit
+	b[3] = h.Flags
+	binary.BigEndian.PutUint32(b[4:], h.SrcNode)
+	binary.BigEndian.PutUint16(b[8:], h.DstCell)
+	binary.BigEndian.PutUint32(b[10:], h.FlowID)
+	binary.BigEndian.PutUint32(b[14:], h.Seq)
+	binary.BigEndian.PutUint16(b[18:], h.PayloadLen)
+	return append(dst, b[:]...)
+}
+
+// ErrTruncated reports a buffer shorter than the header it should hold.
+var ErrTruncated = errors.New("dataplane: truncated packet")
+
+// ErrVersion reports an unsupported wire version.
+var ErrVersion = errors.New("dataplane: unsupported version")
+
+// Unmarshal decodes the header from b, returning the remaining bytes.
+func (h *BaseHeader) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < BaseHeaderLen {
+		return nil, fmt.Errorf("%w: base header needs %d bytes, have %d", ErrTruncated, BaseHeaderLen, len(b))
+	}
+	h.Ver = b[0]
+	if h.Ver != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, h.Ver)
+	}
+	h.NextHeader = b[1]
+	h.HopLimit = b[2]
+	h.Flags = b[3]
+	h.SrcNode = binary.BigEndian.Uint32(b[4:])
+	h.DstCell = binary.BigEndian.Uint16(b[8:])
+	h.FlowID = binary.BigEndian.Uint32(b[10:])
+	h.Seq = binary.BigEndian.Uint32(b[14:])
+	h.PayloadLen = binary.BigEndian.Uint16(b[18:])
+	return b[BaseHeaderLen:], nil
+}
+
+// GeoSegmentHeader is the geographic segment routing header (§4.3): the
+// ordered list of geographic cells the packet must traverse, with
+// SegmentsLeft counting down like SRv6's segments-left field. Segments are
+// stored in travel order (segment 0 is the first hop cell).
+type GeoSegmentHeader struct {
+	NextHeader   uint8
+	SegmentsLeft uint8
+	Segments     []uint16
+}
+
+// MaxSegments bounds the segment list (fits the uint8 count field).
+const MaxSegments = 255
+
+// EncodedLen returns the header's wire size.
+func (g *GeoSegmentHeader) EncodedLen() int { return 4 + 2*len(g.Segments) }
+
+// Marshal appends the encoded header to dst.
+func (g *GeoSegmentHeader) Marshal(dst []byte) ([]byte, error) {
+	if len(g.Segments) > MaxSegments {
+		return nil, fmt.Errorf("dataplane: %d segments exceed max %d", len(g.Segments), MaxSegments)
+	}
+	if int(g.SegmentsLeft) > len(g.Segments) {
+		return nil, fmt.Errorf("dataplane: segments-left %d > %d segments", g.SegmentsLeft, len(g.Segments))
+	}
+	dst = append(dst, g.NextHeader, g.SegmentsLeft, uint8(len(g.Segments)), 0)
+	var b [2]byte
+	for _, s := range g.Segments {
+		binary.BigEndian.PutUint16(b[:], s)
+		dst = append(dst, b[0], b[1])
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes the header, returning the remaining bytes.
+func (g *GeoSegmentHeader) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: geo segment header prefix", ErrTruncated)
+	}
+	g.NextHeader = b[0]
+	g.SegmentsLeft = b[1]
+	n := int(b[2])
+	if len(b) < 4+2*n {
+		return nil, fmt.Errorf("%w: %d segments need %d bytes, have %d", ErrTruncated, n, 4+2*n, len(b))
+	}
+	if int(g.SegmentsLeft) > n {
+		return nil, fmt.Errorf("dataplane: segments-left %d > %d segments", g.SegmentsLeft, n)
+	}
+	g.Segments = make([]uint16, n)
+	for i := 0; i < n; i++ {
+		g.Segments[i] = binary.BigEndian.Uint16(b[4+2*i:])
+	}
+	return b[4+2*n:], nil
+}
+
+// CurrentSegment returns the cell the packet is currently heading to, or
+// -1 when the segment list is exhausted.
+func (g *GeoSegmentHeader) CurrentSegment() int {
+	if g.SegmentsLeft == 0 {
+		return -1
+	}
+	idx := len(g.Segments) - int(g.SegmentsLeft)
+	return int(g.Segments[idx])
+}
+
+// Advance consumes the current segment (after the packet reaches its cell).
+func (g *GeoSegmentHeader) Advance() {
+	if g.SegmentsLeft > 0 {
+		g.SegmentsLeft--
+	}
+}
+
+// Packet is the in-memory form the emulator forwards (headers stay decoded
+// between hops; the wire form is exercised by Encode/Decode and used across
+// the southbound TCP path).
+type Packet struct {
+	Base    BaseHeader
+	Geo     *GeoSegmentHeader // nil for legacy packets
+	Payload []byte
+
+	// Emulation metadata (not on the wire).
+	SentAt   float64
+	HopTrace []int // satellite IDs traversed
+}
+
+// Encode produces the full wire form.
+func (p *Packet) Encode() ([]byte, error) {
+	p.Base.PayloadLen = uint16(len(p.Payload))
+	if p.Geo != nil {
+		p.Base.NextHeader = NextHeaderGeoSegment
+	} else {
+		p.Base.NextHeader = NextHeaderPayload
+	}
+	out := p.Base.Marshal(nil)
+	if p.Geo != nil {
+		var err error
+		out, err = p.Geo.Marshal(out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return append(out, p.Payload...), nil
+}
+
+// Decode parses a wire-form packet.
+func Decode(b []byte) (*Packet, error) {
+	p := &Packet{}
+	rest, err := p.Base.Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Base.NextHeader {
+	case NextHeaderGeoSegment:
+		p.Geo = &GeoSegmentHeader{}
+		rest, err = p.Geo.Unmarshal(rest)
+		if err != nil {
+			return nil, err
+		}
+	case NextHeaderPayload, NextHeaderNone:
+	default:
+		return nil, fmt.Errorf("dataplane: unknown next header 0x%02x", p.Base.NextHeader)
+	}
+	if len(rest) < int(p.Base.PayloadLen) {
+		return nil, fmt.Errorf("%w: payload needs %d bytes, have %d", ErrTruncated, p.Base.PayloadLen, len(rest))
+	}
+	p.Payload = rest[:p.Base.PayloadLen]
+	return p, nil
+}
+
+// WireSize returns the encoded size without allocating.
+func (p *Packet) WireSize() int {
+	n := BaseHeaderLen + len(p.Payload)
+	if p.Geo != nil {
+		n += p.Geo.EncodedLen()
+	}
+	return n
+}
+
+// NewGeoPacket builds a geo-segment packet following route (cell IDs,
+// including the destination cell as the last segment).
+func NewGeoPacket(src uint32, route []int, flow, seq uint32, payload []byte) (*Packet, error) {
+	if len(route) == 0 {
+		return nil, errors.New("dataplane: empty route")
+	}
+	if len(route) > MaxSegments {
+		return nil, fmt.Errorf("dataplane: route of %d cells exceeds max %d", len(route), MaxSegments)
+	}
+	segs := make([]uint16, len(route))
+	for i, c := range route {
+		if c < 0 || c > 0xFFFF {
+			return nil, fmt.Errorf("dataplane: cell %d out of uint16 range", c)
+		}
+		segs[i] = uint16(c)
+	}
+	return &Packet{
+		Base: BaseHeader{
+			Ver:      Version,
+			HopLimit: 64,
+			SrcNode:  src,
+			DstCell:  segs[len(segs)-1],
+			FlowID:   flow,
+			Seq:      seq,
+		},
+		Geo:     &GeoSegmentHeader{SegmentsLeft: uint8(len(segs)), Segments: segs},
+		Payload: payload,
+	}, nil
+}

@@ -1,0 +1,200 @@
+package dataplane
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseHeaderRoundTrip(t *testing.T) {
+	h := BaseHeader{
+		Ver: Version, NextHeader: NextHeaderPayload, HopLimit: 64, Flags: FlagControl,
+		SrcNode: 0xDEADBEEF, DstCell: 4049, FlowID: 7, Seq: 123456, PayloadLen: 99,
+	}
+	b := h.Marshal(nil)
+	if len(b) != BaseHeaderLen {
+		t.Fatalf("encoded %d bytes", len(b))
+	}
+	var got BaseHeader
+	rest, err := got.Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %d bytes", len(rest))
+	}
+	if got != h {
+		t.Errorf("roundtrip: %+v != %+v", got, h)
+	}
+}
+
+func TestBaseHeaderErrors(t *testing.T) {
+	var h BaseHeader
+	if _, err := h.Unmarshal(make([]byte, BaseHeaderLen-1)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short buffer: %v", err)
+	}
+	bad := (&BaseHeader{Ver: 9}).Marshal(nil)
+	if _, err := h.Unmarshal(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestGeoSegmentRoundTrip(t *testing.T) {
+	g := GeoSegmentHeader{NextHeader: NextHeaderPayload, SegmentsLeft: 3, Segments: []uint16{10, 20, 30}}
+	b, err := g.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != g.EncodedLen() {
+		t.Errorf("len %d vs EncodedLen %d", len(b), g.EncodedLen())
+	}
+	var got GeoSegmentHeader
+	rest, err := got.Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !reflect.DeepEqual(got, g) {
+		t.Errorf("roundtrip: %+v", got)
+	}
+}
+
+func TestGeoSegmentValidation(t *testing.T) {
+	over := GeoSegmentHeader{SegmentsLeft: 5, Segments: []uint16{1, 2}}
+	if _, err := over.Marshal(nil); err == nil {
+		t.Error("segments-left overflow accepted at marshal")
+	}
+	// Craft a wire image with segments-left > count.
+	raw := []byte{0, 3, 1, 0, 0, 1}
+	var g GeoSegmentHeader
+	if _, err := g.Unmarshal(raw); err == nil {
+		t.Error("segments-left overflow accepted at unmarshal")
+	}
+	if _, err := g.Unmarshal([]byte{0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Error("short prefix accepted")
+	}
+	if _, err := g.Unmarshal([]byte{0, 1, 4, 0, 0, 1}); !errors.Is(err, ErrTruncated) {
+		t.Error("truncated segment list accepted")
+	}
+}
+
+func TestSegmentCursor(t *testing.T) {
+	g := GeoSegmentHeader{SegmentsLeft: 3, Segments: []uint16{10, 20, 30}}
+	if g.CurrentSegment() != 10 {
+		t.Errorf("current = %d", g.CurrentSegment())
+	}
+	g.Advance()
+	if g.CurrentSegment() != 20 {
+		t.Errorf("after advance = %d", g.CurrentSegment())
+	}
+	g.Advance()
+	g.Advance()
+	if g.CurrentSegment() != -1 {
+		t.Errorf("exhausted = %d", g.CurrentSegment())
+	}
+	g.Advance() // must not underflow
+	if g.SegmentsLeft != 0 {
+		t.Error("underflow")
+	}
+}
+
+func TestPacketEncodeDecode(t *testing.T) {
+	p, err := NewGeoPacket(42, []int{100, 200, 300}, 7, 1, []byte("payload!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != p.WireSize() {
+		t.Errorf("wire %d vs WireSize %d", len(wire), p.WireSize())
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base.SrcNode != 42 || got.Base.DstCell != 300 {
+		t.Errorf("base = %+v", got.Base)
+	}
+	if !reflect.DeepEqual(got.Geo.Segments, []uint16{100, 200, 300}) {
+		t.Errorf("segments = %v", got.Geo.Segments)
+	}
+	if !bytes.Equal(got.Payload, []byte("payload!")) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestPacketDecodeErrors(t *testing.T) {
+	p, _ := NewGeoPacket(1, []int{5}, 0, 0, []byte("xyz"))
+	wire, _ := p.Encode()
+	if _, err := Decode(wire[:len(wire)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated payload: %v", err)
+	}
+	// Unknown next header.
+	h := BaseHeader{Ver: Version, NextHeader: 0x77}
+	if _, err := Decode(h.Marshal(nil)); err == nil {
+		t.Error("unknown next header accepted")
+	}
+}
+
+func TestNewGeoPacketValidation(t *testing.T) {
+	if _, err := NewGeoPacket(1, nil, 0, 0, nil); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := NewGeoPacket(1, []int{70000}, 0, 0, nil); err == nil {
+		t.Error("oversized cell id accepted")
+	}
+	long := make([]int, 300)
+	if _, err := NewGeoPacket(1, long, 0, 0, nil); err == nil {
+		t.Error("overlong route accepted")
+	}
+}
+
+func TestPacketRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nSeg := 1 + r.Intn(10)
+		route := make([]int, nSeg)
+		for i := range route {
+			route[i] = r.Intn(4050)
+		}
+		payload := make([]byte, r.Intn(64))
+		rng.Read(payload)
+		p, err := NewGeoPacket(uint32(r.Uint32()), route, uint32(r.Uint32()), uint32(r.Uint32()), payload)
+		if err != nil {
+			return false
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		wire2, err := got.Encode()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(wire, wire2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		if len(b) > 0 {
+			b[0] = Version // give it a chance past the version check
+		}
+		_, _ = Decode(b) // must not panic
+	}
+}

@@ -1,0 +1,119 @@
+package demand
+
+// City is an entry in the embedded world-city gazetteer used to synthesize
+// spatially uneven demand (substitute for the paper's proprietary
+// Starlink/Cloudflare customer-density measurements; see DESIGN.md). Pop is
+// the approximate metro population in millions — only relative weights
+// matter to the synthesizer.
+type City struct {
+	Name     string
+	Lat, Lon float64
+	Pop      float64 // millions, approximate metro population
+	TZOffset float64 // hours from UTC, for the diurnal activity model
+}
+
+// Cities is a coarse gazetteer of ~160 large metropolitan areas. Positions
+// are rounded to ~0.1°; that is far finer than the 4° demand cells.
+var Cities = []City{
+	// North America
+	{"New York", 40.7, -74.0, 19.8, -5}, {"Los Angeles", 34.1, -118.2, 13.2, -8},
+	{"Chicago", 41.9, -87.6, 9.5, -6}, {"Dallas", 32.8, -96.8, 7.6, -6},
+	{"Houston", 29.8, -95.4, 7.1, -6}, {"Toronto", 43.7, -79.4, 6.4, -5},
+	{"Miami", 25.8, -80.2, 6.1, -5}, {"Atlanta", 33.7, -84.4, 6.1, -5},
+	{"Philadelphia", 40.0, -75.2, 6.2, -5}, {"Washington", 38.9, -77.0, 6.3, -5},
+	{"Phoenix", 33.4, -112.1, 4.9, -7}, {"Boston", 42.4, -71.1, 4.9, -5},
+	{"San Francisco", 37.8, -122.4, 4.7, -8}, {"Seattle", 47.6, -122.3, 4.0, -8},
+	{"Detroit", 42.3, -83.0, 4.3, -5}, {"San Diego", 32.7, -117.2, 3.3, -8},
+	{"Minneapolis", 44.98, -93.3, 3.7, -6}, {"Denver", 39.7, -105.0, 3.0, -7},
+	{"Montreal", 45.5, -73.6, 4.3, -5}, {"Vancouver", 49.3, -123.1, 2.6, -8},
+	{"St. Louis", 38.6, -90.2, 2.8, -6}, {"Tampa", 28.0, -82.5, 3.2, -5},
+	{"Mexico City", 19.4, -99.1, 21.8, -6}, {"Guadalajara", 20.7, -103.3, 5.3, -6},
+	{"Monterrey", 25.7, -100.3, 5.3, -6}, {"Havana", 23.1, -82.4, 2.1, -5},
+	{"Guatemala City", 14.6, -90.5, 3.0, -6}, {"San Juan", 18.4, -66.1, 2.4, -4},
+	// South America
+	{"São Paulo", -23.6, -46.6, 22.4, -3}, {"Rio de Janeiro", -22.9, -43.2, 13.6, -3},
+	{"Buenos Aires", -34.6, -58.4, 15.4, -3}, {"Lima", -12.0, -77.0, 11.2, -5},
+	{"Bogotá", 4.7, -74.1, 11.3, -5}, {"Santiago", -33.5, -70.7, 6.9, -4},
+	{"Belo Horizonte", -19.9, -43.9, 6.1, -3}, {"Brasília", -15.8, -47.9, 4.8, -3},
+	{"Caracas", 10.5, -66.9, 2.9, -4}, {"Medellín", 6.2, -75.6, 4.1, -5},
+	{"Porto Alegre", -30.0, -51.2, 4.2, -3}, {"Recife", -8.1, -34.9, 4.2, -3},
+	{"Salvador", -12.97, -38.5, 3.9, -3}, {"Fortaleza", -3.7, -38.5, 4.1, -3},
+	{"Quito", -0.2, -78.5, 2.0, -5}, {"Montevideo", -34.9, -56.2, 1.8, -3},
+	{"Asunción", -25.3, -57.6, 2.3, -4}, {"Guayaquil", -2.2, -79.9, 3.1, -5},
+	{"La Paz", -16.5, -68.1, 1.9, -4}, {"Córdoba", -31.4, -64.2, 1.6, -3},
+	// Europe
+	{"London", 51.5, -0.1, 14.8, 0}, {"Paris", 48.9, 2.4, 13.0, 1},
+	{"Madrid", 40.4, -3.7, 6.7, 1}, {"Barcelona", 41.4, 2.2, 5.6, 1},
+	{"Berlin", 52.5, 13.4, 6.1, 1}, {"Rome", 41.9, 12.5, 4.3, 1},
+	{"Milan", 45.5, 9.2, 5.3, 1}, {"Amsterdam", 52.4, 4.9, 2.8, 1},
+	{"Brussels", 50.9, 4.4, 2.6, 1}, {"Vienna", 48.2, 16.4, 2.9, 1},
+	{"Munich", 48.1, 11.6, 2.9, 1}, {"Hamburg", 53.6, 10.0, 2.7, 1},
+	{"Warsaw", 52.2, 21.0, 3.1, 1}, {"Budapest", 47.5, 19.0, 2.9, 1},
+	{"Lisbon", 38.7, -9.1, 2.9, 0}, {"Dublin", 53.3, -6.3, 2.0, 0},
+	{"Stockholm", 59.3, 18.1, 2.4, 1}, {"Copenhagen", 55.7, 12.6, 2.1, 1},
+	{"Oslo", 59.9, 10.8, 1.6, 1}, {"Helsinki", 60.2, 24.9, 1.5, 2},
+	{"Athens", 38.0, 23.7, 3.2, 2}, {"Bucharest", 44.4, 26.1, 2.3, 2},
+	{"Prague", 50.1, 14.4, 2.2, 1}, {"Zurich", 47.4, 8.5, 1.4, 1},
+	{"Kyiv", 50.5, 30.5, 3.0, 2}, {"Istanbul", 41.0, 29.0, 15.8, 3},
+	{"Moscow", 55.8, 37.6, 12.6, 3}, {"St. Petersburg", 59.9, 30.3, 5.5, 3},
+	// Africa
+	{"Lagos", 6.5, 3.4, 15.9, 1}, {"Cairo", 30.0, 31.2, 22.2, 2},
+	{"Kinshasa", -4.3, 15.3, 16.3, 1}, {"Johannesburg", -26.2, 28.0, 10.1, 2},
+	{"Nairobi", -1.3, 36.8, 5.5, 3}, {"Addis Ababa", 9.0, 38.7, 5.4, 3},
+	{"Dar es Salaam", -6.8, 39.3, 7.4, 3}, {"Casablanca", 33.6, -7.6, 3.8, 0},
+	{"Algiers", 36.8, 3.1, 2.9, 1}, {"Accra", 5.6, -0.2, 2.6, 0},
+	{"Cape Town", -33.9, 18.4, 4.8, 2}, {"Abidjan", 5.3, -4.0, 5.6, 0},
+	{"Kano", 12.0, 8.5, 4.4, 1}, {"Luanda", -8.8, 13.2, 9.0, 1},
+	{"Khartoum", 15.6, 32.5, 6.3, 2}, {"Dakar", 14.7, -17.5, 3.3, 0},
+	{"Tunis", 36.8, 10.2, 2.4, 1}, {"Kampala", 0.3, 32.6, 3.7, 3},
+	// Middle East / Central Asia
+	{"Tehran", 35.7, 51.4, 9.5, 3.5}, {"Baghdad", 33.3, 44.4, 7.5, 3},
+	{"Riyadh", 24.7, 46.7, 7.7, 3}, {"Dubai", 25.2, 55.3, 3.6, 4},
+	{"Jeddah", 21.5, 39.2, 4.9, 3}, {"Tel Aviv", 32.1, 34.8, 4.4, 2},
+	{"Amman", 32.0, 35.9, 2.2, 2}, {"Kuwait City", 29.4, 48.0, 3.2, 3},
+	{"Tashkent", 41.3, 69.2, 2.6, 5}, {"Almaty", 43.2, 76.9, 2.1, 6},
+	{"Ankara", 39.9, 32.9, 5.7, 3}, {"Kabul", 34.5, 69.2, 4.6, 4.5},
+	// South Asia
+	{"Delhi", 28.7, 77.1, 32.9, 5.5}, {"Mumbai", 19.1, 72.9, 21.3, 5.5},
+	{"Kolkata", 22.6, 88.4, 15.2, 5.5}, {"Bangalore", 13.0, 77.6, 13.6, 5.5},
+	{"Chennai", 13.1, 80.3, 11.8, 5.5}, {"Hyderabad", 17.4, 78.5, 10.8, 5.5},
+	{"Ahmedabad", 23.0, 72.6, 8.6, 5.5}, {"Pune", 18.5, 73.9, 7.2, 5.5},
+	{"Karachi", 24.9, 67.0, 17.2, 5}, {"Lahore", 31.6, 74.3, 13.5, 5},
+	{"Dhaka", 23.8, 90.4, 23.2, 6}, {"Chittagong", 22.4, 91.8, 5.4, 6},
+	{"Colombo", 6.9, 79.9, 2.4, 5.5}, {"Kathmandu", 27.7, 85.3, 1.6, 5.75},
+	// East / Southeast Asia
+	{"Tokyo", 35.7, 139.7, 37.3, 9}, {"Osaka", 34.7, 135.5, 19.1, 9},
+	{"Nagoya", 35.2, 136.9, 9.5, 9}, {"Seoul", 37.6, 127.0, 25.5, 9},
+	{"Busan", 35.2, 129.1, 3.4, 9}, {"Shanghai", 31.2, 121.5, 28.5, 8},
+	{"Beijing", 39.9, 116.4, 21.3, 8}, {"Guangzhou", 23.1, 113.3, 19.0, 8},
+	{"Shenzhen", 22.5, 114.1, 17.6, 8}, {"Chengdu", 30.7, 104.1, 16.9, 8},
+	{"Chongqing", 29.6, 106.6, 16.9, 8}, {"Tianjin", 39.1, 117.2, 13.8, 8},
+	{"Wuhan", 30.6, 114.3, 11.2, 8}, {"Xi'an", 34.3, 108.9, 9.2, 8},
+	{"Hangzhou", 30.3, 120.2, 10.7, 8}, {"Hong Kong", 22.3, 114.2, 7.5, 8},
+	{"Taipei", 25.0, 121.6, 7.0, 8}, {"Manila", 14.6, 121.0, 14.4, 8},
+	{"Jakarta", -6.2, 106.8, 11.2, 7}, {"Surabaya", -7.3, 112.7, 3.0, 7},
+	{"Bandung", -6.9, 107.6, 2.7, 7}, {"Bangkok", 13.8, 100.5, 11.1, 7},
+	{"Ho Chi Minh City", 10.8, 106.7, 9.3, 7}, {"Hanoi", 21.0, 105.9, 5.3, 7},
+	{"Singapore", 1.35, 103.8, 6.0, 8}, {"Kuala Lumpur", 3.1, 101.7, 8.4, 8},
+	{"Yangon", 16.8, 96.2, 5.6, 6.5}, {"Phnom Penh", 11.6, 104.9, 2.3, 7},
+	// Oceania
+	{"Sydney", -33.9, 151.2, 5.4, 10}, {"Melbourne", -37.8, 145.0, 5.2, 10},
+	{"Brisbane", -27.5, 153.0, 2.6, 10}, {"Perth", -32.0, 115.9, 2.1, 8},
+	{"Auckland", -36.8, 174.8, 1.7, 12}, {"Adelaide", -34.9, 138.6, 1.4, 9.5},
+	// High-latitude / remote (small but strategically placed for coverage)
+	{"Anchorage", 61.2, -149.9, 0.4, -9}, {"Reykjavík", 64.1, -21.9, 0.2, 0},
+	{"Nuuk", 64.2, -51.7, 0.02, -3}, {"Tromsø", 69.6, 18.9, 0.08, 1},
+	{"Murmansk", 69.0, 33.1, 0.27, 3}, {"Yellowknife", 62.5, -114.4, 0.02, -7},
+	{"Ushuaia", -54.8, -68.3, 0.06, -3}, {"Punta Arenas", -53.2, -70.9, 0.13, -4},
+	{"Honolulu", 21.3, -157.9, 1.0, -10}, {"Suva", -18.1, 178.4, 0.2, 12},
+	{"Papeete", -17.5, -149.6, 0.14, -10}, {"Norilsk", 69.3, 88.2, 0.18, 7},
+}
+
+// TotalCityPop returns the summed city weights (millions).
+func TotalCityPop() float64 {
+	s := 0.0
+	for _, c := range Cities {
+		s += c.Pop
+	}
+	return s
+}

@@ -1,0 +1,247 @@
+// Package demand synthesizes the three broadband-demand scenarios of the
+// paper's evaluation (Figure 13): Starlink's global customer distribution,
+// the international Internet backbone, and a regional (Latin America)
+// demand — plus the diurnal activity dynamics of Figure 3b.
+//
+// Demands are expressed the way the paper's sparsifier consumes them: for
+// each geographic cell i and time slot t, y_i^t is the number of satellites
+// the cell must have in view (§4.1 "maximal serviceable demand ... in the
+// unit of the number of satellites").
+package demand
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+)
+
+// SatelliteSpec captures the per-satellite capacity assumptions of §6.1.
+type SatelliteSpec struct {
+	AccessGbps  float64 // user radio link capacity (96 Gbps, Starlink v2 mini)
+	ISLGbps     float64 // per-ISL capacity (200 Gbps)
+	ISLCount    int     // laser terminals per satellite (3)
+	UserMbps    float64 // per-user committed downlink (100 Mbps)
+	UsersPerSat int     // derived: 960 concurrent users
+}
+
+// StarlinkV2Mini is the satellite model used throughout the evaluation.
+var StarlinkV2Mini = SatelliteSpec{
+	AccessGbps: 96, ISLGbps: 200, ISLCount: 3, UserMbps: 100, UsersPerSat: 960,
+}
+
+// Demand is a spatiotemporal demand field over a grid: Y[slot*m+cell] is
+// the demand in satellite units.
+type Demand struct {
+	Grid        *geo.Grid
+	Slots       int
+	SlotSeconds float64
+	Y           []float64
+	Name        string
+}
+
+// New allocates a zero demand field.
+func New(g *geo.Grid, slots int, slotSeconds float64, name string) *Demand {
+	return &Demand{
+		Grid: g, Slots: slots, SlotSeconds: slotSeconds,
+		Y: make([]float64, slots*g.NumCells()), Name: name,
+	}
+}
+
+// At returns y_cell^slot.
+func (d *Demand) At(slot, cell int) float64 { return d.Y[slot*d.Grid.NumCells()+cell] }
+
+// Set assigns y_cell^slot.
+func (d *Demand) Set(slot, cell int, v float64) { d.Y[slot*d.Grid.NumCells()+cell] = v }
+
+// Add accumulates into y_cell^slot.
+func (d *Demand) Add(slot, cell int, v float64) { d.Y[slot*d.Grid.NumCells()+cell] += v }
+
+// Total returns Σ_{t,i} y_i^t.
+func (d *Demand) Total() float64 {
+	s := 0.0
+	for _, v := range d.Y {
+		s += v
+	}
+	return s
+}
+
+// PeakSlotTotal returns max_t Σ_i y_i^t.
+func (d *Demand) PeakSlotTotal() float64 {
+	m := d.Grid.NumCells()
+	peak := 0.0
+	for t := 0; t < d.Slots; t++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += d.Y[t*m+i]
+		}
+		if s > peak {
+			peak = s
+		}
+	}
+	return peak
+}
+
+// Scale multiplies the whole field by f in place and returns d.
+func (d *Demand) Scale(f float64) *Demand {
+	for i := range d.Y {
+		d.Y[i] *= f
+	}
+	return d
+}
+
+// Clone deep-copies the demand.
+func (d *Demand) Clone() *Demand {
+	c := *d
+	c.Y = append([]float64(nil), d.Y...)
+	return &c
+}
+
+// NonZeroCells returns the number of distinct cells with any demand.
+func (d *Demand) NonZeroCells() int {
+	m := d.Grid.NumCells()
+	seen := make([]bool, m)
+	n := 0
+	for k, v := range d.Y {
+		if v > 0 && !seen[k%m] {
+			seen[k%m] = true
+			n++
+		}
+	}
+	return n
+}
+
+// SpatialConcentration returns the smallest fraction of the Earth's surface
+// area holding at least `share` of total demand (the paper's ">70% of users
+// on 5% of land" statistic generalized to cells).
+func (d *Demand) SpatialConcentration(share float64) float64 {
+	m := d.Grid.NumCells()
+	perCell := make([]float64, m)
+	total := 0.0
+	for k, v := range d.Y {
+		perCell[k%m] += v
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	type cellShare struct {
+		area, dem float64
+	}
+	cells := make([]cellShare, 0, m)
+	for i, v := range perCell {
+		if v > 0 {
+			cells = append(cells, cellShare{d.Grid.AreaFraction(i), v})
+		}
+	}
+	// Sort by demand density descending (demand per area).
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0 && cells[j].dem/cells[j].area > cells[j-1].dem/cells[j-1].area; j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+		}
+	}
+	acc, area := 0.0, 0.0
+	for _, c := range cells {
+		acc += c.dem
+		area += c.area
+		if acc >= share*total {
+			return area
+		}
+	}
+	return area
+}
+
+// DiurnalModel is the local-time activity multiplier of Figure 3b: traffic
+// peaks in the evening and bottoms out at minFraction of the peak in the
+// early morning. Activity(h) = min + (1−min)·(½+½·cos(2π(h−peak)/24)).
+type DiurnalModel struct {
+	PeakHour    float64 // local hour of peak activity (Fig. 3b: ~20:00)
+	MinFraction float64 // trough as a fraction of peak (Fig. 3b: 0.39–0.52)
+}
+
+// DefaultDiurnal matches the Cloudflare-measured dynamics in Figure 3b.
+var DefaultDiurnal = DiurnalModel{PeakHour: 20, MinFraction: 0.45}
+
+// Activity returns the multiplier at local hour h ∈ [0,24).
+func (m DiurnalModel) Activity(h float64) float64 {
+	c := 0.5 + 0.5*math.Cos(2*math.Pi*(h-m.PeakHour)/24)
+	return m.MinFraction + (1-m.MinFraction)*c
+}
+
+// LocalHour converts a UTC time (seconds since epoch) and a longitude-based
+// timezone offset (hours) to local hour of day.
+func LocalHour(utcSeconds, tzOffsetHours float64) float64 {
+	h := math.Mod(utcSeconds/3600+tzOffsetHours, 24)
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+func (d *Demand) String() string {
+	return fmt.Sprintf("demand{%s: %d cells x %d slots, total=%.0f sat-units, peak-slot=%.0f}",
+		d.Name, d.Grid.NumCells(), d.Slots, d.Total(), d.PeakSlotTotal())
+}
+
+// cellWeightsFromCities spreads the gazetteer's population weights onto the
+// grid: each city contributes to its containing cell and, with a small
+// suburban tail, to the neighboring ring. A faint rural background is added
+// on land cells so rural/maritime-adjacent users are represented (§2.2).
+// The second return value is the population-weighted timezone offset per
+// cell (NaN where no city weighs in), used by the diurnal model so that
+// e.g. western China keeps Beijing time as the real network does.
+func cellWeightsFromCities(g *geo.Grid, ruralWeight float64) ([]float64, []float64) {
+	w := make([]float64, g.NumCells())
+	tzWeight := make([]float64, g.NumCells())
+	tzSum := make([]float64, g.NumCells())
+	addTZ := func(id int, pop, tz float64) {
+		tzWeight[id] += pop
+		tzSum[id] += pop * tz
+	}
+	for _, c := range Cities {
+		id := g.CellOf(geom.LatLon{Lat: c.Lat, Lon: c.Lon})
+		w[id] += c.Pop * 0.8
+		addTZ(id, c.Pop*0.8, c.TZOffset)
+		nb := g.Neighbors4(id)
+		for _, n := range nb {
+			w[n] += c.Pop * 0.2 / float64(len(nb))
+			addTZ(n, c.Pop*0.2/float64(len(nb)), c.TZOffset)
+		}
+	}
+	if ruralWeight > 0 {
+		mask := geo.NewLandMask(g)
+		// Inhabited land only: Antarctica has no broadband customers.
+		inhabited := func(id int) float64 {
+			if g.Center(id).Lat < -60 {
+				return 0
+			}
+			return mask.LandFraction(id)
+		}
+		total := 0.0
+		for id := 0; id < g.NumCells(); id++ {
+			total += inhabited(id) * g.AreaFraction(id)
+		}
+		cityTotal := TotalCityPop()
+		for id := 0; id < g.NumCells(); id++ {
+			lf := inhabited(id)
+			if lf > 0 && total > 0 {
+				w[id] += ruralWeight * cityTotal * lf * g.AreaFraction(id) / total
+			}
+		}
+	}
+	tz := make([]float64, g.NumCells())
+	for id := range tz {
+		if tzWeight[id] > 0 {
+			tz[id] = tzSum[id] / tzWeight[id]
+		} else {
+			tz[id] = math.NaN()
+		}
+	}
+	return w, tz
+}
+
+// lonTZ estimates the timezone offset of a cell from its longitude
+// (15° per hour), the fallback when no gazetteer city weighs into the
+// cell.
+func lonTZ(lon float64) float64 { return math.Round(lon / 15) }

@@ -1,0 +1,334 @@
+package demand
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+)
+
+func testOpts() ScenarioOptions {
+	return ScenarioOptions{Grid: geo.MustGrid(10), Slots: 8, SlotSeconds: 900}
+}
+
+func TestStarlinkV2MiniSpec(t *testing.T) {
+	// §6.1: 96 Gbps access, 100 Mbps per user ⇒ 960 users per satellite.
+	s := StarlinkV2Mini
+	if got := s.AccessGbps * 1000 / s.UserMbps; got != float64(s.UsersPerSat) {
+		t.Errorf("users per sat = %v, spec says %d", got, s.UsersPerSat)
+	}
+}
+
+func TestDemandAccessors(t *testing.T) {
+	d := New(geo.MustGrid(10), 4, 900, "t")
+	d.Set(2, 5, 3.5)
+	d.Add(2, 5, 1.5)
+	if d.At(2, 5) != 5 {
+		t.Errorf("At = %v", d.At(2, 5))
+	}
+	if d.Total() != 5 {
+		t.Errorf("Total = %v", d.Total())
+	}
+	c := d.Clone()
+	c.Set(2, 5, 0)
+	if d.At(2, 5) != 5 {
+		t.Error("Clone aliases storage")
+	}
+	d.Scale(2)
+	if d.At(2, 5) != 10 {
+		t.Error("Scale failed")
+	}
+}
+
+func TestStarlinkCustomersShape(t *testing.T) {
+	d := StarlinkCustomers(testOpts())
+	if d.Total() == 0 {
+		t.Fatal("empty demand")
+	}
+	// Static (no diurnal): every slot totals the configured satellite units.
+	m := d.Grid.NumCells()
+	for s := 0; s < d.Slots; s++ {
+		tot := 0.0
+		for i := 0; i < m; i++ {
+			tot += d.At(s, i)
+		}
+		if math.Abs(tot-6793) > 1 {
+			t.Errorf("slot %d total = %v, want 6793", s, tot)
+		}
+	}
+	// NYC cell should dominate a mid-Pacific cell.
+	nyc := d.Grid.CellOf(geom.LatLon{Lat: 40.7, Lon: -74})
+	pac := d.Grid.CellOf(geom.LatLon{Lat: 0, Lon: -150})
+	if d.At(0, nyc) <= d.At(0, pac) {
+		t.Errorf("NYC %v <= Pacific %v", d.At(0, nyc), d.At(0, pac))
+	}
+}
+
+func TestSpatialConcentrationLongTail(t *testing.T) {
+	// Paper §2.2: >70% of users concentrated in ~5% of the surface. Our
+	// synthetic field must reproduce that long tail (≤12% of area for 70%
+	// of demand, given the coarse test grid).
+	d := StarlinkCustomers(testOpts())
+	area := d.SpatialConcentration(0.7)
+	if area > 0.12 {
+		t.Errorf("70%% of demand needs %.1f%% of surface; expected a long tail", area*100)
+	}
+	if area <= 0 {
+		t.Error("concentration returned nothing")
+	}
+}
+
+func TestDiurnalModel(t *testing.T) {
+	m := DefaultDiurnal
+	if a := m.Activity(m.PeakHour); math.Abs(a-1) > 1e-12 {
+		t.Errorf("peak activity = %v", a)
+	}
+	trough := m.Activity(m.PeakHour + 12)
+	if math.Abs(trough-m.MinFraction) > 1e-12 {
+		t.Errorf("trough = %v, want %v", trough, m.MinFraction)
+	}
+	// Figure 3b: minimum activity between 39% and 52% of peak.
+	if m.MinFraction < 0.39 || m.MinFraction > 0.52 {
+		t.Errorf("default min fraction %v outside the paper's observed band", m.MinFraction)
+	}
+	for h := 0.0; h < 24; h += 0.5 {
+		a := m.Activity(h)
+		if a < m.MinFraction-1e-12 || a > 1+1e-12 {
+			t.Errorf("activity(%v) = %v out of range", h, a)
+		}
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	if h := LocalHour(0, 0); h != 0 {
+		t.Errorf("UTC0 = %v", h)
+	}
+	if h := LocalHour(3600*23, 5); h != 4 {
+		t.Errorf("23h +5 = %v", h)
+	}
+	if h := LocalHour(0, -5); h != 19 {
+		t.Errorf("0h -5 = %v", h)
+	}
+}
+
+func TestDiurnalDemandVariesOverTime(t *testing.T) {
+	opt := testOpts()
+	opt.Slots = 96
+	d := DefaultDiurnal
+	opt.Diurnal = &d
+	dd := StarlinkCustomers(opt)
+	m := dd.Grid.NumCells()
+	nyc := dd.Grid.CellOf(geom.LatLon{Lat: 40.7, Lon: -74})
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for s := 0; s < dd.Slots; s++ {
+		v := dd.Y[s*m+nyc]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		t.Fatal("no diurnal variation at NYC")
+	}
+	ratio := lo / hi
+	if math.Abs(ratio-DefaultDiurnal.MinFraction) > 0.05 {
+		t.Errorf("trough/peak = %v, want ≈%v", ratio, DefaultDiurnal.MinFraction)
+	}
+	// Dynamic demand total must be below the static peak total.
+	static := StarlinkCustomers(testOpts())
+	if dd.Total()/float64(dd.Slots) >= static.Total()/float64(static.Slots) {
+		t.Error("diurnal demand should average below static peak demand")
+	}
+}
+
+func TestInternetBackbone(t *testing.T) {
+	d := InternetBackbone(testOpts())
+	if d.Total() == 0 {
+		t.Fatal("empty backbone demand")
+	}
+	// Demand exists along the trans-Atlantic great circle.
+	mid := geom.Intermediate(geom.LatLon{Lat: 40, Lon: -74}, geom.LatLon{Lat: 50, Lon: 2}, 0.5)
+	if d.At(0, d.Grid.CellOf(mid)) == 0 {
+		t.Error("no demand mid-Atlantic on the NY-Europe route")
+	}
+	// Static in time.
+	m := d.Grid.NumCells()
+	for i := 0; i < m; i++ {
+		if d.At(0, i) != d.At(d.Slots-1, i) {
+			t.Fatal("backbone demand should be time-invariant")
+		}
+	}
+	// South Pacific stays empty.
+	if d.At(0, d.Grid.CellOf(geom.LatLon{Lat: -40, Lon: -120})) != 0 {
+		t.Error("unexpected demand in the South Pacific")
+	}
+}
+
+func TestBackboneODMatrixValid(t *testing.T) {
+	names := map[string]bool{}
+	for _, r := range BackboneRegions {
+		if names[r.Name] {
+			t.Errorf("duplicate region %q", r.Name)
+		}
+		names[r.Name] = true
+	}
+	for od, gbps := range BackboneODGbps {
+		if !names[od[0]] || !names[od[1]] {
+			t.Errorf("OD pair %v references unknown region", od)
+		}
+		if gbps <= 0 {
+			t.Errorf("OD pair %v has non-positive capacity", od)
+		}
+		if od[0] == od[1] {
+			t.Errorf("self-loop %v", od)
+		}
+	}
+}
+
+func TestLatinAmerica(t *testing.T) {
+	d := LatinAmerica(testOpts())
+	if d.Total() == 0 {
+		t.Fatal("empty regional demand")
+	}
+	full := StarlinkCustomers(testOpts())
+	if d.Total() >= full.Total() {
+		t.Error("regional demand should be a strict subset")
+	}
+	m := d.Grid.NumCells()
+	b := LatinAmericaBounds
+	for i := 0; i < m; i++ {
+		c := d.Grid.Center(i)
+		inside := c.Lat >= b.MinLat && c.Lat <= b.MaxLat && c.Lon >= b.MinLon && c.Lon <= b.MaxLon
+		if !inside && d.At(0, i) != 0 {
+			t.Fatalf("demand outside region at %v", c)
+		}
+	}
+	// São Paulo must carry demand.
+	sp := d.Grid.CellOf(geom.LatLon{Lat: -23.6, Lon: -46.6})
+	if d.At(0, sp) == 0 {
+		t.Error("São Paulo has no demand")
+	}
+}
+
+func TestCalibrateToSupply(t *testing.T) {
+	g := geo.MustGrid(20)
+	d := New(g, 2, 900, "t")
+	d.Set(0, 0, 1)
+	d.Set(1, 1, 2)
+	supply := make([]float64, 2*g.NumCells())
+	supply[0] = 10             // slot 0 cell 0
+	supply[g.NumCells()+1] = 4 // slot 1 cell 1
+	scale := d.CalibrateToSupply(supply, 1.0)
+	// Binding constraint: 2·s ≤ 4 ⇒ s = 2.
+	if math.Abs(scale-2) > 0.01 {
+		t.Errorf("scale = %v, want 2", scale)
+	}
+	if math.Abs(d.At(1, 1)-4) > 0.05 {
+		t.Errorf("calibrated demand = %v", d.At(1, 1))
+	}
+}
+
+func TestCalibrateWithAvailabilitySlack(t *testing.T) {
+	g := geo.MustGrid(20)
+	d := New(g, 1, 900, "t")
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 1)
+	supply := make([]float64, g.NumCells())
+	supply[0] = 100 // cell 1 has zero supply
+	// With ε=0.5, half the demand satisfiable ⇒ scale bounded by cell 0.
+	scale := d.CalibrateToSupply(supply, 0.5)
+	if scale < 50 {
+		t.Errorf("scale = %v, expected ≈100 with 50%% availability", scale)
+	}
+}
+
+func TestCitiesGazetteer(t *testing.T) {
+	if len(Cities) < 140 {
+		t.Errorf("gazetteer has %d cities", len(Cities))
+	}
+	seen := map[string]bool{}
+	for _, c := range Cities {
+		if c.Lat < -90 || c.Lat > 90 || c.Lon < -180 || c.Lon > 180 {
+			t.Errorf("%s has bad coordinates", c.Name)
+		}
+		if c.Pop <= 0 {
+			t.Errorf("%s has non-positive population", c.Name)
+		}
+		if c.TZOffset < -12 || c.TZOffset > 14 {
+			t.Errorf("%s has bad timezone", c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate city %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if TotalCityPop() < 500 {
+		t.Errorf("total city pop = %v", TotalCityPop())
+	}
+}
+
+func TestMostCityDemandOnLand(t *testing.T) {
+	// Sanity tie between the gazetteer and the land mask: the overwhelming
+	// majority of city demand must fall on land cells.
+	g := geo.MustGrid(4)
+	mask := geo.NewLandMask(g)
+	land, total := 0.0, 0.0
+	for _, c := range Cities {
+		total += c.Pop
+		if mask.LandFraction(g.CellOf(geom.LatLon{Lat: c.Lat, Lon: c.Lon})) > 0 {
+			land += c.Pop
+		}
+	}
+	if land/total < 0.9 {
+		t.Errorf("only %.0f%% of city demand on land cells; mask or gazetteer broken", 100*land/total)
+	}
+}
+
+func TestCityTimezoneDrivesDiurnal(t *testing.T) {
+	// Western China (Ürümqi-ish longitude ~87°E) has no gazetteer city, so
+	// it falls back to lon/15 ≈ UTC+6; Chengdu (104°E) carries UTC+8 from
+	// the gazetteer even though lon/15 would say UTC+7. The demand peaks
+	// must follow those offsets.
+	opt := testOpts()
+	opt.Slots = 96
+	opt.SlotSeconds = 900
+	model := DefaultDiurnal
+	opt.Diurnal = &model
+	d := StarlinkCustomers(opt)
+	m := d.Grid.NumCells()
+	peakSlot := func(cell int) int {
+		best, bestV := -1, -1.0
+		for s := 0; s < d.Slots; s++ {
+			if v := d.Y[s*m+cell]; v > bestV {
+				best, bestV = s, v
+			}
+		}
+		return best
+	}
+	chengdu := d.Grid.CellOf(geom.LatLon{Lat: 30.7, Lon: 104.1})
+	tokyo := d.Grid.CellOf(geom.LatLon{Lat: 35.7, Lon: 139.7})
+	if d.Y[chengdu] == 0 || d.Y[tokyo] == 0 {
+		t.Fatal("expected demand at both cities")
+	}
+	// Chengdu (UTC+8) and Tokyo (UTC+9) peak one hour apart: at 15-minute
+	// slots that is 4 slots (mod 96).
+	diff := (peakSlot(tokyo) - peakSlot(chengdu) + 96) % 96
+	if diff != 92 && diff != 4 {
+		// Tokyo is east, so its local evening comes *earlier* in UTC.
+		t.Errorf("Tokyo-Chengdu peak slot offset = %d, want 92 (i.e. -4)", diff)
+	}
+}
+
+func TestPeakSlotTotal(t *testing.T) {
+	d := New(geo.MustGrid(20), 3, 900, "t")
+	d.Set(0, 0, 1)
+	d.Set(1, 0, 5)
+	d.Set(1, 1, 2)
+	d.Set(2, 0, 3)
+	if got := d.PeakSlotTotal(); got != 7 {
+		t.Errorf("peak slot total = %v", got)
+	}
+}

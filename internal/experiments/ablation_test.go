@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationSolver(t *testing.T) {
+	tab, err := AblationSolver(Small, smallLib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderAll(t, tab)
+	if tab.NumRows() != 8 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+	// The greedy+prune default must be the best (smallest) satellite count
+	// in the sweep: parse the table back.
+	var sb strings.Builder
+	tab.RenderCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")[1:]
+	best, defaultCount := 1<<30, 0
+	for _, ln := range lines {
+		f := strings.Split(ln, ",")
+		sats, _ := strconv.Atoi(f[2])
+		if sats < best {
+			best = sats
+		}
+		if f[0] == "1" && f[1] == "on" {
+			defaultCount = sats
+		}
+	}
+	if defaultCount != best {
+		t.Errorf("default config (%d sats) is not the sweep's best (%d)", defaultCount, best)
+	}
+	_ = out
+}
+
+func TestAblationLibraryRichness(t *testing.T) {
+	s := Small
+	s.Slots = 6 // keep the 4-library sweep fast
+	tab, err := AblationLibraryRichness(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderAll(t, tab)
+	// Richer libraries must never do worse: compare first and last rows.
+	var sb strings.Builder
+	tab.RenderCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")[1:]
+	first := strings.Split(lines[0], ",")
+	last := strings.Split(lines[len(lines)-1], ",")
+	a, _ := strconv.Atoi(first[3])
+	b, _ := strconv.Atoi(last[3])
+	if b > a {
+		t.Errorf("richest library used more satellites (%d) than the poorest (%d)", b, a)
+	}
+}
+
+func TestAblationMPCLifetime(t *testing.T) {
+	tab, err := AblationMPCLifetime(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderAll(t, tab)
+	if tab.NumRows() != 2 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestDiscussionFederation(t *testing.T) {
+	tab, err := DiscussionFederation(Small, smallLib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderAll(t, tab)
+	if !strings.Contains(out, "sharing gain") {
+		t.Error("missing gain row")
+	}
+}
+
+func TestDiscussionRadioOverlap(t *testing.T) {
+	tab, err := DiscussionRadioOverlap(Small, smallOuts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderAll(t, tab)
+	if !strings.Contains(out, "TinyLEO") || !strings.Contains(out, "uniform") {
+		t.Error("missing rows")
+	}
+}
+
+func TestFigure1Maps(t *testing.T) {
+	out := Figure1Maps(smallOuts(t))
+	if !strings.Contains(out, "demand (peak slot)") || !strings.Contains(out, "TinyLEO supply") {
+		t.Fatal("map sections missing")
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 6*18 {
+		t.Errorf("maps suspiciously small: %d lines", lines)
+	}
+	t.Log("\n" + out[:min4(len(out), 2500)])
+}
+
+func min4(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/geom"
+	"repro/internal/mpc"
+	"repro/internal/orbit"
+	"repro/internal/routing"
+	"repro/internal/texture"
+)
+
+// RealizeConstellation turns a sparsifier result into concrete satellites:
+// x_j satellites on track j. Same-slot duplicates are phase-jittered by a
+// few degrees so no two satellites coincide (DESIGN.md modeling note).
+func RealizeConstellation(lib *texture.Library, res *core.Result) []orbit.Elements {
+	var sats []orbit.Elements
+	for j, x := range res.X {
+		for k := 0; k < x; k++ {
+			e := lib.Tracks[j].Elements
+			e.Phase = geom.NormalizeAngle(e.Phase + geom.Deg2Rad(3*float64(k)))
+			sats = append(sats, e)
+		}
+	}
+	return sats
+}
+
+// NetworkFromSnapshot builds an emulated data plane from an MPC snapshot:
+// satellites with their home cells, ISLs with physical propagation delays,
+// and the per-cell gateway rings.
+func NetworkFromSnapshot(snap *mpc.Snapshot, sats []orbit.Elements) *dataplane.Network {
+	n := dataplane.NewNetwork()
+	// A satellite's forwarding identity is the cell whose gateway duty it
+	// holds (satellites cover many cells, but hold at most one gateway
+	// assignment; non-gateway satellites have no ISLs and are omitted).
+	for key, gws := range snap.Gateways {
+		for _, s := range gws {
+			if n.Sats[s] == nil {
+				n.AddSatellite(s, key[0])
+			}
+		}
+	}
+	addLink := func(l mpc.Link) {
+		if n.Sats[l[0]] == nil || n.Sats[l[1]] == nil {
+			return
+		}
+		if n.Link(l[0], l[1]) != nil {
+			return
+		}
+		d := orbit.PropagationDelay(
+			sats[l[0]].PositionECI(snap.Time), sats[l[1]].PositionECI(snap.Time))
+		n.Connect(l[0], l[1], d)
+	}
+	for _, l := range snap.InterLinks {
+		addLink(l)
+	}
+	for _, l := range snap.RingLinks {
+		addLink(l)
+	}
+	// Install ring successor pointers per cell by walking the ring links.
+	cellsSeen := map[int]bool{}
+	for key := range snap.Gateways {
+		cellsSeen[key[0]] = true
+	}
+	for cell := range cellsSeen {
+		ring := ringOrder(n, snap, cell)
+		if len(ring) >= 2 {
+			n.SetRing(ring)
+		}
+	}
+	return n
+}
+
+// ringOrder reconstructs the cyclic order of a cell's ring from RingLinks,
+// using the network's gateway-cell assignment for membership.
+func ringOrder(n *dataplane.Network, snap *mpc.Snapshot, cell int) []int {
+	inCell := map[int]bool{}
+	for id, s := range n.Sats {
+		if s.Cell == cell {
+			inCell[id] = true
+		}
+	}
+	adj := map[int][]int{}
+	for _, l := range snap.RingLinks {
+		if inCell[l[0]] && inCell[l[1]] {
+			adj[l[0]] = append(adj[l[0]], l[1])
+			adj[l[1]] = append(adj[l[1]], l[0])
+		}
+	}
+	if len(adj) < 2 {
+		return nil
+	}
+	// Walk the cycle (or chain) starting from the smallest member.
+	start := -1
+	for s := range adj {
+		if start == -1 || s < start {
+			start = s
+		}
+	}
+	order := []int{start}
+	prev, cur := -1, start
+	for {
+		next := -1
+		for _, nb := range adj[cur] {
+			if nb != prev {
+				next = nb
+				break
+			}
+		}
+		if next == -1 || next == start {
+			break
+		}
+		order = append(order, next)
+		prev, cur = cur, next
+		if len(order) > len(adj) {
+			break // safety against malformed rings
+		}
+	}
+	return order
+}
+
+// StarlinkGridTopology builds the standard "+Grid" motif of Figure 19a for
+// a multi-shell Walker constellation: each satellite links its two
+// intra-plane neighbors and its nearest same-shell inter-plane neighbor.
+// Returns the satellites and their links.
+func StarlinkGridTopology(shells []baseline.Shell) ([]orbit.Elements, []mpc.Link) {
+	var sats []orbit.Elements
+	var links []mpc.Link
+	base := 0
+	for _, sh := range shells {
+		w := sh.Config
+		n := w.NumSatellites()
+		sats = append(sats, w.Satellites()...)
+		id := func(p, s int) int {
+			return base + ((p+w.Planes)%w.Planes)*w.SatsPerPlane + (s+w.SatsPerPlane)%w.SatsPerPlane
+		}
+		for p := 0; p < w.Planes; p++ {
+			for s := 0; s < w.SatsPerPlane; s++ {
+				// Two intra-plane neighbors (emit the forward one only).
+				links = append(links, mpc.MakeLink(id(p, s), id(p, s+1)))
+				// One inter-plane neighbor (next plane, same slot).
+				if w.Planes > 1 {
+					links = append(links, mpc.MakeLink(id(p, s), id(p+1, s)))
+				}
+			}
+		}
+		base += n
+	}
+	// Deduplicate (wrap-around can repeat links on tiny shells).
+	seen := map[mpc.Link]bool{}
+	var out []mpc.Link
+	for _, l := range links {
+		if l[0] != l[1] && !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return sats, out
+}
+
+// PathDelayOverLinks computes the propagation delay (s) of the shortest
+// path between two satellites over the given link set at time t; the bool
+// reports reachability.
+func PathDelayOverLinks(sats []orbit.Elements, links []mpc.Link, src, dst int, t float64) (float64, int, bool) {
+	pos := make([]geom.Vec3, len(sats))
+	for i, e := range sats {
+		pos[i] = e.PositionECI(t)
+	}
+	g := newGraph(len(sats))
+	for _, l := range links {
+		g.AddBiEdge(l[0], l[1], pos[l[0]].Dist(pos[l[1]]))
+	}
+	path, dist, ok := g.ShortestPath(src, dst)
+	if !ok {
+		return math.Inf(1), 0, false
+	}
+	return dist / geom.C, len(path) - 1, true
+}
+
+// newGraph aliases routing.NewGraph for brevity in this package.
+func newGraph(n int) *routing.Graph { return routing.NewGraph(n) }

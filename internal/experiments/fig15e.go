@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Figure15e characterizes the orbital-parameter diversity of TinyLEO's
+// chosen layout and scores each parameter's importance to the
+// supply-demand match. The paper trains a random forest [69]; this
+// reproduction uses a solver-agnostic equivalent — the Jensen-Shannon
+// divergence between each parameter's distribution among *chosen*
+// satellites and its uniform distribution across the candidate library. A
+// parameter the matching exploits (β for latitudes, α for longitudes) is
+// selected highly non-uniformly; a parameter that barely matters (T, per
+// the paper) stays near the library's distribution. Scores are normalized
+// to sum to 100%.
+func Figure15e(outs []*SparsifyOutcome) []*metrics.Table {
+	imp := metrics.NewTable("Figure 15e: orbital parameter importance (%)",
+		"scenario", "right ascension α", "inclination β", "period T")
+	dist := metrics.NewTable("Figure 15e (right): chosen-parameter distributions",
+		"scenario", "parameter", "bin", "share %")
+	for _, o := range outs {
+		alpha := parameterDivergence(o, func(j int) float64 { return o.Lib.Tracks[j].RAANDeg() }, 12)
+		beta := parameterDivergence(o, func(j int) float64 { return o.Lib.Tracks[j].InclinationDeg() }, 12)
+		period := parameterDivergence(o, func(j int) float64 { return o.Lib.Tracks[j].Elements.Period() / 60 }, 12)
+		sum := alpha + beta + period
+		if sum == 0 {
+			sum = 1
+		}
+		imp.AddRow(o.Scenario,
+			fmt.Sprintf("%.1f", 100*alpha/sum),
+			fmt.Sprintf("%.1f", 100*beta/sum),
+			fmt.Sprintf("%.1f", 100*period/sum))
+
+		for _, p := range []struct {
+			name string
+			f    func(j int) float64
+			bins int
+		}{
+			{"α (deg)", func(j int) float64 { return o.Lib.Tracks[j].RAANDeg() }, 8},
+			{"β (deg)", func(j int) float64 { return o.Lib.Tracks[j].InclinationDeg() }, 8},
+		} {
+			hist, edges := chosenHistogram(o, p.f, p.bins)
+			total := 0.0
+			for _, h := range hist {
+				total += h
+			}
+			if total == 0 {
+				continue
+			}
+			for b, h := range hist {
+				if h == 0 {
+					continue
+				}
+				dist.AddRow(o.Scenario, p.name,
+					fmt.Sprintf("[%.0f,%.0f)", edges[b], edges[b+1]),
+					fmt.Sprintf("%.1f", 100*h/total))
+			}
+		}
+	}
+	return []*metrics.Table{imp, dist}
+}
+
+// chosenHistogram bins the feature over chosen satellites, weighted by
+// satellite count.
+func chosenHistogram(o *SparsifyOutcome, f func(j int) float64, bins int) ([]float64, []float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for j := range o.Lib.Tracks {
+		v := f(j)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	edges := make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(bins)
+	}
+	hist := make([]float64, bins)
+	for j, x := range o.TinyLEO.X {
+		if x == 0 {
+			continue
+		}
+		b := int(float64(bins) * (f(j) - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		hist[b] += float64(x)
+	}
+	return hist, edges
+}
+
+// parameterDivergence computes the Jensen-Shannon divergence between the
+// feature's chosen-weighted distribution and its library distribution.
+func parameterDivergence(o *SparsifyOutcome, f func(j int) float64, bins int) float64 {
+	chosen, _ := chosenHistogram(o, f, bins)
+	libHist := make([]float64, bins)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for j := range o.Lib.Tracks {
+		v := f(j)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	for j := range o.Lib.Tracks {
+		b := int(float64(bins) * (f(j) - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		libHist[b]++
+	}
+	return jsDivergence(normalize(chosen), normalize(libHist))
+}
+
+func normalize(h []float64) []float64 {
+	s := 0.0
+	for _, v := range h {
+		s += v
+	}
+	if s == 0 {
+		return h
+	}
+	out := make([]float64, len(h))
+	for i, v := range h {
+		out[i] = v / s
+	}
+	return out
+}
+
+// jsDivergence is the Jensen-Shannon divergence (base 2, in [0,1]).
+func jsDivergence(p, q []float64) float64 {
+	kl := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			if a[i] > 0 && b[i] > 0 {
+				s += a[i] * math.Log2(a[i]/b[i])
+			}
+		}
+		return s
+	}
+	m := make([]float64, len(p))
+	for i := range m {
+		m[i] = (p[i] + q[i]) / 2
+	}
+	return 0.5*kl(p, m) + 0.5*kl(q, m)
+}

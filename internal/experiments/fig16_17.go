@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/intent"
+	"repro/internal/metrics"
+	"repro/internal/mpc"
+	"repro/internal/orbit"
+	"repro/internal/tssdn"
+)
+
+// controlConstellation builds the shared satellite set for the
+// control/data-plane experiments. At small scales a slimmed multi-shell
+// layout cannot guarantee any cell a minimum satellite count, so the
+// testbed uses a dense single-shell Walker at 1,200 km whose wide
+// footprints make the §4.2 geographic invariant hold with few satellites;
+// at Paper scale this converges to a mega-constellation-sized network.
+func controlConstellation(scale Scale) []orbit.Elements {
+	side := int(math.Sqrt(float64(scale.ControlSats)))
+	if side < 2 {
+		side = 2
+	}
+	return baseline.WalkerConfig{
+		InclinationDeg: 53, AltitudeKm: 1200,
+		Planes: side, SatsPerPlane: side, PhasingF: 1,
+	}.Satellites()
+}
+
+// controlIntent derives an enforceable mesh intent from what the
+// constellation actually guarantees over the horizon (§4.2's geographic
+// invariant). The mesh is grown from the best-guaranteed cell and capped
+// so its gateway demand (2 satellites per intent edge) stays within the
+// constellation's budget of one gateway terminal per satellite.
+func controlIntent(scale Scale, sats []orbit.Elements) (*intent.Topology, error) {
+	g := scale.Grid()
+	supply := baseline.Supply(baseline.SupplyConfig{
+		Grid: g, Slots: scale.ControlSlots,
+		SlotSeconds: scale.ControlDt, SubSamples: 1,
+		Coverage: controlCoverage(), Parallelism: scale.Parallelism,
+		// The §4.2 invariant counts visible satellites per cell.
+		CountSatellites: true,
+	}, sats)
+	guaranteed := intent.GuaranteedFromSupply(g, scale.ControlSlots, supply)
+	qualified := map[int]int{}
+	seed, bestG := -1, 0
+	for u := 0; u < g.NumCells(); u++ { // deterministic scan order
+		n := guaranteed[u]
+		if n >= 3 {
+			qualified[u] = n
+			if n > bestG {
+				seed, bestG = u, n
+			}
+		}
+	}
+	if seed < 0 {
+		return nil, fmt.Errorf("experiments: no cells qualify for the control intent")
+	}
+	// Grow a connected region: a K-cell mesh has ≈2K edges needing ≈4K
+	// gateway satellites; keep 4K well under the satellite count.
+	maxCells := maxI(6, len(sats)/32)
+	region := map[int]int{seed: qualified[seed]}
+	frontier := []int{seed}
+	for len(frontier) > 0 && len(region) < maxCells {
+		u := frontier[0]
+		frontier = frontier[1:]
+		for _, v := range g.Neighbors4(u) {
+			if _, ok := region[v]; ok {
+				continue
+			}
+			if n, ok := qualified[v]; ok {
+				region[v] = n
+				frontier = append(frontier, v)
+				if len(region) >= maxCells {
+					break
+				}
+			}
+		}
+	}
+	topo := intent.MeshIntent(g, region, 1, 1)
+	if len(topo.Cells()) < 2 || len(topo.Edges) == 0 {
+		return nil, fmt.Errorf("experiments: control intent region degenerate (%d cells)", len(topo.Cells()))
+	}
+	return topo, nil
+}
+
+// controlCoverage widens the footprint for small-scale control runs so the
+// slimmed constellation still guarantees cells.
+func controlCoverage() orbit.CoverageParams {
+	return orbit.CoverageParams{MinElevation: orbit.DefaultCoverageParams.MinElevation / 2}
+}
+
+// Figure16 demonstrates dynamic enforcement of a fixed geographic intent:
+// the intent never changes while the compiled satellite topology evolves.
+func Figure16(scale Scale) ([]*metrics.Table, []*mpc.Snapshot, error) {
+	sats := controlConstellation(scale)
+	topo, err := controlIntent(scale, sats)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctl, err := mpc.New(mpc.Config{
+		Topo: topo, Sats: sats, Coverage: controlCoverage(),
+		LifetimeHorizon: 2 * scale.ControlDt, LifetimeStep: scale.ControlDt / 5,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := metrics.NewTable("Figure 16: dynamic enforcement of a fixed geographic intent",
+		"minute", "inter-cell ISLs", "ring ISLs", "enforcement", "ISL changes vs prev")
+	var snaps []*mpc.Snapshot
+	var prev *mpc.Snapshot
+	for s := 0; s < scale.ControlSlots; s++ {
+		t := float64(s) * scale.ControlDt
+		snap := ctl.Compile(t)
+		added, removed := mpc.DiffLinks(prev, snap)
+		tab.AddRow(int(t/60), len(snap.InterLinks), len(snap.RingLinks),
+			fmt.Sprintf("%.3f", ctl.EnforcementRatio(snap)), len(added)+len(removed))
+		snaps = append(snaps, snap)
+		prev = snap
+	}
+	meta := metrics.NewTable("Figure 16 (context)", "metric", "value")
+	meta.AddRow("intent cells (fixed over the run)", len(topo.Cells()))
+	meta.AddRow("intent edges (fixed over the run)", len(topo.Edges))
+	meta.AddRow("satellites", len(sats))
+	return []*metrics.Table{meta, tab}, snaps, nil
+}
+
+// Figure17 compares control-plane signaling: TinyLEO's MPC (topology-only
+// commands, zero route updates thanks to geo segment anycast) versus
+// TS-SDN with and without route aggregation on the same constellation.
+func Figure17(scale Scale) ([]*metrics.Table, error) {
+	sats := controlConstellation(scale)
+	topo, err := controlIntent(scale, sats)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := mpc.New(mpc.Config{
+		Topo: topo, Sats: sats, Coverage: controlCoverage(),
+		LifetimeHorizon: 2 * scale.ControlDt, LifetimeStep: scale.ControlDt / 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	plain, err := tssdn.New(tssdn.Config{Sats: sats})
+	if err != nil {
+		return nil, err
+	}
+	ra, err := tssdn.New(tssdn.Config{Sats: sats, RouteAggregation: true})
+	if err != nil {
+		return nil, err
+	}
+
+	perSlot := metrics.NewTable("Figure 17a-b: per-slot control-plane costs",
+		"minute", "TS-SDN route updates", "TS-SDN+RA route updates", "TinyLEO route updates",
+		"TS-SDN msgs", "TS-SDN+RA msgs", "TinyLEO msgs")
+	var totPlain, totRA, totTiny int64
+	var prev *mpc.Snapshot
+	for s := 0; s < scale.ControlSlots; s++ {
+		t := float64(s) * scale.ControlDt
+		ps := plain.Step(t)
+		rs := ra.Step(t)
+		snap := ctl.Compile(t)
+		added, removed := mpc.DiffLinks(prev, snap)
+		tinyMsgs := int64(2 * (len(added) + len(removed)))
+		prev = snap
+		perSlot.AddRow(int(t/60), ps.RouteUpdates, rs.RouteUpdates, 0,
+			ps.Messages, rs.Messages, tinyMsgs)
+		totPlain += ps.Messages
+		totRA += rs.Messages
+		totTiny += tinyMsgs
+	}
+	summary := metrics.NewTable("Figure 17c: total signaling messages",
+		"controller", "messages", "vs TinyLEO")
+	rel := func(v int64) string {
+		if totTiny == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fx", float64(v)/float64(totTiny))
+	}
+	summary.AddRow("TS-SDN", totPlain, rel(totPlain))
+	summary.AddRow("TS-SDN + RA", totRA, rel(totRA))
+	summary.AddRow("TinyLEO", totTiny, "1x")
+	return []*metrics.Table{perSlot, summary}, nil
+}
+
+// Figure17d measures repair time for randomly injected link failures:
+// report RTT + MPC compute + instruction RTT (paper: 83.8 ms average,
+// 83.5 ms of it RTT).
+func Figure17d(scale Scale, failures int) (*metrics.Table, error) {
+	sats := controlConstellation(scale)
+	topo, err := controlIntent(scale, sats)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := mpc.New(mpc.Config{
+		Topo: topo, Sats: sats, Coverage: controlCoverage(),
+		LifetimeHorizon: 2 * scale.ControlDt, LifetimeStep: scale.ControlDt / 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap := ctl.Compile(0)
+	if len(snap.InterLinks) == 0 {
+		return nil, fmt.Errorf("experiments: no links to fail")
+	}
+	rng := rand.New(rand.NewSource(7))
+	var report, compute, instruct, total []float64
+	cur := snap
+	for i := 0; i < failures; i++ {
+		if len(cur.InterLinks) == 0 {
+			break
+		}
+		victim := cur.InterLinks[rng.Intn(len(cur.InterLinks))]
+		// RTT model: satellite→ground controller round trip, 60–110 ms
+		// uniformly (slant range + terrestrial backhaul), matching the
+		// paper's measured 83.5 ms mean.
+		rtt := time.Duration(60+rng.Float64()*50) * time.Millisecond
+		next, stats := ctl.Repair(cur, []mpc.Link{victim}, nil, rtt)
+		report = append(report, stats.ReportRTT.Seconds()*1e3)
+		compute = append(compute, stats.ComputeTime.Seconds()*1e3)
+		instruct = append(instruct, stats.InstructRTT.Seconds()*1e3)
+		total = append(total, stats.Total().Seconds()*1e3)
+		cur = next
+	}
+	tab := metrics.NewTable("Figure 17d: broken topology repair time (ms)",
+		"component", "mean", "p50", "p99", "paper")
+	row := func(name string, xs []float64, paper string) {
+		s := metrics.Summarize(xs)
+		tab.AddRow(name, fmt.Sprintf("%.2f", s.Mean), fmt.Sprintf("%.2f", s.P50),
+			fmt.Sprintf("%.2f", s.P99), paper)
+	}
+	row("failure notification to MPC", report, "~41.75 (half RTT)")
+	row("MPC compute time", compute, "~0.3")
+	row("MPC instruction to satellites", instruct, "~41.75 (half RTT)")
+	row("total", total, "83.8 avg")
+	return tab, nil
+}

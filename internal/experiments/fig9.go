@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/mpc"
+	"repro/internal/orbit"
+	"repro/internal/routing"
+	"repro/internal/tssdn"
+)
+
+// Figure9 reproduces Figure 9: the non-uniform (TinyLEO) network's
+// physical dynamics versus a uniform Walker network of the same size —
+// establishable ISLs (9a) and shortest-path churn among satellites (9b)
+// over time.
+func Figure9(scale Scale, tinySats, uniformSats []orbit.Elements) []*metrics.Table {
+	isls := metrics.NewTable("Figure 9a: establishable ISLs over time",
+		"minute", "non-uniform", "uniform")
+	churn := metrics.NewTable("Figure 9b: shortest-path changes among satellites",
+		"minute", "non-uniform changed", "uniform changed", "pairs sampled")
+
+	// Sample O-D satellite pairs for path-churn accounting.
+	rng := rand.New(rand.NewSource(42))
+	pairs := samplePairs(rng, min2(len(tinySats), len(uniformSats)), 40)
+
+	var prevTiny, prevUni *graphPair
+	for s := 0; s < scale.ControlSlots; s++ {
+		t := float64(s) * scale.ControlDt
+		tiny := buildVisibilityGraph(tinySats, t)
+		uni := buildVisibilityGraph(uniformSats, t)
+		isls.AddRow(int(t/60), tiny.links, uni.links)
+		if prevTiny != nil {
+			tc := pathChange(prevTiny, tiny, pairs)
+			uc := pathChange(prevUni, uni, pairs)
+			churn.AddRow(int(t/60), tc, uc, len(pairs))
+		}
+		prevTiny, prevUni = tiny, uni
+	}
+	return []*metrics.Table{isls, churn}
+}
+
+type graphPair struct {
+	g     *graphT
+	links int
+}
+
+type graphAlias = routing.Graph
+type graphT = graphAlias
+
+// buildVisibilityGraph counts and records all establishable ISLs
+// (visibility + range) at time t.
+func buildVisibilityGraph(sats []orbit.Elements, t float64) *graphPair {
+	pos := make([]geom.Vec3, len(sats))
+	for i, e := range sats {
+		pos[i] = e.PositionECI(t)
+	}
+	g := newGraph(len(sats))
+	links := 0
+	p := orbit.DefaultISLParams
+	for i := range sats {
+		for j := i + 1; j < len(sats); j++ {
+			if p.Visible(pos[i], pos[j]) {
+				g.AddBiEdge(i, j, pos[i].Dist(pos[j]))
+				links++
+			}
+		}
+	}
+	return &graphPair{g: g, links: links}
+}
+
+func pathChange(prev, cur *graphPair, pairs [][2]int) int {
+	changed := 0
+	for _, pr := range pairs {
+		p1, _, ok1 := prev.g.ShortestPath(pr[0], pr[1])
+		p2, _, ok2 := cur.g.ShortestPath(pr[0], pr[1])
+		if ok1 != ok2 {
+			changed++
+			continue
+		}
+		if !ok1 {
+			continue
+		}
+		if len(p1) != len(p2) {
+			changed++
+			continue
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				changed++
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func samplePairs(rng *rand.Rand, n, k int) [][2]int {
+	var pairs [][2]int
+	for len(pairs) < k && n >= 2 {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return pairs
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ISLChurnSummary compares per-slot ISL-set stability between a
+// non-uniform MPC-compiled topology and a uniform-network topology
+// (supporting data for Figure 9/17 discussion).
+func ISLChurnSummary(snapshots []*mpc.Snapshot) (added, removed int) {
+	for i := 1; i < len(snapshots); i++ {
+		a, r := mpc.DiffLinks(snapshots[i-1], snapshots[i])
+		added += len(a)
+		removed += len(r)
+	}
+	return
+}
+
+// tssdnTopologySize returns the ISL count the TS-SDN baseline would build
+// (used by tests to cross-check the visibility graph).
+func tssdnTopologySize(sats []orbit.Elements, t float64) int {
+	c, err := tssdn.New(tssdn.Config{Sats: sats})
+	if err != nil {
+		return 0
+	}
+	return len(c.Topology(t))
+}

@@ -1,0 +1,188 @@
+// Package geo partitions the Earth's surface into the geographic cells that
+// TinyLEO uses everywhere: demand cells for the sparsifier (§4.1), intent
+// nodes for the control plane (§4.2), and anycast segments for the data
+// plane (§4.3). It also provides a coarse land mask built from embedded
+// continent polygons.
+//
+// The default 4°×4° grid yields 45×90 = 4,050 cells, the paper's m.
+package geo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Grid is an equirectangular lat/lon cell grid. Cell IDs are dense ints in
+// [0, NumCells()), row-major from the south pole westmost cell.
+type Grid struct {
+	cellDeg    float64
+	nLat, nLon int
+}
+
+// DefaultCellSizeDeg reproduces the paper's 4,050-cell partition.
+const DefaultCellSizeDeg = 4.0
+
+// NewGrid creates a grid with square cells of cellDeg degrees. cellDeg must
+// divide 180 evenly.
+func NewGrid(cellDeg float64) (*Grid, error) {
+	if cellDeg <= 0 {
+		return nil, fmt.Errorf("geo: non-positive cell size %v", cellDeg)
+	}
+	nLat := 180 / cellDeg
+	if nLat != math.Trunc(nLat) {
+		return nil, fmt.Errorf("geo: cell size %v° does not divide 180°", cellDeg)
+	}
+	return &Grid{cellDeg: cellDeg, nLat: int(nLat), nLon: int(2 * nLat)}, nil
+}
+
+// MustGrid is NewGrid that panics on error; for tests and fixed configs.
+func MustGrid(cellDeg float64) *Grid {
+	g, err := NewGrid(cellDeg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// DefaultGrid returns the paper's 4° grid (4,050 cells).
+func DefaultGrid() *Grid { return MustGrid(DefaultCellSizeDeg) }
+
+// CellSizeDeg returns the cell edge length in degrees.
+func (g *Grid) CellSizeDeg() float64 { return g.cellDeg }
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return g.nLat * g.nLon }
+
+// LatRows and LonCols return the grid dimensions.
+func (g *Grid) LatRows() int { return g.nLat }
+
+// LonCols returns the number of longitude columns.
+func (g *Grid) LonCols() int { return g.nLon }
+
+// CellOf returns the ID of the cell containing p.
+func (g *Grid) CellOf(p geom.LatLon) int {
+	row := int((p.Lat + 90) / g.cellDeg)
+	if row >= g.nLat {
+		row = g.nLat - 1 // lat == +90
+	}
+	if row < 0 {
+		row = 0
+	}
+	col := int((geom.NormalizeLon(p.Lon) + 180) / g.cellDeg)
+	if col >= g.nLon {
+		col = g.nLon - 1
+	}
+	return row*g.nLon + col
+}
+
+// RowCol returns the (row, col) of cell id.
+func (g *Grid) RowCol(id int) (row, col int) { return id / g.nLon, id % g.nLon }
+
+// CellID returns the ID at (row, col), wrapping col around the antimeridian.
+func (g *Grid) CellID(row, col int) int {
+	col = ((col % g.nLon) + g.nLon) % g.nLon
+	return row*g.nLon + col
+}
+
+// Center returns the center point of cell id.
+func (g *Grid) Center(id int) geom.LatLon {
+	row, col := g.RowCol(id)
+	return geom.LatLon{
+		Lat: -90 + (float64(row)+0.5)*g.cellDeg,
+		Lon: geom.NormalizeLon(-180 + (float64(col)+0.5)*g.cellDeg),
+	}
+}
+
+// Bounds returns the cell's (minLat, minLon, maxLat, maxLon) in degrees.
+func (g *Grid) Bounds(id int) (minLat, minLon, maxLat, maxLon float64) {
+	row, col := g.RowCol(id)
+	minLat = -90 + float64(row)*g.cellDeg
+	minLon = -180 + float64(col)*g.cellDeg
+	return minLat, minLon, minLat + g.cellDeg, minLon + g.cellDeg
+}
+
+// AreaFraction returns the fraction of the sphere's area covered by cell
+// id: cells shrink toward the poles by the cosine of latitude.
+func (g *Grid) AreaFraction(id int) float64 {
+	minLat, _, maxLat, _ := g.Bounds(id)
+	band := math.Sin(geom.Deg2Rad(maxLat)) - math.Sin(geom.Deg2Rad(minLat))
+	return band / 2 / float64(g.nLon)
+}
+
+// Neighbors4 returns the IDs of the 4-neighborhood of cell id: east and
+// west neighbors wrap around the antimeridian; north/south neighbors are
+// omitted at the polar rows.
+func (g *Grid) Neighbors4(id int) []int {
+	row, col := g.RowCol(id)
+	out := make([]int, 0, 4)
+	out = append(out, g.CellID(row, col-1), g.CellID(row, col+1))
+	if row > 0 {
+		out = append(out, g.CellID(row-1, col))
+	}
+	if row < g.nLat-1 {
+		out = append(out, g.CellID(row+1, col))
+	}
+	return out
+}
+
+// CellsWithin returns the IDs of every cell whose center lies within the
+// great-circle angular radius (radians) of p. This is the footprint rasterizer
+// used to build coverage matrices, so it avoids scanning the whole grid:
+// only latitude rows within the radius are visited, and within each row
+// only the longitude span that can possibly be in range.
+func (g *Grid) CellsWithin(p geom.LatLon, radius float64) []int {
+	radDeg := geom.Rad2Deg(radius)
+	out := []int{}
+	rowLo := int((p.Lat - radDeg + 90) / g.cellDeg)
+	rowHi := int((p.Lat + radDeg + 90) / g.cellDeg)
+	if rowLo < 0 {
+		rowLo = 0
+	}
+	if rowHi >= g.nLat {
+		rowHi = g.nLat - 1
+	}
+	pu := p.ToUnit()
+	cosR := math.Cos(radius)
+	for row := rowLo; row <= rowHi; row++ {
+		lat := -90 + (float64(row)+0.5)*g.cellDeg
+		// Longitude half-span at this latitude band (degrees). The
+		// sin(radius)/cos(lat) bound only holds for radius ≤ π/2; larger
+		// radii (hemisphere-plus) scan the full circle. Guard the cos for
+		// near-polar rows where every longitude is in range.
+		cosLat := math.Cos(geom.Deg2Rad(lat))
+		spanDeg := 180.0
+		if radius < math.Pi/2 && cosLat > 1e-6 {
+			s := math.Sin(radius) / cosLat
+			if s < 1 {
+				// A slightly inflated span to be safe; exact check below.
+				spanDeg = geom.Rad2Deg(math.Asin(s)) + g.cellDeg
+			}
+		}
+		colC := int((geom.NormalizeLon(p.Lon) + 180) / g.cellDeg)
+		halfCols := int(spanDeg/g.cellDeg) + 1
+		if halfCols*2 >= g.nLon {
+			for col := 0; col < g.nLon; col++ {
+				id := g.CellID(row, col)
+				if g.Center(id).ToUnit().Dot(pu) >= cosR {
+					out = append(out, id)
+				}
+			}
+			continue
+		}
+		for dc := -halfCols; dc <= halfCols; dc++ {
+			id := g.CellID(row, colC+dc)
+			if g.Center(id).ToUnit().Dot(pu) >= cosR {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// CenterDistance returns the great-circle distance (m) between the centers
+// of cells a and b.
+func (g *Grid) CenterDistance(a, b int) float64 {
+	return geom.GreatCircleDist(g.Center(a), g.Center(b))
+}

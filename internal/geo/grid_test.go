@@ -1,0 +1,183 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDefaultGridMatchesPaper(t *testing.T) {
+	g := DefaultGrid()
+	if g.NumCells() != 4050 {
+		t.Errorf("default grid has %d cells, paper uses 4,050", g.NumCells())
+	}
+	if g.LatRows() != 45 || g.LonCols() != 90 {
+		t.Errorf("dims %dx%d", g.LatRows(), g.LonCols())
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0); err == nil {
+		t.Error("0 size should fail")
+	}
+	if _, err := NewGrid(-4); err == nil {
+		t.Error("negative size should fail")
+	}
+	if _, err := NewGrid(7); err == nil {
+		t.Error("7° does not divide 180°")
+	}
+	if _, err := NewGrid(10); err != nil {
+		t.Errorf("10° should work: %v", err)
+	}
+}
+
+func TestCellOfCenterRoundTrip(t *testing.T) {
+	g := DefaultGrid()
+	for id := 0; id < g.NumCells(); id += 7 {
+		c := g.Center(id)
+		if got := g.CellOf(c); got != id {
+			t.Fatalf("CellOf(Center(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestCellOfEdgeCases(t *testing.T) {
+	g := DefaultGrid()
+	// Poles and antimeridian must map to valid cells.
+	for _, p := range []geom.LatLon{
+		{Lat: 90, Lon: 0}, {Lat: -90, Lon: 0}, {Lat: 0, Lon: -180},
+		{Lat: 0, Lon: 180}, {Lat: 89.999, Lon: 179.999},
+	} {
+		id := g.CellOf(p)
+		if id < 0 || id >= g.NumCells() {
+			t.Errorf("CellOf(%v) = %d out of range", p, id)
+		}
+	}
+	// North pole lands in the top row.
+	row, _ := g.RowCol(g.CellOf(geom.LatLon{Lat: 90, Lon: 0}))
+	if row != g.LatRows()-1 {
+		t.Errorf("north pole row = %d", row)
+	}
+}
+
+func TestBoundsContainCenter(t *testing.T) {
+	g := MustGrid(10)
+	for id := 0; id < g.NumCells(); id++ {
+		minLat, minLon, maxLat, maxLon := g.Bounds(id)
+		c := g.Center(id)
+		if c.Lat <= minLat || c.Lat >= maxLat {
+			t.Fatalf("cell %d center lat %v outside [%v,%v]", id, c.Lat, minLat, maxLat)
+		}
+		cl := geom.NormalizeLon(c.Lon)
+		if mid := geom.NormalizeLon((minLon + maxLon) / 2); math.Abs(cl-mid) > 1e-9 {
+			t.Fatalf("cell %d center lon %v vs bounds mid %v", id, cl, mid)
+		}
+	}
+}
+
+func TestAreaFractionsSumToOne(t *testing.T) {
+	for _, deg := range []float64{4.0, 10.0, 20.0} {
+		g := MustGrid(deg)
+		sum := 0.0
+		for id := 0; id < g.NumCells(); id++ {
+			sum += g.AreaFraction(id)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("grid %v°: area fractions sum to %v", deg, sum)
+		}
+	}
+}
+
+func TestAreaShrinksTowardPoles(t *testing.T) {
+	g := DefaultGrid()
+	equator := g.CellOf(geom.LatLon{Lat: 2, Lon: 0})
+	polar := g.CellOf(geom.LatLon{Lat: 86, Lon: 0})
+	if g.AreaFraction(polar) >= g.AreaFraction(equator) {
+		t.Error("polar cell should be smaller than equatorial cell")
+	}
+}
+
+func TestNeighbors4(t *testing.T) {
+	g := DefaultGrid()
+	mid := g.CellOf(geom.LatLon{Lat: 10, Lon: 10})
+	nb := g.Neighbors4(mid)
+	if len(nb) != 4 {
+		t.Fatalf("interior cell has %d neighbors", len(nb))
+	}
+	for _, n := range nb {
+		if g.CenterDistance(mid, n) > 700e3 {
+			t.Errorf("neighbor %d too far: %v km", n, g.CenterDistance(mid, n)/1e3)
+		}
+	}
+	// Polar rows lose one neighbor.
+	top := g.CellID(g.LatRows()-1, 0)
+	if len(g.Neighbors4(top)) != 3 {
+		t.Errorf("top-row cell has %d neighbors", len(g.Neighbors4(top)))
+	}
+	// Antimeridian wrap: the west neighbor of col 0 is col max.
+	west := g.Neighbors4(g.CellID(20, 0))[0]
+	if _, col := g.RowCol(west); col != g.LonCols()-1 {
+		t.Errorf("wrap neighbor col = %d", col)
+	}
+}
+
+func TestCellsWithinMatchesBruteForce(t *testing.T) {
+	g := MustGrid(4)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		p := geom.LatLon{Lat: rng.Float64()*170 - 85, Lon: rng.Float64()*360 - 180}
+		radius := geom.Deg2Rad(2 + rng.Float64()*15)
+		got := map[int]bool{}
+		for _, id := range g.CellsWithin(p, radius) {
+			if got[id] {
+				t.Fatalf("duplicate cell %d", id)
+			}
+			got[id] = true
+		}
+		for id := 0; id < g.NumCells(); id++ {
+			want := geom.CentralAngle(p, g.Center(id)) <= radius
+			if got[id] != want {
+				t.Fatalf("trial %d cell %d: got %v want %v (p=%v r=%v°)",
+					trial, id, got[id], want, p, geom.Rad2Deg(radius))
+			}
+		}
+	}
+}
+
+func TestCellsWithinPolar(t *testing.T) {
+	g := MustGrid(4)
+	// A footprint over the pole must include cells at every longitude.
+	ids := g.CellsWithin(geom.LatLon{Lat: 89, Lon: 0}, geom.Deg2Rad(8))
+	cols := map[int]bool{}
+	for _, id := range ids {
+		_, c := g.RowCol(id)
+		cols[c] = true
+	}
+	if len(cols) != g.LonCols() {
+		t.Errorf("polar footprint covers %d/%d columns", len(cols), g.LonCols())
+	}
+}
+
+func TestCellsWithinZeroRadius(t *testing.T) {
+	g := MustGrid(10)
+	p := g.Center(100)
+	ids := g.CellsWithin(p, 0)
+	if len(ids) != 1 || ids[0] != 100 {
+		t.Errorf("zero radius at a center = %v", ids)
+	}
+	// Zero radius off-center hits nothing.
+	off := geom.LatLon{Lat: p.Lat + 1, Lon: p.Lon + 1}
+	if ids := g.CellsWithin(off, 0); len(ids) != 0 {
+		t.Errorf("zero radius off-center = %v", ids)
+	}
+}
+
+func TestCellsWithinGlobalRadius(t *testing.T) {
+	g := MustGrid(20)
+	ids := g.CellsWithin(geom.LatLon{Lat: 0, Lon: 0}, math.Pi)
+	if len(ids) != g.NumCells() {
+		t.Errorf("π radius covered %d of %d cells", len(ids), g.NumCells())
+	}
+}

@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// Continent outlines, deliberately coarse (±2–4° of coastline error). They
+// exist to reproduce the paper's macro facts — oceans cover ~70.8% of the
+// Earth and demand concentrates on a small land fraction — not to be a GIS
+// dataset. Vertices are {lat, lon} pairs; polygons that cross the
+// antimeridian use longitudes beyond ±180.
+var continentData = map[string][][2]float64{
+	"north-america": {
+		{66, -168}, {71, -156}, {72, -128}, {73, -95}, {66, -62}, {52, -56},
+		{45, -65}, {43, -70}, {35, -76}, {30, -81}, {25, -80}, {29, -85},
+		{29, -95}, {26, -97}, {18, -95}, {15, -93}, {8, -81}, {8, -84},
+		{16, -99}, {20, -106}, {24, -111}, {29, -116}, {34, -120}, {40, -124},
+		{48, -125}, {55, -132}, {60, -140}, {59, -152}, {55, -162}, {60, -166},
+	},
+	"south-america": {
+		{11, -75}, {10, -61}, {5, -52}, {-1, -50}, {-8, -35}, {-18, -39},
+		{-25, -48}, {-35, -54}, {-40, -62}, {-50, -68}, {-54, -71}, {-50, -74},
+		{-40, -73}, {-30, -71}, {-18, -70}, {-5, -81}, {2, -78}, {8, -77},
+	},
+	"africa": {
+		{35, -6}, {37, 10}, {33, 12}, {31, 20}, {31, 32}, {27, 34},
+		{15, 39}, {12, 43}, {11, 51}, {0, 42}, {-15, 40}, {-26, 33},
+		{-34, 20}, {-34, 18}, {-23, 14}, {-8, 13}, {4, 9}, {6, -4},
+		{4, -8}, {14, -17}, {21, -17}, {28, -12},
+	},
+	"eurasia": {
+		{36, -6}, {38, 0}, {43, 4}, {41, 16}, {36, 22}, {36, 28},
+		{36, 36}, {31, 34}, {30, 33}, {27, 35}, {13, 43}, {13, 45},
+		{17, 55}, {24, 58}, {25, 61}, {24, 67}, {20, 73}, {8, 77},
+		{10, 80}, {16, 82}, {22, 89}, {16, 94}, {14, 98}, {1, 103},
+		{3, 101}, {13, 100}, {10, 107}, {20, 106}, {22, 114}, {28, 121},
+		{37, 122}, {40, 118}, {39, 124}, {35, 126}, {38, 128}, {43, 132},
+		{53, 141}, {60, 156}, {62, 164}, {65, 179}, {68, 178}, {70, 160},
+		{73, 140}, {77, 105}, {73, 80}, {68, 70}, {68, 45}, {70, 30},
+		{70, 22}, {62, 5}, {58, 8}, {54, 8}, {53, 5}, {51, 3},
+		{49, 0}, {49, -2}, {48, -5}, {44, -2}, {43, -9},
+	},
+	"australia": {
+		{-11, 132}, {-12, 136}, {-17, 140}, {-11, 142}, {-19, 147},
+		{-28, 153}, {-38, 150}, {-39, 146}, {-38, 140}, {-32, 134},
+		{-35, 118}, {-31, 115}, {-22, 114}, {-18, 122}, {-14, 126},
+	},
+	"greenland": {
+		{83, -33}, {81, -12}, {70, -22}, {60, -43}, {65, -53}, {76, -68}, {80, -60},
+	},
+	"antarctica": {
+		{-65, -180}, {-65, 180}, {-90, 180}, {-90, -180},
+	},
+	// Major islands as coarse quads; small errors are immaterial at 4° cells.
+	"britain-ireland": {{50, -10}, {50, 2}, {59, 2}, {59, -10}},
+	"iceland":         {{63, -24}, {63, -13}, {66, -13}, {66, -24}},
+	"japan":           {{31, 129}, {34, 137}, {42, 146}, {45, 142}, {40, 137}, {34, 129}},
+	"sumatra":         {{6, 95}, {-6, 106}, {-4, 100}, {3, 94}},
+	"java":            {{-9, 105}, {-9, 115}, {-6, 115}, {-6, 105}},
+	"borneo":          {{-4, 109}, {-4, 119}, {7, 119}, {7, 109}},
+	"sulawesi":        {{-6, 119}, {-6, 125}, {2, 125}, {2, 119}},
+	"new-guinea":      {{-10, 131}, {-10, 151}, {0, 151}, {0, 131}},
+	"philippines":     {{5, 117}, {5, 127}, {19, 127}, {19, 117}},
+	"madagascar":      {{-26, 43}, {-26, 51}, {-12, 51}, {-12, 43}},
+	"new-zealand":     {{-47, 166}, {-47, 179}, {-34, 179}, {-34, 166}},
+	"cuba-hispaniola": {{17, -85}, {17, -68}, {23, -68}, {23, -85}},
+	"sri-lanka":       {{6, 79}, {6, 82}, {10, 82}, {10, 79}},
+}
+
+// continents holds the outlines converted to geom.Polygon form.
+var continents = func() map[string]geom.Polygon {
+	out := make(map[string]geom.Polygon, len(continentData))
+	for name, pts := range continentData {
+		poly := make(geom.Polygon, len(pts))
+		for i, p := range pts {
+			poly[i] = geom.LatLon{Lat: p[0], Lon: p[1]}
+		}
+		out[name] = poly
+	}
+	return out
+}()
+
+// IsLand reports whether p falls inside any continent or island outline.
+func IsLand(p geom.LatLon) bool {
+	for _, poly := range continents {
+		if poly.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContinentOf returns the name of the outline containing p, or "" for ocean.
+func ContinentOf(p geom.LatLon) string {
+	for name, poly := range continents {
+		if poly.Contains(p) {
+			return name
+		}
+	}
+	return ""
+}
+
+// LandMask caches the per-cell land fraction for a grid.
+type LandMask struct {
+	grid *Grid
+	frac []float64
+}
+
+var (
+	maskMu    sync.Mutex
+	maskCache = map[float64]*LandMask{}
+)
+
+// NewLandMask builds (or returns a cached) land mask for g by sampling a
+// 3×3 lattice of points inside each cell.
+func NewLandMask(g *Grid) *LandMask {
+	maskMu.Lock()
+	defer maskMu.Unlock()
+	if m, ok := maskCache[g.cellDeg]; ok {
+		return m
+	}
+	m := &LandMask{grid: g, frac: make([]float64, g.NumCells())}
+	const k = 3
+	for id := 0; id < g.NumCells(); id++ {
+		minLat, minLon, maxLat, maxLon := g.Bounds(id)
+		hits := 0
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				p := geom.LatLon{
+					Lat: minLat + (maxLat-minLat)*(float64(a)+0.5)/k,
+					Lon: geom.NormalizeLon(minLon + (maxLon-minLon)*(float64(b)+0.5)/k),
+				}
+				if IsLand(p) {
+					hits++
+				}
+			}
+		}
+		m.frac[id] = float64(hits) / (k * k)
+	}
+	maskCache[g.cellDeg] = m
+	return m
+}
+
+// LandFraction returns the sampled land fraction of cell id in [0,1].
+func (m *LandMask) LandFraction(id int) float64 { return m.frac[id] }
+
+// IsLandCell reports whether the majority of cell id is land.
+func (m *LandMask) IsLandCell(id int) bool { return m.frac[id] > 0.5 }
+
+// OceanFraction returns the area-weighted fraction of the Earth's surface
+// that the mask classifies as ocean (the paper quotes 70.8%).
+func (m *LandMask) OceanFraction() float64 {
+	ocean := 0.0
+	for id := range m.frac {
+		ocean += m.grid.AreaFraction(id) * (1 - m.frac[id])
+	}
+	return ocean
+}

@@ -1,0 +1,120 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestIsLandKnownPlaces(t *testing.T) {
+	land := map[string]geom.LatLon{
+		"kansas":        {Lat: 38, Lon: -98},
+		"amazon":        {Lat: -5, Lon: -63},
+		"sahara":        {Lat: 23, Lon: 10},
+		"siberia":       {Lat: 60, Lon: 100},
+		"india":         {Lat: 22, Lon: 78},
+		"china-east":    {Lat: 32, Lon: 114},
+		"outback":       {Lat: -25, Lon: 134},
+		"europe-center": {Lat: 50, Lon: 15},
+		"greenland":     {Lat: 72, Lon: -40},
+		"antarctica":    {Lat: -80, Lon: 45},
+		"uk":            {Lat: 53, Lon: -2},
+		"japan-honshu":  {Lat: 36, Lon: 138},
+		"madagascar":    {Lat: -19, Lon: 47},
+	}
+	for name, p := range land {
+		if !IsLand(p) {
+			t.Errorf("%s (%v) should be land", name, p)
+		}
+	}
+	ocean := map[string]geom.LatLon{
+		"mid-pacific":    {Lat: 0, Lon: -150},
+		"mid-atlantic":   {Lat: 20, Lon: -40},
+		"indian-ocean":   {Lat: -30, Lon: 80},
+		"southern-ocean": {Lat: -55, Lon: 0},
+		"north-pacific":  {Lat: 40, Lon: -170},
+		"arctic-ocean":   {Lat: 87, Lon: 0},
+		"tasman-sea":     {Lat: -38, Lon: 160},
+	}
+	for name, p := range ocean {
+		if IsLand(p) {
+			t.Errorf("%s (%v) should be ocean (got %q)", name, p, ContinentOf(p))
+		}
+	}
+}
+
+func TestOceanFractionNearPaperValue(t *testing.T) {
+	// The paper quotes 70.8% ocean; our coarse outlines should land within
+	// a few points of that.
+	m := NewLandMask(DefaultGrid())
+	f := m.OceanFraction()
+	if f < 0.64 || f < 0 || f > 0.78 {
+		t.Errorf("ocean fraction = %.3f, expected ≈0.708", f)
+	}
+}
+
+func TestLandMaskCellClassification(t *testing.T) {
+	g := DefaultGrid()
+	m := NewLandMask(g)
+	if !m.IsLandCell(g.CellOf(geom.LatLon{Lat: 38, Lon: -98})) {
+		t.Error("Kansas cell should be land")
+	}
+	if m.IsLandCell(g.CellOf(geom.LatLon{Lat: 0, Lon: -150})) {
+		t.Error("mid-Pacific cell should be ocean")
+	}
+	for id := 0; id < g.NumCells(); id++ {
+		f := m.LandFraction(id)
+		if f < 0 || f > 1 {
+			t.Fatalf("cell %d land fraction %v out of [0,1]", id, f)
+		}
+	}
+}
+
+func TestLandMaskCached(t *testing.T) {
+	g := DefaultGrid()
+	a := NewLandMask(g)
+	b := NewLandMask(g)
+	if a != b {
+		t.Error("mask should be cached per cell size")
+	}
+}
+
+func TestContinentOf(t *testing.T) {
+	if c := ContinentOf(geom.LatLon{Lat: 38, Lon: -98}); c != "north-america" {
+		t.Errorf("Kansas in %q", c)
+	}
+	if c := ContinentOf(geom.LatLon{Lat: 0, Lon: -150}); c != "" {
+		t.Errorf("mid-Pacific in %q", c)
+	}
+}
+
+func TestRenderMap(t *testing.T) {
+	g := MustGrid(10)
+	// A field with one hotspot.
+	hot := g.CellOf(geom.LatLon{Lat: 40, Lon: -74})
+	out := RenderMap(g, func(cell int) float64 {
+		if cell == hot {
+			return 5
+		}
+		return 0
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != g.LatRows() {
+		t.Fatalf("map has %d rows, want %d", len(lines), g.LatRows())
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("hotspot not rendered at max ramp")
+	}
+	if !strings.Contains(out, "·") {
+		t.Error("land outline missing")
+	}
+	if !strings.Contains(out, " ") {
+		t.Error("ocean missing")
+	}
+	// Zero field still renders coastlines.
+	flat := RenderMap(g, func(int) float64 { return 0 })
+	if !strings.Contains(flat, "·") {
+		t.Error("zero field lost the land mask")
+	}
+}

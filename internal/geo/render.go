@@ -1,0 +1,48 @@
+package geo
+
+import (
+	"math"
+	"strings"
+)
+
+// RenderMap draws an equirectangular ASCII map of a per-cell scalar field:
+// one character per cell, north at the top. Cells with zero value render
+// as '·' on land and ' ' on ocean so coastlines stay visible; positive
+// values use a density ramp normalized to the field's maximum. This is the
+// toolkit's textual stand-in for the paper's Figure 1/13/14 world maps.
+func RenderMap(g *Grid, value func(cell int) float64) string {
+	const ramp = ".:-=+*#%@"
+	maxV := 0.0
+	for id := 0; id < g.NumCells(); id++ {
+		if v := value(id); v > maxV {
+			maxV = v
+		}
+	}
+	mask := NewLandMask(g)
+	var sb strings.Builder
+	sb.Grow((g.LonCols() + 1) * g.LatRows())
+	for row := g.LatRows() - 1; row >= 0; row-- {
+		for col := 0; col < g.LonCols(); col++ {
+			id := g.CellID(row, col)
+			v := value(id)
+			switch {
+			case v <= 0 && mask.LandFraction(id) > 0.5:
+				sb.WriteByte('\xc2') // '·' in UTF-8
+				sb.WriteByte('\xb7')
+			case v <= 0:
+				sb.WriteByte(' ')
+			default:
+				idx := 0
+				if maxV > 0 {
+					idx = int(math.Sqrt(v/maxV) * float64(len(ramp)))
+				}
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+				sb.WriteByte(ramp[idx])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

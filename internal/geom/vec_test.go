@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasicOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, -5, 6}
+	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Norm(); !approx(got, math.Sqrt(14), eps) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{math.Mod(ax, 100), math.Mod(ay, 100), math.Mod(az, 100)}
+		b := Vec3{math.Mod(bx, 100), math.Mod(by, 100), math.Mod(bz, 100)}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 {
+			return true
+		}
+		return math.Abs(c.Dot(a))/scale < 1e-9 && math.Abs(c.Dot(b))/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitNorm(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := Vec3{math.Mod(x, 1e6), math.Mod(y, 1e6), math.Mod(z, 1e6)}
+		if v.Norm() == 0 {
+			return v.Unit() == v
+		}
+		return approx(v.Unit().Norm(), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	if got := x.AngleTo(y); !approx(got, math.Pi/2, eps) {
+		t.Errorf("AngleTo(x,y) = %v, want π/2", got)
+	}
+	if got := x.AngleTo(x.Scale(3)); !approx(got, 0, eps) {
+		t.Errorf("AngleTo(x,3x) = %v, want 0", got)
+	}
+	if got := x.AngleTo(x.Scale(-1)); !approx(got, math.Pi, eps) {
+		t.Errorf("AngleTo(x,-x) = %v, want π", got)
+	}
+}
+
+func TestRotZPreservesNormAndZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		a := rng.Float64() * 2 * math.Pi
+		r := v.RotZ(a)
+		if !approx(r.Norm(), v.Norm(), 1e-9) {
+			t.Fatalf("RotZ changed norm: %v -> %v", v.Norm(), r.Norm())
+		}
+		if !approx(r.Z, v.Z, eps) {
+			t.Fatalf("RotZ changed Z")
+		}
+	}
+}
+
+func TestRotXRotZComposition(t *testing.T) {
+	// Rotating +90° then -90° about the same axis is identity.
+	v := Vec3{0.3, -1.2, 2.5}
+	got := v.RotX(math.Pi / 2).RotX(-math.Pi / 2)
+	if got.Dist(v) > 1e-12 {
+		t.Errorf("RotX roundtrip drifted: %v vs %v", got, v)
+	}
+	got = v.RotZ(1.1).RotZ(-1.1)
+	if got.Dist(v) > 1e-12 {
+		t.Errorf("RotZ roundtrip drifted: %v vs %v", got, v)
+	}
+}
+
+func TestRotZKnown(t *testing.T) {
+	v := Vec3{1, 0, 0}.RotZ(math.Pi / 2)
+	if v.Dist(Vec3{0, 1, 0}) > eps {
+		t.Errorf("RotZ(π/2) of x̂ = %v, want ŷ", v)
+	}
+	w := Vec3{0, 1, 0}.RotX(math.Pi / 2)
+	if w.Dist(Vec3{0, 0, 1}) > eps {
+		t.Errorf("RotX(π/2) of ŷ = %v, want ẑ", w)
+	}
+}

@@ -1,0 +1,96 @@
+package intent
+
+import (
+	"repro/internal/geo"
+	"repro/internal/geom"
+)
+
+// Builders for the two intent families showcased in Figure 16: the
+// Internet-backbone intent (13b) and a geographic mesh grid intent.
+
+// MeshIntent builds a mesh-grid topology over every cell whose guaranteed
+// satellite count (from the sparsifier output, per-cell minimum over time)
+// is at least minSats: each such cell connects to its 4-neighbors that also
+// qualify, with islPerEdge ISLs per edge (Figure 16b).
+func MeshIntent(g *geo.Grid, guaranteed map[int]int, minSats, islPerEdge int) *Topology {
+	t := NewTopology(g)
+	for u, n := range guaranteed {
+		if n >= minSats {
+			t.AddCell(u, n)
+		}
+	}
+	for u := range t.MinSats {
+		for _, v := range g.Neighbors4(u) {
+			if _, ok := t.MinSats[v]; ok && u < v {
+				t.Connect(u, v, islPerEdge)
+			}
+		}
+	}
+	return t
+}
+
+// PathIntent builds a chain topology along a sequence of waypoints: every
+// cell on the great-circle path between consecutive waypoints is declared
+// and linked to its successor — the building block of the backbone intent.
+func PathIntent(t *Topology, g *geo.Grid, from, to geom.LatLon, satsPerCell, islPerEdge int) []int {
+	steps := int(geom.GreatCircleDist(from, to)/(111e3*g.CellSizeDeg()/2)) + 2
+	var cells []int
+	last := -1
+	for _, p := range geom.GreatCirclePoints(from, to, steps) {
+		id := g.CellOf(p)
+		if id == last {
+			continue
+		}
+		if _, ok := t.MinSats[id]; !ok {
+			t.AddCell(id, satsPerCell)
+		}
+		if last >= 0 && id != last && t.EdgeDemand(last, id) == 0 {
+			t.Connect(last, id, islPerEdge)
+		}
+		cells = append(cells, id)
+		last = id
+	}
+	return cells
+}
+
+// BackboneIntent builds the Figure 13b/16a intent: a topology connecting
+// backbone endpoints along great-circle corridors. endpoints maps a name to
+// its location; links lists the connected endpoint pairs. Returns the
+// topology and per-endpoint anchor cell IDs.
+func BackboneIntent(g *geo.Grid, endpoints map[string]geom.LatLon, links [][2]string, satsPerCell, islPerEdge int) (*Topology, map[string]int) {
+	t := NewTopology(g)
+	anchors := map[string]int{}
+	for name, loc := range endpoints {
+		id := g.CellOf(loc)
+		anchors[name] = id
+		if _, ok := t.MinSats[id]; !ok {
+			t.AddCell(id, satsPerCell)
+		}
+	}
+	for _, l := range links {
+		PathIntent(t, g, endpoints[l[0]], endpoints[l[1]], satsPerCell, islPerEdge)
+	}
+	return t, anchors
+}
+
+// GuaranteedFromSupply converts an unfolded supply vector into the per-cell
+// guaranteed satellite count n_u = min over slots of floor(supply), the
+// geographic invariant the paper's intents build on (§4.2: "the minimal
+// number of available satellites over each geographic cell is stable").
+func GuaranteedFromSupply(g *geo.Grid, slots int, supply []float64) map[int]int {
+	m := g.NumCells()
+	out := map[int]int{}
+	for i := 0; i < m; i++ {
+		minV := -1.0
+		for t := 0; t < slots; t++ {
+			v := supply[t*m+i]
+			if minV < 0 || v < minV {
+				minV = v
+			}
+		}
+		if n := int(minV); n > 0 {
+			out[i] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package intent
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/geom"
+)
+
+// lineTopology declares cells c0..c4 along the equator, each with 4
+// satellites, connected in a chain with 2 ISLs per edge.
+func lineTopology(t *testing.T) (*Topology, []int) {
+	t.Helper()
+	g := geo.MustGrid(10)
+	topo := NewTopology(g)
+	var cells []int
+	for i := 0; i < 5; i++ {
+		id := g.CellOf(geom.LatLon{Lat: 5, Lon: float64(-20 + i*10)})
+		topo.AddCell(id, 4)
+		cells = append(cells, id)
+	}
+	for i := 1; i < 5; i++ {
+		topo.Connect(cells[i-1], cells[i], 2)
+	}
+	return topo, cells
+}
+
+func TestTopologyBasics(t *testing.T) {
+	topo, cells := lineTopology(t)
+	if got := topo.EdgeDemand(cells[0], cells[1]); got != 2 {
+		t.Errorf("edge demand = %d", got)
+	}
+	if got := topo.EdgeDemand(cells[1], cells[0]); got != 2 {
+		t.Errorf("edge demand not symmetric: %d", got)
+	}
+	if got := topo.EdgeDemand(cells[0], cells[4]); got != 0 {
+		t.Errorf("phantom edge %d", got)
+	}
+	nb := topo.Neighbors(cells[1])
+	if len(nb) != 2 {
+		t.Errorf("neighbors = %v", nb)
+	}
+	if len(topo.Cells()) != 5 {
+		t.Errorf("cells = %v", topo.Cells())
+	}
+}
+
+func TestVerifyCleanTopology(t *testing.T) {
+	topo, _ := lineTopology(t)
+	if errs := topo.Verify(DefaultVerifyConfig); len(errs) != 0 {
+		t.Errorf("unexpected violations: %v", errs)
+	}
+	if !topo.Connected() {
+		t.Error("chain should be connected")
+	}
+}
+
+func TestVerifyCapacityViolation(t *testing.T) {
+	topo, cells := lineTopology(t)
+	// Middle cell serves 2 edges × 2 ISLs = 4 gateways; cut its budget.
+	topo.AddCell(cells[1], 3)
+	errs := topo.Verify(DefaultVerifyConfig)
+	if len(errs) == 0 {
+		t.Fatal("capacity violation not caught")
+	}
+	if !strings.Contains(errs[0].Error(), "gateway") {
+		t.Errorf("unexpected error: %v", errs[0])
+	}
+}
+
+func TestVerifyRangeViolation(t *testing.T) {
+	g := geo.MustGrid(10)
+	topo := NewTopology(g)
+	a := g.CellOf(geom.LatLon{Lat: 0, Lon: 0})
+	b := g.CellOf(geom.LatLon{Lat: 0, Lon: 120}) // ~13,000 km away
+	topo.AddCell(a, 4)
+	topo.AddCell(b, 4)
+	topo.Connect(a, b, 1)
+	errs := topo.Verify(DefaultVerifyConfig)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "ISL range") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("range violation not caught: %v", errs)
+	}
+}
+
+func TestVerifyUndeclaredCell(t *testing.T) {
+	g := geo.MustGrid(10)
+	topo := NewTopology(g)
+	topo.AddCell(10, 4)
+	topo.Connect(10, 11, 1)
+	errs := topo.Verify(DefaultVerifyConfig)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "undeclared") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("undeclared cell not caught: %v", errs)
+	}
+}
+
+func TestConnectedDetectsPartition(t *testing.T) {
+	g := geo.MustGrid(10)
+	topo := NewTopology(g)
+	a1, a2 := 100, 101
+	b1, b2 := 300, 301
+	for _, c := range []int{a1, a2, b1, b2} {
+		topo.AddCell(c, 2)
+	}
+	topo.Connect(a1, a2, 1)
+	topo.Connect(b1, b2, 1)
+	if topo.Connected() {
+		t.Error("two components reported connected")
+	}
+}
+
+func TestVerifyRoute(t *testing.T) {
+	topo, cells := lineTopology(t)
+	good := Route{Cells: []int{cells[0], cells[1], cells[2]}}
+	if err := topo.VerifyRoute(good); err != nil {
+		t.Errorf("good route rejected: %v", err)
+	}
+	if err := topo.VerifyRoute(Route{}); err == nil {
+		t.Error("empty route accepted")
+	}
+	loop := Route{Cells: []int{cells[0], cells[1], cells[0]}}
+	if err := topo.VerifyRoute(loop); err == nil {
+		t.Error("looping route accepted")
+	}
+	jump := Route{Cells: []int{cells[0], cells[2]}}
+	if err := topo.VerifyRoute(jump); err == nil {
+		t.Error("route over missing edge accepted")
+	}
+	stranger := Route{Cells: []int{cells[0], 9999}}
+	if err := topo.VerifyRoute(stranger); err == nil {
+		t.Error("route through undeclared cell accepted")
+	}
+}
+
+func TestShortestPathRoute(t *testing.T) {
+	topo, cells := lineTopology(t)
+	r, err := topo.ShortestPathRoute(cells[0], cells[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 5 || r.Cells[0] != cells[0] || r.Cells[4] != cells[4] {
+		t.Errorf("route = %v", r.Cells)
+	}
+	if err := topo.VerifyRoute(r); err != nil {
+		t.Errorf("compiled route invalid: %v", err)
+	}
+	if topo.Length(r) <= 0 || topo.PropagationDelay(r) <= 0 {
+		t.Error("route metrics broken")
+	}
+	if _, err := topo.ShortestPathRoute(cells[0], 9999); err == nil {
+		t.Error("unknown destination accepted")
+	}
+}
+
+func TestMultipathRoutes(t *testing.T) {
+	// Build a ring so two disjoint paths exist.
+	g := geo.MustGrid(10)
+	topo := NewTopology(g)
+	ids := []int{
+		g.CellOf(geom.LatLon{Lat: 5, Lon: 0}), g.CellOf(geom.LatLon{Lat: 5, Lon: 10}),
+		g.CellOf(geom.LatLon{Lat: 5, Lon: 20}), g.CellOf(geom.LatLon{Lat: 15, Lon: 10}),
+	}
+	for _, id := range ids {
+		topo.AddCell(id, 4)
+	}
+	topo.Connect(ids[0], ids[1], 1)
+	topo.Connect(ids[1], ids[2], 1)
+	topo.Connect(ids[0], ids[3], 1)
+	topo.Connect(ids[3], ids[2], 1)
+	routes, err := topo.MultipathRoutes(ids[0], ids[2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 {
+		t.Fatalf("got %d routes", len(routes))
+	}
+	for _, r := range routes {
+		if err := topo.VerifyRoute(r); err != nil {
+			t.Errorf("multipath route invalid: %v", err)
+		}
+	}
+	if topo.Length(routes[0]) > topo.Length(routes[1]) {
+		t.Error("routes not sorted by length")
+	}
+}
+
+func TestDetourRoute(t *testing.T) {
+	topo, cells := lineTopology(t)
+	// Avoiding a chain's middle cell disconnects it.
+	if _, err := topo.DetourRoute(cells[0], cells[4], map[int]bool{cells[2]: true}); err == nil {
+		t.Error("detour through cut vertex should fail on a chain")
+	}
+	// Add a bypass and retry.
+	g := topo.Grid
+	bypass := g.CellOf(geom.LatLon{Lat: 15, Lon: 0})
+	topo.AddCell(bypass, 4)
+	topo.Connect(cells[1], bypass, 1)
+	topo.Connect(bypass, cells[3], 1)
+	r, err := topo.DetourRoute(cells[0], cells[4], map[int]bool{cells[2]: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		if c == cells[2] {
+			t.Error("detour crossed avoided cell")
+		}
+	}
+	if _, err := topo.DetourRoute(cells[0], cells[4], map[int]bool{cells[0]: true}); err == nil {
+		t.Error("avoided endpoint accepted")
+	}
+}
+
+func TestOceanicOffloadPrefersOcean(t *testing.T) {
+	// Two same-length routes between endpoints: one over land cells, one
+	// over ocean. The offload policy must choose the ocean one.
+	g := geo.MustGrid(10)
+	topo := NewTopology(g)
+	src := g.CellOf(geom.LatLon{Lat: 35, Lon: -80})      // US east coast
+	dst := g.CellOf(geom.LatLon{Lat: 45, Lon: 0})        // France
+	landMid := g.CellOf(geom.LatLon{Lat: 45, Lon: -75})  // inland Canada
+	oceanMid := g.CellOf(geom.LatLon{Lat: 35, Lon: -40}) // mid-Atlantic
+	for _, c := range []int{src, dst, landMid, oceanMid} {
+		topo.AddCell(c, 4)
+	}
+	topo.Connect(src, landMid, 1)
+	topo.Connect(landMid, dst, 1)
+	topo.Connect(src, oceanMid, 1)
+	topo.Connect(oceanMid, dst, 1)
+	r, err := topo.OceanicOffloadRoute(src, dst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	through := map[int]bool{}
+	for _, c := range r.Cells {
+		through[c] = true
+	}
+	if !through[oceanMid] {
+		t.Errorf("offload route avoided the ocean: %v", r.Cells)
+	}
+}
+
+func TestMeshIntent(t *testing.T) {
+	g := geo.MustGrid(10)
+	guaranteed := map[int]int{}
+	// A 3×3 block of qualified cells around (5..25, 5..25).
+	for la := 0; la < 3; la++ {
+		for lo := 0; lo < 3; lo++ {
+			id := g.CellOf(geom.LatLon{Lat: 5 + float64(la)*10, Lon: 5 + float64(lo)*10})
+			guaranteed[id] = 4
+		}
+	}
+	// One under-provisioned cell that must be excluded.
+	weak := g.CellOf(geom.LatLon{Lat: 45, Lon: 45})
+	guaranteed[weak] = 1
+	topo := MeshIntent(g, guaranteed, 2, 1)
+	if _, ok := topo.MinSats[weak]; ok {
+		t.Error("under-provisioned cell included")
+	}
+	if len(topo.Cells()) != 9 {
+		t.Errorf("mesh cells = %d", len(topo.Cells()))
+	}
+	// Interior cell has 4 mesh edges.
+	center := g.CellOf(geom.LatLon{Lat: 15, Lon: 15})
+	if nb := topo.Neighbors(center); len(nb) != 4 {
+		t.Errorf("center neighbors = %v", nb)
+	}
+	if errs := topo.Verify(DefaultVerifyConfig); len(errs) != 0 {
+		t.Errorf("mesh violates: %v", errs)
+	}
+}
+
+func TestBackboneIntent(t *testing.T) {
+	g := geo.MustGrid(10)
+	eps := map[string]geom.LatLon{
+		"ny":     {Lat: 40, Lon: -74},
+		"london": {Lat: 51, Lon: 0},
+		"tokyo":  {Lat: 35, Lon: 139},
+	}
+	topo, anchors := BackboneIntent(g, eps, [][2]string{{"ny", "london"}, {"london", "tokyo"}}, 4, 1)
+	if len(anchors) != 3 {
+		t.Fatalf("anchors = %v", anchors)
+	}
+	if !topo.Connected() {
+		t.Error("backbone not connected")
+	}
+	r, err := topo.ShortestPathRoute(anchors["ny"], anchors["tokyo"])
+	if err != nil {
+		t.Fatalf("no route along backbone: %v", err)
+	}
+	if err := topo.VerifyRoute(r); err != nil {
+		t.Errorf("backbone route invalid: %v", err)
+	}
+	if errs := topo.Verify(DefaultVerifyConfig); len(errs) != 0 {
+		t.Errorf("backbone violates: %v", errs)
+	}
+}
+
+func TestGuaranteedFromSupply(t *testing.T) {
+	g := geo.MustGrid(20)
+	m := g.NumCells()
+	supply := make([]float64, 2*m)
+	supply[5] = 3.9
+	supply[m+5] = 2.2 // min over slots = 2.2 ⇒ n_u = 2
+	supply[7] = 1.0
+	supply[m+7] = 0.4 // min 0.4 ⇒ floor 0 ⇒ excluded
+	got := GuaranteedFromSupply(g, 2, supply)
+	if got[5] != 2 {
+		t.Errorf("cell 5 = %d", got[5])
+	}
+	if _, ok := got[7]; ok {
+		t.Error("cell 7 should be excluded")
+	}
+}
+
+func TestSelfEdgePanics(t *testing.T) {
+	topo := NewTopology(geo.MustGrid(10))
+	defer func() {
+		if recover() == nil {
+			t.Error("self edge accepted")
+		}
+	}()
+	topo.Connect(3, 3, 1)
+}

@@ -1,0 +1,118 @@
+package intent
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/routing"
+)
+
+// This file implements the traffic-engineering policy compilers of §4.2 /
+// Figure 18: shortest-path routing, multipath load balancing, risk-area
+// detours, and cross-oceanic traffic offloading. Each compiler emits
+// geographic Routes over a Topology; the data plane then enforces them via
+// segment anycast without further control-plane involvement.
+
+// ShortestPathRoute returns the minimum-distance cell route from src to dst
+// over the intent topology.
+func (t *Topology) ShortestPathRoute(src, dst int) (Route, error) {
+	g, idx, cells := t.CellGraph()
+	si, ok1 := idx[src]
+	di, ok2 := idx[dst]
+	if !ok1 || !ok2 {
+		return Route{}, fmt.Errorf("intent: endpoint not declared (src ok=%v dst ok=%v)", ok1, ok2)
+	}
+	p, _, ok := g.ShortestPath(si, di)
+	if !ok {
+		return Route{}, fmt.Errorf("intent: %d unreachable from %d", dst, src)
+	}
+	return Route{Cells: remap(p, cells)}, nil
+}
+
+// MultipathRoutes returns up to k loopless routes from src to dst in
+// increasing length order (the multipath load-balancing policy [39]).
+func (t *Topology) MultipathRoutes(src, dst, k int) ([]Route, error) {
+	g, idx, cells := t.CellGraph()
+	si, ok1 := idx[src]
+	di, ok2 := idx[dst]
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("intent: endpoint not declared")
+	}
+	paths := g.KShortestPaths(si, di, k)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("intent: %d unreachable from %d", dst, src)
+	}
+	out := make([]Route, len(paths))
+	for i, p := range paths {
+		out[i] = Route{Cells: remap(p, cells)}
+	}
+	return out, nil
+}
+
+// DetourRoute returns the shortest route from src to dst that avoids the
+// given cells (the risk-detour policy [40, 41], e.g. routing around areas
+// under solar-storm risk or political constraints).
+func (t *Topology) DetourRoute(src, dst int, avoid map[int]bool) (Route, error) {
+	g, idx, cells := t.CellGraph()
+	si, ok1 := idx[src]
+	di, ok2 := idx[dst]
+	if !ok1 || !ok2 {
+		return Route{}, fmt.Errorf("intent: endpoint not declared")
+	}
+	if avoid[src] || avoid[dst] {
+		return Route{}, fmt.Errorf("intent: endpoint inside avoided area")
+	}
+	p, _, ok := g.ShortestPathAvoiding(si, di, func(n int) bool { return avoid[cells[n]] })
+	if !ok {
+		return Route{}, fmt.Errorf("intent: no route avoiding %d cells", len(avoid))
+	}
+	return Route{Cells: remap(p, cells)}, nil
+}
+
+// OceanicOffloadRoute returns the route from src to dst that prefers ocean
+// cells: land-cell hops are penalized by landPenalty (≥1) so transit shifts
+// onto satellites over water — the trans-oceanic offloading policy [31]
+// shown in Figure 11/18b.
+func (t *Topology) OceanicOffloadRoute(src, dst int, landPenalty float64) (Route, error) {
+	if landPenalty < 1 {
+		landPenalty = 1
+	}
+	cells := t.Cells()
+	idx := make(map[int]int, len(cells))
+	for i, c := range cells {
+		idx[c] = i
+	}
+	mask := geo.NewLandMask(t.Grid)
+	g := newWeightedCellGraph(t, cells, idx, func(u, v int) float64 {
+		w := t.Grid.CenterDistance(u, v)
+		// Penalize hops by the land fraction at their endpoints.
+		lf := (mask.LandFraction(u) + mask.LandFraction(v)) / 2
+		return w * (1 + (landPenalty-1)*lf)
+	})
+	si, ok1 := idx[src]
+	di, ok2 := idx[dst]
+	if !ok1 || !ok2 {
+		return Route{}, fmt.Errorf("intent: endpoint not declared")
+	}
+	p, _, ok := g.ShortestPath(si, di)
+	if !ok {
+		return Route{}, fmt.Errorf("intent: %d unreachable from %d", dst, src)
+	}
+	return Route{Cells: remap(p, cells)}, nil
+}
+
+func newWeightedCellGraph(t *Topology, cells []int, idx map[int]int, weight func(u, v int) float64) *routing.Graph {
+	g := routing.NewGraph(len(cells))
+	for e := range t.Edges {
+		g.AddBiEdge(idx[e[0]], idx[e[1]], weight(e[0], e[1]))
+	}
+	return g
+}
+
+func remap(path []int, cells []int) []int {
+	out := make([]int, len(path))
+	for i, p := range path {
+		out[i] = cells[p]
+	}
+	return out
+}

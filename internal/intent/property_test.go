@@ -1,0 +1,127 @@
+package intent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// randomTopology builds a random connected-ish intent over a coarse grid.
+func randomTopology(seed int64) (*Topology, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	g := geo.MustGrid(10)
+	topo := NewTopology(g)
+	// A random walk over grid neighbors declares the cells.
+	cur := g.CellID(rng.Intn(g.LatRows()), rng.Intn(g.LonCols()))
+	topo.AddCell(cur, 4)
+	cells := []int{cur}
+	for i := 0; i < 6+rng.Intn(8); i++ {
+		nb := g.Neighbors4(cur)
+		next := nb[rng.Intn(len(nb))]
+		if _, ok := topo.MinSats[next]; !ok {
+			topo.AddCell(next, 4)
+			cells = append(cells, next)
+		}
+		if next != cur && topo.EdgeDemand(cur, next) == 0 {
+			topo.Connect(cur, next, 1)
+		}
+		cur = next
+	}
+	return topo, cells
+}
+
+// TestPropertyCompiledRoutesVerify: every route any policy compiler emits
+// must pass the intent verifier (loop-free, declared cells, edges exist).
+func TestPropertyCompiledRoutesVerify(t *testing.T) {
+	f := func(seed int64, aIdx, bIdx uint8) bool {
+		topo, cells := randomTopology(seed)
+		src := cells[int(aIdx)%len(cells)]
+		dst := cells[int(bIdx)%len(cells)]
+		if src == dst {
+			return true
+		}
+		if r, err := topo.ShortestPathRoute(src, dst); err == nil {
+			if topo.VerifyRoute(r) != nil {
+				return false
+			}
+			if r.Cells[0] != src || r.Cells[len(r.Cells)-1] != dst {
+				return false
+			}
+		}
+		if rs, err := topo.MultipathRoutes(src, dst, 3); err == nil {
+			for _, r := range rs {
+				if topo.VerifyRoute(r) != nil {
+					return false
+				}
+			}
+		}
+		if r, err := topo.OceanicOffloadRoute(src, dst, 3); err == nil {
+			if topo.VerifyRoute(r) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDetourNeverCrossesAvoided: any detour route excludes the
+// avoided cells entirely.
+func TestPropertyDetourNeverCrossesAvoided(t *testing.T) {
+	f := func(seed int64, aIdx, bIdx, avoidIdx uint8) bool {
+		topo, cells := randomTopology(seed)
+		src := cells[int(aIdx)%len(cells)]
+		dst := cells[int(bIdx)%len(cells)]
+		avoid := cells[int(avoidIdx)%len(cells)]
+		if src == dst || avoid == src || avoid == dst {
+			return true
+		}
+		r, err := topo.DetourRoute(src, dst, map[int]bool{avoid: true})
+		if err != nil {
+			return true // disconnection is a legal outcome
+		}
+		for _, c := range r.Cells {
+			if c == avoid {
+				return false
+			}
+		}
+		return topo.VerifyRoute(r) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyShortestIsShortest: no multipath alternative is shorter
+// than the shortest-path route.
+func TestPropertyShortestIsShortest(t *testing.T) {
+	f := func(seed int64, aIdx, bIdx uint8) bool {
+		topo, cells := randomTopology(seed)
+		src := cells[int(aIdx)%len(cells)]
+		dst := cells[int(bIdx)%len(cells)]
+		if src == dst {
+			return true
+		}
+		sp, err := topo.ShortestPathRoute(src, dst)
+		if err != nil {
+			return true
+		}
+		rs, err := topo.MultipathRoutes(src, dst, 4)
+		if err != nil {
+			return true
+		}
+		for _, r := range rs {
+			if topo.Length(r) < topo.Length(sp)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

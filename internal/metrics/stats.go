@@ -1,0 +1,190 @@
+// Package metrics provides the statistics helpers the experiment harness
+// uses to report paper-style results: percentiles, CDFs, time series, and
+// aligned table / CSV printers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N                   int
+	Min, Max, Mean, Std float64
+	P50, P90, P99       float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(len(xs)))
+	s.P50 = Percentile(xs, 50)
+	s.P90 = Percentile(xs, 90)
+	s.P99 = Percentile(xs, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	xs []float64 // sorted
+}
+
+// NewCDF builds an empirical CDF over xs.
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{xs: sorted}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.xs) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the smallest sample value v with P(X ≤ v) ≥ q, q∈(0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(len(c.xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.xs) {
+		i = len(c.xs) - 1
+	}
+	return c.xs[i]
+}
+
+// Points returns n evenly spaced (x, F(x)) pairs spanning the sample range,
+// suitable for plotting a figure's CDF curve.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.xs) == 0 || n < 2 {
+		return nil
+	}
+	lo, hi := c.xs[0], c.xs[len(c.xs)-1]
+	out := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = [2]float64{x, c.At(x)}
+	}
+	return out
+}
+
+// Counter is a monotonically growing event counter keyed by name, used for
+// signaling-message accounting (Figure 17).
+type Counter struct {
+	counts map[string]int64
+	order  []string
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{counts: map[string]int64{}} }
+
+// Add increments key by n.
+func (c *Counter) Add(key string, n int64) {
+	if _, ok := c.counts[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.counts[key] += n
+}
+
+// Get returns the count for key.
+func (c *Counter) Get(key string) int64 { return c.counts[key] }
+
+// Total returns the sum over all keys.
+func (c *Counter) Total() int64 {
+	var t int64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Keys returns keys in first-insertion order.
+func (c *Counter) Keys() []string { return append([]string(nil), c.order...) }
+
+// String renders the counter as "k1=v1 k2=v2 …".
+func (c *Counter) String() string {
+	s := ""
+	for i, k := range c.order {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, c.counts[k])
+	}
+	return s
+}

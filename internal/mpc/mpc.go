@@ -1,0 +1,644 @@
+// Package mpc implements TinyLEO's orbital model predictive controller
+// (paper §4.2): the shim layer that compiles a stable geographic topology
+// intent G(V, E, N) into a concrete, time-evolving satellite topology.
+//
+// Per control slot it (1) predicts which satellites cover each intent cell
+// from orbital laws, (2) runs a many-to-one Gale–Shapley matching per cell
+// to allocate gateway satellites to each neighbor edge, using expected ISL
+// lifetime τ as the preference, (3) runs a one-to-one stable matching
+// between the gateway sets of adjacent cells to pick concrete ISLs, and
+// (4) closes an intra-cell ring over each cell's gateways so segment
+// anycast can always walk to the right gateway (§4.3). It also repairs
+// unpredictable ISL/satellite failures by incremental re-matching.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/intent"
+	"repro/internal/orbit"
+	"repro/internal/stablematch"
+)
+
+// Config parameterizes a controller.
+type Config struct {
+	Topo     *intent.Topology
+	Sats     []orbit.Elements
+	Coverage orbit.CoverageParams
+	ISL      orbit.ISLParams
+	// LifetimeHorizon/LifetimeStep bound the τ prediction (s). Defaults:
+	// 1800 s horizon, 30 s step.
+	LifetimeHorizon float64
+	LifetimeStep    float64
+	// MaxISLsPerSat is the satellite's laser terminal count (default 3:
+	// one inter-cell gateway link + two intra-cell ring links).
+	MaxISLsPerSat int
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Topo == nil {
+		return errors.New("mpc: nil topology intent")
+	}
+	if len(c.Sats) == 0 {
+		return errors.New("mpc: no satellites")
+	}
+	if c.Coverage.MinElevation == 0 {
+		c.Coverage = orbit.DefaultCoverageParams
+	}
+	if c.ISL.MaxRange == 0 && c.ISL.GrazingMargin == 0 {
+		c.ISL = orbit.DefaultISLParams
+	}
+	if c.LifetimeHorizon <= 0 {
+		c.LifetimeHorizon = 1800
+	}
+	if c.LifetimeStep <= 0 {
+		c.LifetimeStep = 30
+	}
+	if c.MaxISLsPerSat <= 0 {
+		c.MaxISLsPerSat = 3
+	}
+	return nil
+}
+
+// Link is an undirected satellite pair (indices into Config.Sats), sorted.
+type Link [2]int
+
+// MakeLink normalizes the pair order.
+func MakeLink(a, b int) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{a, b}
+}
+
+// Peer returns the other endpoint relative to end, or -1 if end is not an
+// endpoint of the link.
+func (l Link) Peer(end int) int {
+	switch end {
+	case l[0]:
+		return l[1]
+	case l[1]:
+		return l[0]
+	}
+	return -1
+}
+
+// Snapshot is one compiled satellite topology.
+type Snapshot struct {
+	Time float64
+	// CellSats[u] lists the satellites homed to intent cell u.
+	CellSats map[int][]int
+	// Gateways[{u,v}] lists the satellites of u serving the edge toward v
+	// (directed key: [0]=home cell, [1]=neighbor cell).
+	Gateways map[[2]int][]int
+	// InterLinks are the inter-cell gateway ISLs; RingLinks the intra-cell
+	// ring ISLs.
+	InterLinks []Link
+	RingLinks  []Link
+	// Deficits[{u,v}] counts gateway slots the matching could not fill
+	// (prediction shortfalls; should be rare after sparsification).
+	Deficits map[[2]int]int
+}
+
+// Links returns all ISLs of the snapshot.
+func (s *Snapshot) Links() []Link {
+	out := make([]Link, 0, len(s.InterLinks)+len(s.RingLinks))
+	out = append(out, s.InterLinks...)
+	out = append(out, s.RingLinks...)
+	return out
+}
+
+// LinkSet returns the snapshot's links as a set.
+func (s *Snapshot) LinkSet() map[Link]bool {
+	set := make(map[Link]bool, len(s.InterLinks)+len(s.RingLinks))
+	for _, l := range s.InterLinks {
+		set[l] = true
+	}
+	for _, l := range s.RingLinks {
+		set[l] = true
+	}
+	return set
+}
+
+// Controller compiles intents slot by slot.
+type Controller struct {
+	cfg Config
+}
+
+// New validates the config and creates a controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Compile produces the satellite topology snapshot enforcing the intent at
+// time t.
+func (c *Controller) Compile(t float64) *Snapshot {
+	cfg := &c.cfg
+	snap := &Snapshot{
+		Time:     t,
+		CellSats: map[int][]int{},
+		Gateways: map[[2]int][]int{},
+		Deficits: map[[2]int]int{},
+	}
+	// Stage 0: predict satellite→cell coverage (§4.2 "it first predicts
+	// which satellites cover it"). A satellite belongs to every declared
+	// cell whose center its footprint covers; the gateway matching below
+	// enforces the terminal budget by assigning each satellite to at most
+	// one cell's gateway duty.
+	cells := cfg.Topo.Cells()
+	for si, e := range cfg.Sats {
+		sub := e.SubSatellitePoint(t)
+		lam := cfg.Coverage.FootprintRadius(e.Altitude())
+		for _, u := range cells {
+			if geom.CentralAngle(sub, cfg.Topo.Grid.Center(u)) <= lam {
+				snap.CellSats[u] = append(snap.CellSats[u], si)
+			}
+		}
+	}
+	for _, list := range snap.CellSats {
+		sort.Ints(list)
+	}
+
+	// Stage 1: per-cell many-to-one gateway matching. Satellites already
+	// holding a gateway assignment from an earlier cell are excluded, so
+	// each satellite spends at most one terminal on gateway duty (plus two
+	// on its home cell's ring). Cells with the largest gateway demand match
+	// first so shared satellites go where they are scarcest.
+	order := append([]int(nil), cells...)
+	demandOf := func(u int) int {
+		d := 0
+		for _, v := range cfg.Topo.Neighbors(u) {
+			d += cfg.Topo.EdgeDemand(u, v)
+		}
+		return d
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := demandOf(order[a]), demandOf(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	taken := make(map[int]bool)
+	for _, u := range order {
+		var sats []int
+		for _, s := range snap.CellSats[u] {
+			if !taken[s] {
+				sats = append(sats, s)
+			}
+		}
+		neighbors := cfg.Topo.Neighbors(u)
+		if len(sats) == 0 || len(neighbors) == 0 {
+			for _, v := range neighbors {
+				snap.Deficits[[2]int{u, v}] += cfg.Topo.EdgeDemand(u, v)
+			}
+			continue
+		}
+		// Preference weights: τ_{s,v} = mean predicted ISL lifetime from s
+		// to the satellites currently homed in v (Equation in §4.2).
+		w := make([][]float64, len(sats))
+		for i, s := range sats {
+			w[i] = make([]float64, len(neighbors))
+			for j, v := range neighbors {
+				w[i][j] = c.meanLifetime(s, snap.CellSats[v], t)
+			}
+		}
+		satPrefs := stablematch.PrefsFromWeights(w, 0)
+		// Neighbor cells rank satellites by the same lifetime.
+		rw := make([][]float64, len(neighbors))
+		caps := make([]int, len(neighbors))
+		for j, v := range neighbors {
+			rw[j] = make([]float64, len(sats))
+			for i := range sats {
+				rw[j][i] = w[i][j]
+			}
+			caps[j] = cfg.Topo.EdgeDemand(u, v)
+		}
+		rPrefs := stablematch.PrefsFromWeights(rw, 0)
+		rRank := stablematch.RanksFromPrefs(rPrefs, len(sats))
+		_, assigned := stablematch.ManyToOne(satPrefs, rRank, caps)
+		for j, held := range assigned {
+			v := neighbors[j]
+			gws := make([]int, 0, len(held))
+			for _, i := range held {
+				gws = append(gws, sats[i])
+				taken[sats[i]] = true
+			}
+			snap.Gateways[[2]int{u, v}] = gws
+			if d := caps[j] - len(gws); d > 0 {
+				snap.Deficits[[2]int{u, v}] += d
+			}
+		}
+	}
+
+	// Stage 2: one-to-one matching of gateway sets across each edge.
+	seen := map[[2]int]bool{}
+	for key := range snap.Gateways {
+		u, v := key[0], key[1]
+		ek := [2]int{min(u, v), max(u, v)}
+		if seen[ek] {
+			continue
+		}
+		seen[ek] = true
+		gu := snap.Gateways[[2]int{ek[0], ek[1]}]
+		gv := snap.Gateways[[2]int{ek[1], ek[0]}]
+		if len(gu) == 0 || len(gv) == 0 {
+			continue
+		}
+		w := make([][]float64, len(gu))
+		for i, s := range gu {
+			w[i] = make([]float64, len(gv))
+			for j, s2 := range gv {
+				w[i][j] = c.lifetime(s, s2, t)
+			}
+		}
+		pPrefs := stablematch.PrefsFromWeights(w, 0)
+		rw := make([][]float64, len(gv))
+		for j := range gv {
+			rw[j] = make([]float64, len(gu))
+			for i := range gu {
+				rw[j][i] = w[i][j]
+			}
+		}
+		rRank := stablematch.RanksFromPrefs(stablematch.PrefsFromWeights(rw, 0), len(gu))
+		match := stablematch.OneToOne(pPrefs, rRank)
+		for i, j := range match {
+			if j >= 0 {
+				snap.InterLinks = append(snap.InterLinks, MakeLink(gu[i], gv[j]))
+			}
+		}
+	}
+	sort.Slice(snap.InterLinks, func(a, b int) bool { return lessLink(snap.InterLinks[a], snap.InterLinks[b]) })
+
+	// Stage 3: intra-cell ring over each cell's gateway satellites, ordered
+	// by orbital phase for short ring hops.
+	for _, u := range cells {
+		ringSet := map[int]bool{}
+		for _, v := range cfg.Topo.Neighbors(u) {
+			for _, s := range snap.Gateways[[2]int{u, v}] {
+				ringSet[s] = true
+			}
+		}
+		if len(ringSet) < 2 {
+			continue
+		}
+		members := make([]int, 0, len(ringSet))
+		for s := range ringSet {
+			members = append(members, s)
+		}
+		// Order by sub-satellite longitude then latitude for a short ring.
+		sort.Slice(members, func(a, b int) bool {
+			pa := cfg.Sats[members[a]].SubSatellitePoint(t)
+			pb := cfg.Sats[members[b]].SubSatellitePoint(t)
+			if pa.Lon != pb.Lon {
+				return pa.Lon < pb.Lon
+			}
+			if pa.Lat != pb.Lat {
+				return pa.Lat < pb.Lat
+			}
+			return members[a] < members[b]
+		})
+		if len(members) == 2 {
+			snap.RingLinks = append(snap.RingLinks, MakeLink(members[0], members[1]))
+			continue
+		}
+		for i := range members {
+			snap.RingLinks = append(snap.RingLinks, MakeLink(members[i], members[(i+1)%len(members)]))
+		}
+	}
+	sort.Slice(snap.RingLinks, func(a, b int) bool { return lessLink(snap.RingLinks[a], snap.RingLinks[b]) })
+	return snap
+}
+
+func lessLink(a, b Link) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lifetime predicts τ_{s,s'}: how long an ISL between satellites s and s'
+// established at t would last.
+func (c *Controller) lifetime(s, s2 int, t float64) float64 {
+	return orbit.ISLLifetime(c.cfg.Sats[s], c.cfg.Sats[s2], t,
+		c.cfg.LifetimeHorizon, c.cfg.LifetimeStep, c.cfg.ISL)
+}
+
+// meanLifetime is τ_{s,v} = (1/n_v)·Σ_{s'∈v} τ_{s,s'}.
+func (c *Controller) meanLifetime(s int, vSats []int, t float64) float64 {
+	if len(vSats) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s2 := range vSats {
+		sum += c.lifetime(s, s2, t)
+	}
+	return sum / float64(len(vSats))
+}
+
+// DiffLinks returns the ISLs added and removed between snapshots: the
+// reconfiguration commands the controller must send (2 messages per change,
+// one to each endpoint satellite).
+func DiffLinks(prev, cur *Snapshot) (added, removed []Link) {
+	if prev == nil {
+		return cur.Links(), nil
+	}
+	ps, cs := prev.LinkSet(), cur.LinkSet()
+	for l := range cs {
+		if !ps[l] {
+			added = append(added, l)
+		}
+	}
+	for l := range ps {
+		if !cs[l] {
+			removed = append(removed, l)
+		}
+	}
+	sort.Slice(added, func(a, b int) bool { return lessLink(added[a], added[b]) })
+	sort.Slice(removed, func(a, b int) bool { return lessLink(removed[a], removed[b]) })
+	return
+}
+
+// EnforcementRatio reports what fraction of the intent's total edge ISL
+// demand the snapshot satisfies (Figure 16's enforcement metric).
+func (c *Controller) EnforcementRatio(s *Snapshot) float64 {
+	totalDemand, satisfied := 0, 0
+	seen := map[[2]int]bool{}
+	for e, n := range c.cfg.Topo.Edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		totalDemand += n
+		// Count concrete links between the gateway sets of e.
+		gu := map[int]bool{}
+		for _, s2 := range s.Gateways[[2]int{e[0], e[1]}] {
+			gu[s2] = true
+		}
+		gv := map[int]bool{}
+		for _, s2 := range s.Gateways[[2]int{e[1], e[0]}] {
+			gv[s2] = true
+		}
+		links := 0
+		for _, l := range s.InterLinks {
+			if (gu[l[0]] && gv[l[1]]) || (gu[l[1]] && gv[l[0]]) {
+				links++
+			}
+		}
+		if links > n {
+			links = n
+		}
+		satisfied += links
+	}
+	if totalDemand == 0 {
+		return 1
+	}
+	return float64(satisfied) / float64(totalDemand)
+}
+
+// RepairStats summarizes one failure-repair round (Figure 17d).
+type RepairStats struct {
+	// ReportRTT is the satellite→controller failure-notification delay.
+	ReportRTT time.Duration
+	// ComputeTime is the measured controller matching time.
+	ComputeTime time.Duration
+	// InstructRTT is the controller→satellite repair-command delay.
+	InstructRTT time.Duration
+	// NewLinks are the replacement ISLs installed.
+	NewLinks []Link
+	// Messages is the southbound signaling count (2 per new link + 1 per
+	// failure report).
+	Messages int
+	// Unrepaired counts failed links with no available replacement.
+	Unrepaired int
+}
+
+// Total returns the end-to-end repair time.
+func (r RepairStats) Total() time.Duration {
+	return r.ReportRTT + r.ComputeTime + r.InstructRTT
+}
+
+// Repair reacts to unpredictable failures (§4.2 "Repairing unpredictable
+// failures"): it removes the failed links/satellites from the snapshot,
+// recomputes the residual gateway demand, and incrementally matches
+// replacements. rtt models the unavoidable controller round-trip (the
+// paper measures 83.5 ms of its 83.8 ms average repair time as RTT).
+func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, rtt time.Duration) (*Snapshot, RepairStats) {
+	start := time.Now()
+	stats := RepairStats{ReportRTT: rtt / 2, InstructRTT: rtt / 2}
+	stats.Messages = len(failedLinks) + len(failedSats)
+	dead := map[int]bool{}
+	for _, f := range failedSats {
+		dead[f] = true
+	}
+	failSet := map[Link]bool{}
+	for _, l := range failedLinks {
+		failSet[l] = true
+	}
+	out := &Snapshot{
+		Time:     s.Time,
+		CellSats: map[int][]int{},
+		Gateways: map[[2]int][]int{},
+		Deficits: map[[2]int]int{},
+	}
+	for u, sats := range s.CellSats {
+		for _, sat := range sats {
+			if !dead[sat] {
+				out.CellSats[u] = append(out.CellSats[u], sat)
+			}
+		}
+	}
+	for k, d := range s.Deficits {
+		out.Deficits[k] = d
+	}
+	// Remaining healthy inter-links and their gateway assignments.
+	busy := map[int]bool{} // satellites already serving a gateway link
+	for key, gws := range s.Gateways {
+		var kept []int
+		for _, g := range gws {
+			if !dead[g] {
+				kept = append(kept, g)
+			}
+		}
+		out.Gateways[key] = kept
+	}
+	for _, l := range s.InterLinks {
+		if failSet[l] || dead[l[0]] || dead[l[1]] {
+			// Edge loses one ISL; gateway slots reopen.
+			c.dropGateway(out, l)
+			continue
+		}
+		out.InterLinks = append(out.InterLinks, l)
+		busy[l[0]], busy[l[1]] = true, true
+	}
+	// Re-match residual demand per edge, counting satisfied ISLs the same
+	// way EnforcementRatio does: concrete links between the two gateway
+	// sets of the edge.
+	countEdgeLinks := func(e [2]int) int {
+		gu := map[int]bool{}
+		for _, g := range out.Gateways[[2]int{e[0], e[1]}] {
+			gu[g] = true
+		}
+		gv := map[int]bool{}
+		for _, g := range out.Gateways[[2]int{e[1], e[0]}] {
+			gv[g] = true
+		}
+		n := 0
+		for _, l := range out.InterLinks {
+			if (gu[l[0]] && gv[l[1]]) || (gu[l[1]] && gv[l[0]]) {
+				n++
+			}
+		}
+		return n
+	}
+	for e, n := range c.cfg.Topo.Edges {
+		have := countEdgeLinks(e)
+		for have < n {
+			a, b, ok := c.bestReplacement(out, e, busy, failSet)
+			if !ok {
+				stats.Unrepaired += n - have
+				break
+			}
+			l := MakeLink(a, b)
+			out.InterLinks = append(out.InterLinks, l)
+			out.Gateways[[2]int{e[0], e[1]}] = appendUnique(out.Gateways[[2]int{e[0], e[1]}], a)
+			out.Gateways[[2]int{e[1], e[0]}] = appendUnique(out.Gateways[[2]int{e[1], e[0]}], b)
+			busy[a], busy[b] = true, true
+			stats.NewLinks = append(stats.NewLinks, l)
+			stats.Messages += 2
+			have++
+		}
+	}
+	sort.Slice(out.InterLinks, func(a, b int) bool { return lessLink(out.InterLinks[a], out.InterLinks[b]) })
+	// Rebuild rings from the (possibly changed) gateway sets.
+	c.rebuildRings(out)
+	// Ring changes are also instructions.
+	_, ringAdded := DiffLinks(&Snapshot{InterLinks: s.RingLinks}, &Snapshot{InterLinks: out.RingLinks})
+	stats.Messages += 2 * len(ringAdded)
+	stats.ComputeTime = time.Since(start)
+	return out, stats
+}
+
+// dropGateway releases the gateway assignments of a failed link's
+// endpoints (each satellite holds at most one gateway duty, so removing
+// the endpoints from every list is exact).
+func (c *Controller) dropGateway(s *Snapshot, l Link) {
+	for key, gws := range s.Gateways {
+		var kept []int
+		for _, g := range gws {
+			if g != l[0] && g != l[1] {
+				kept = append(kept, g)
+			}
+		}
+		s.Gateways[key] = kept
+	}
+}
+
+// linkServesEdge reports whether a link's endpoints cover the edge's two
+// cells (used by tests to validate compiled links).
+func (c *Controller) linkServesEdge(s *Snapshot, l Link, e [2]int) bool {
+	inCell := func(sat, cell int) bool {
+		for _, x := range s.CellSats[cell] {
+			if x == sat {
+				return true
+			}
+		}
+		return false
+	}
+	return (inCell(l[0], e[0]) && inCell(l[1], e[1])) || (inCell(l[0], e[1]) && inCell(l[1], e[0]))
+}
+
+// bestReplacement finds the longest-lived available satellite pair across
+// edge e whose link is not itself failed. Returned as (satellite in e[0],
+// satellite in e[1]).
+func (c *Controller) bestReplacement(s *Snapshot, e [2]int, busy map[int]bool, failSet map[Link]bool) (int, int, bool) {
+	bestTau := 0.0
+	var bestA, bestB int
+	found := false
+	for _, a := range s.CellSats[e[0]] {
+		if busy[a] {
+			continue
+		}
+		for _, b := range s.CellSats[e[1]] {
+			if busy[b] || a == b {
+				continue
+			}
+			if failSet[MakeLink(a, b)] {
+				continue
+			}
+			if tau := c.lifetime(a, b, s.Time); tau > bestTau {
+				bestTau, bestA, bestB, found = tau, a, b, true
+			}
+		}
+	}
+	return bestA, bestB, found
+}
+
+func (c *Controller) rebuildRings(s *Snapshot) {
+	s.RingLinks = nil
+	for _, u := range c.cfg.Topo.Cells() {
+		ringSet := map[int]bool{}
+		for _, v := range c.cfg.Topo.Neighbors(u) {
+			for _, g := range s.Gateways[[2]int{u, v}] {
+				if g >= 0 {
+					ringSet[g] = true
+				}
+			}
+		}
+		if len(ringSet) < 2 {
+			continue
+		}
+		members := make([]int, 0, len(ringSet))
+		for g := range ringSet {
+			members = append(members, g)
+		}
+		sort.Ints(members)
+		if len(members) == 2 {
+			s.RingLinks = append(s.RingLinks, MakeLink(members[0], members[1]))
+			continue
+		}
+		for i := range members {
+			s.RingLinks = append(s.RingLinks, MakeLink(members[i], members[(i+1)%len(members)]))
+		}
+	}
+	sort.Slice(s.RingLinks, func(a, b int) bool { return lessLink(s.RingLinks[a], s.RingLinks[b]) })
+}
+
+func appendUnique(list []int, v int) []int {
+	if v < 0 {
+		return list
+	}
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	return append(list, v)
+}
+
+// String summarizes a snapshot.
+func (s *Snapshot) String() string {
+	return fmt.Sprintf("snapshot{t=%.0fs cells=%d inter=%d ring=%d deficits=%d}",
+		s.Time, len(s.CellSats), len(s.InterLinks), len(s.RingLinks), len(s.Deficits))
+}

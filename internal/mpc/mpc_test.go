@@ -1,0 +1,276 @@
+package mpc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/geo"
+	"repro/internal/geom"
+	"repro/internal/intent"
+	"repro/internal/orbit"
+)
+
+// denseTestbed builds a Walker constellation dense enough that a small
+// equatorial chain intent always has satellites overhead, plus the chain
+// intent itself.
+func denseTestbed(t *testing.T) (*intent.Topology, []orbit.Elements, []int) {
+	t.Helper()
+	g := geo.MustGrid(10)
+	// High-altitude dense Walker with a 15° min-elevation footprint so every
+	// 10° test cell reliably has several satellites overhead.
+	sats := baseline.WalkerConfig{
+		InclinationDeg: 53, AltitudeKm: 1200, Planes: 24, SatsPerPlane: 24, PhasingF: 1,
+	}.Satellites()
+	topo := intent.NewTopology(g)
+	var cells []int
+	for i := 0; i < 4; i++ {
+		id := g.CellOf(geom.LatLon{Lat: 5, Lon: float64(-15 + i*10)})
+		topo.AddCell(id, 3)
+		cells = append(cells, id)
+	}
+	for i := 1; i < len(cells); i++ {
+		topo.Connect(cells[i-1], cells[i], 1)
+	}
+	return topo, sats, cells
+}
+
+func newController(t *testing.T) (*Controller, []int) {
+	t.Helper()
+	topo, sats, cells := denseTestbed(t)
+	c, err := New(Config{
+		Topo: topo, Sats: sats, LifetimeHorizon: 600, LifetimeStep: 60,
+		Coverage: orbit.CoverageParams{MinElevation: geom.Deg2Rad(15)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cells
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	topo, _, _ := denseTestbed(t)
+	if _, err := New(Config{Topo: topo}); err == nil {
+		t.Error("empty satellite list accepted")
+	}
+}
+
+func TestCompileProducesLinks(t *testing.T) {
+	c, cells := newController(t)
+	snap := c.Compile(0)
+	if len(snap.CellSats) == 0 {
+		t.Fatal("no satellites homed to cells")
+	}
+	if len(snap.InterLinks) == 0 {
+		t.Fatal("no inter-cell ISLs compiled")
+	}
+	// Every intent edge should be served (dense constellation).
+	ratio := c.EnforcementRatio(snap)
+	if ratio < 0.99 {
+		t.Errorf("enforcement ratio = %v (deficits %v)", ratio, snap.Deficits)
+	}
+	// Each inter-link connects satellites homed to adjacent intent cells.
+	for _, l := range snap.InterLinks {
+		served := false
+		for i := 1; i < len(cells); i++ {
+			if c.linkServesEdge(snap, l, [2]int{min(cells[i-1], cells[i]), max(cells[i-1], cells[i])}) {
+				served = true
+			}
+		}
+		if !served {
+			t.Errorf("link %v serves no intent edge", l)
+		}
+	}
+}
+
+func TestCompileRespectsTerminalBudget(t *testing.T) {
+	c, _ := newController(t)
+	snap := c.Compile(0)
+	degree := map[int]int{}
+	for _, l := range snap.Links() {
+		degree[l[0]]++
+		degree[l[1]]++
+	}
+	for sat, d := range degree {
+		if d > c.cfg.MaxISLsPerSat {
+			t.Errorf("satellite %d uses %d ISL terminals (max %d)", sat, d, c.cfg.MaxISLsPerSat)
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	c, _ := newController(t)
+	a := c.Compile(0)
+	b := c.Compile(0)
+	al, bl := a.Links(), b.Links()
+	if len(al) != len(bl) {
+		t.Fatalf("link counts differ: %d vs %d", len(al), len(bl))
+	}
+	for i := range al {
+		if al[i] != bl[i] {
+			t.Fatalf("links differ at %d: %v vs %v", i, al[i], bl[i])
+		}
+	}
+}
+
+func TestIntentStableWhileTopologyEvolves(t *testing.T) {
+	// The paper's headline property (Figure 16): the geographic intent is
+	// fixed while the compiled satellite topology changes over time.
+	c, _ := newController(t)
+	prev := c.Compile(0)
+	changedAtLeastOnce := false
+	for _, tt := range []float64{300, 600, 900} {
+		cur := c.Compile(tt)
+		if r := c.EnforcementRatio(cur); r < 0.95 {
+			t.Errorf("t=%v: enforcement %v", tt, r)
+		}
+		added, removed := DiffLinks(prev, cur)
+		if len(added)+len(removed) > 0 {
+			changedAtLeastOnce = true
+		}
+		prev = cur
+	}
+	if !changedAtLeastOnce {
+		t.Error("satellite topology never changed over 15 minutes of LEO motion; suspicious")
+	}
+}
+
+func TestLifetimePreferenceFavorsStableLinks(t *testing.T) {
+	// τ must be positive for an adjacent co-orbital pair and zero for an
+	// occluded pair.
+	c, _ := newController(t)
+	if tau := c.lifetime(0, 1, 0); tau <= 0 {
+		t.Errorf("co-orbital neighbors lifetime = %v", tau)
+	}
+	n := len(c.cfg.Sats)
+	if tau := c.lifetime(0, n/2, 0); tau != 0 {
+		// Opposite side of the constellation: should be invisible.
+		t.Logf("lifetime to far satellite = %v (may be visible depending on geometry)", tau)
+	}
+}
+
+func TestMakeLinkNormalizes(t *testing.T) {
+	if MakeLink(5, 2) != (Link{2, 5}) {
+		t.Error("MakeLink does not sort")
+	}
+	if MakeLink(2, 5) != MakeLink(5, 2) {
+		t.Error("MakeLink not symmetric")
+	}
+}
+
+func TestDiffLinks(t *testing.T) {
+	a := &Snapshot{InterLinks: []Link{{1, 2}, {3, 4}}}
+	b := &Snapshot{InterLinks: []Link{{3, 4}, {5, 6}}}
+	added, removed := DiffLinks(a, b)
+	if len(added) != 1 || added[0] != (Link{5, 6}) {
+		t.Errorf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != (Link{1, 2}) {
+		t.Errorf("removed = %v", removed)
+	}
+	// Nil previous snapshot: everything is new.
+	added, removed = DiffLinks(nil, b)
+	if len(added) != 2 || removed != nil {
+		t.Errorf("nil prev: %v %v", added, removed)
+	}
+}
+
+func TestRepairReplacesFailedLink(t *testing.T) {
+	c, _ := newController(t)
+	snap := c.Compile(0)
+	if len(snap.InterLinks) == 0 {
+		t.Fatal("need links to fail")
+	}
+	victim := snap.InterLinks[0]
+	before := c.EnforcementRatio(snap)
+	repaired, stats := c.Repair(snap, []Link{victim}, nil, 83*time.Millisecond)
+	if stats.Messages == 0 {
+		t.Error("repair sent no messages")
+	}
+	if stats.Total() < 83*time.Millisecond {
+		t.Errorf("repair total %v below the RTT floor", stats.Total())
+	}
+	// The victim link must be gone.
+	for _, l := range repaired.InterLinks {
+		if l == victim {
+			t.Error("failed link still present")
+		}
+	}
+	after := c.EnforcementRatio(repaired)
+	if after < before-1e-9 && stats.Unrepaired > 0 {
+		t.Logf("unrepaired: %d (acceptable if no spare satellites)", stats.Unrepaired)
+	} else if after < before-1e-9 {
+		t.Errorf("enforcement dropped %v -> %v without unrepaired report", before, after)
+	}
+}
+
+func TestRepairSurvivesSatelliteFailure(t *testing.T) {
+	c, _ := newController(t)
+	snap := c.Compile(0)
+	if len(snap.InterLinks) == 0 {
+		t.Fatal("need links")
+	}
+	deadSat := snap.InterLinks[0][0]
+	repaired, _ := c.Repair(snap, nil, []int{deadSat}, 80*time.Millisecond)
+	for _, l := range repaired.Links() {
+		if l[0] == deadSat || l[1] == deadSat {
+			t.Errorf("dead satellite %d still linked via %v", deadSat, l)
+		}
+	}
+	for _, sats := range repaired.CellSats {
+		for _, s := range sats {
+			if s == deadSat {
+				t.Error("dead satellite still homed to a cell")
+			}
+		}
+	}
+}
+
+func TestRepairTimeDominatedByRTT(t *testing.T) {
+	// Figure 17d: 83.5 of 83.8 ms is RTT; compute is sub-millisecond at
+	// this scale.
+	c, _ := newController(t)
+	snap := c.Compile(0)
+	if len(snap.InterLinks) == 0 {
+		t.Fatal("need links")
+	}
+	_, stats := c.Repair(snap, []Link{snap.InterLinks[0]}, nil, 83*time.Millisecond)
+	if stats.ComputeTime > 50*time.Millisecond {
+		t.Errorf("compute time %v too large", stats.ComputeTime)
+	}
+	if frac := float64(stats.ReportRTT+stats.InstructRTT) / float64(stats.Total()); frac < 0.5 {
+		t.Errorf("RTT fraction = %v; repair should be RTT-dominated", frac)
+	}
+}
+
+func TestRingConnectsGateways(t *testing.T) {
+	c, cells := newController(t)
+	snap := c.Compile(0)
+	// For the middle cell (2 edges), its gateways must be ring-connected if
+	// there are ≥ 2 of them.
+	u := cells[1]
+	gws := map[int]bool{}
+	for _, v := range c.cfg.Topo.Neighbors(u) {
+		for _, g := range snap.Gateways[[2]int{u, v}] {
+			gws[g] = true
+		}
+	}
+	if len(gws) < 2 {
+		t.Skip("fewer than 2 gateways; ring not required")
+	}
+	ringDegree := map[int]int{}
+	for _, l := range snap.RingLinks {
+		if gws[l[0]] && gws[l[1]] {
+			ringDegree[l[0]]++
+			ringDegree[l[1]]++
+		}
+	}
+	for g := range gws {
+		if ringDegree[g] == 0 {
+			t.Errorf("gateway %d of cell %d not on the ring", g, u)
+		}
+	}
+}

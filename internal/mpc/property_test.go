@@ -1,0 +1,92 @@
+package mpc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPropertyLinkNormalization: MakeLink is order-insensitive and Peer is
+// its inverse.
+func TestPropertyLinkNormalization(t *testing.T) {
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		l := MakeLink(int(a), int(b))
+		if l != MakeLink(int(b), int(a)) {
+			return false
+		}
+		if l[0] > l[1] {
+			return false
+		}
+		return l.Peer(int(a)) == int(b) && l.Peer(int(b)) == int(a) && l.Peer(1<<20) == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCompileInvariants checks structural invariants of compiled
+// snapshots at arbitrary times: gateway uniqueness (one gateway duty per
+// satellite), terminal budget, and link endpoints being gateways of the
+// edge's two cells.
+func TestPropertyCompileInvariants(t *testing.T) {
+	c, _ := newController(t)
+	f := func(slot uint8) bool {
+		tt := float64(slot) * 97 // arbitrary non-round times
+		snap := c.Compile(tt)
+		// One gateway duty per satellite.
+		duty := map[int]int{}
+		for key, gws := range snap.Gateways {
+			for _, g := range gws {
+				duty[g]++
+				// A gateway must cover its home cell.
+				found := false
+				for _, s := range snap.CellSats[key[0]] {
+					if s == g {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		for _, n := range duty {
+			if n > 1 {
+				return false
+			}
+		}
+		// Terminal budget: ≤ 3 links per satellite.
+		degree := map[int]int{}
+		for _, l := range snap.Links() {
+			degree[l[0]]++
+			degree[l[1]]++
+		}
+		for _, d := range degree {
+			if d > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRepairIdempotentOnNoFailures: repairing with no failures
+// must not change the link set.
+func TestPropertyRepairIdempotentOnNoFailures(t *testing.T) {
+	c, _ := newController(t)
+	snap := c.Compile(0)
+	repaired, stats := c.Repair(snap, nil, nil, 80*time.Millisecond)
+	added, removed := DiffLinks(snap, repaired)
+	if len(added)+len(removed) != 0 {
+		t.Errorf("no-op repair changed links: +%v -%v", added, removed)
+	}
+	if len(stats.NewLinks) != 0 {
+		t.Errorf("no-op repair installed %d links", len(stats.NewLinks))
+	}
+}

@@ -1,0 +1,59 @@
+package netem
+
+import "math/rand"
+
+// Impairment models stochastic link degradation — the paper's §4.3
+// motivation ("solar storms and cosmic radiations", intermittent ISLs):
+// random packet loss and random link flaps. Deterministic given the seed.
+type Impairment struct {
+	// LossRate drops each delivered packet independently with this
+	// probability (0 disables).
+	LossRate float64
+	// FlapRate is the per-second hazard of the link going down; FlapDown
+	// is how long it stays down. Zero disables flapping.
+	FlapRate float64
+	FlapDown float64
+
+	rng *rand.Rand
+}
+
+// NewImpairment creates a deterministic impairment model.
+func NewImpairment(seed int64, lossRate float64) *Impairment {
+	return &Impairment{LossRate: lossRate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Attach arms the impairment on a link: losses are applied at delivery
+// time, flaps are scheduled on the simulator until horizon.
+func (im *Impairment) Attach(sim *Sim, l *Link, horizon float64) {
+	if im.LossRate > 0 {
+		inner := l.deliver
+		l.deliver = func(at, from int, payload any) {
+			if im.rng.Float64() < im.LossRate {
+				l.Drops++
+				return
+			}
+			if inner != nil {
+				inner(at, from, payload)
+			}
+		}
+	}
+	if im.FlapRate > 0 && im.FlapDown > 0 {
+		var scheduleFlap func()
+		scheduleFlap = func() {
+			// Exponential inter-arrival via inverse transform.
+			wait := im.rng.ExpFloat64() / im.FlapRate
+			at := sim.Now() + wait
+			if at > horizon {
+				return
+			}
+			sim.Schedule(wait, func() {
+				l.Down()
+				sim.Schedule(im.FlapDown, func() {
+					l.Up()
+					scheduleFlap()
+				})
+			})
+		}
+		scheduleFlap()
+	}
+}

@@ -1,0 +1,267 @@
+package netem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 10 {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.Schedule(1, func() {
+		s.Schedule(1, func() { fired++ })
+	})
+	s.Run(3)
+	if fired != 1 {
+		t.Errorf("nested event fired %d times", fired)
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.Schedule(5, func() { fired = true })
+	s.Run(2)
+	if fired {
+		t.Error("event past horizon fired")
+	}
+	if s.Now() != 2 {
+		t.Errorf("clock = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run(10)
+	if !fired {
+		t.Error("event never fired")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay accepted")
+		}
+	}()
+	NewSim().Schedule(-1, func() {})
+}
+
+func TestLinkDelivery(t *testing.T) {
+	s := NewSim()
+	var gotAt float64
+	var gotPayload any
+	l := NewLink(s, 1, 2, 8000, 0.01, 0, func(at, from int, payload any) {
+		if at != 2 || from != 1 {
+			t.Errorf("delivered at=%d from=%d", at, from)
+		}
+		gotAt = s.Now()
+		gotPayload = payload
+	})
+	// 100 bytes at 8000 bps = 0.1 s serialization + 0.01 propagation.
+	if !l.Send(1, 100, "hello") {
+		t.Fatal("send failed")
+	}
+	s.Run(1)
+	if math.Abs(gotAt-0.11) > 1e-9 {
+		t.Errorf("arrival at %v, want 0.11", gotAt)
+	}
+	if gotPayload != "hello" {
+		t.Errorf("payload = %v", gotPayload)
+	}
+	if l.TxPackets != 1 || l.RxPackets != 1 || l.TxBytes != 100 {
+		t.Errorf("stats: %+v", *l)
+	}
+}
+
+func TestLinkSerializationQueuing(t *testing.T) {
+	s := NewSim()
+	var arrivals []float64
+	l := NewLink(s, 1, 2, 8000, 0, 0, func(at, from int, payload any) {
+		arrivals = append(arrivals, s.Now())
+	})
+	// Two back-to-back 100-byte packets: 0.1 s each, FIFO.
+	l.Send(1, 100, nil)
+	l.Send(1, 100, nil)
+	s.Run(1)
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if math.Abs(arrivals[0]-0.1) > 1e-9 || math.Abs(arrivals[1]-0.2) > 1e-9 {
+		t.Errorf("arrivals = %v, want [0.1 0.2]", arrivals)
+	}
+}
+
+func TestLinkBidirectionalIndependentQueues(t *testing.T) {
+	s := NewSim()
+	n := 0
+	l := NewLink(s, 1, 2, 8000, 0, 0, func(at, from int, payload any) { n++ })
+	l.Send(1, 100, nil)
+	l.Send(2, 100, nil)
+	s.Run(0.15)
+	if n != 2 {
+		t.Errorf("directions not independent: %d arrived", n)
+	}
+}
+
+func TestLinkQueueLimitDrops(t *testing.T) {
+	s := NewSim()
+	delivered := 0
+	l := NewLink(s, 1, 2, 8000, 0, 2, func(at, from int, payload any) { delivered++ })
+	ok1 := l.Send(1, 100, nil)
+	ok2 := l.Send(1, 100, nil)
+	ok3 := l.Send(1, 100, nil) // exceeds queue of 2
+	if !ok1 || !ok2 || ok3 {
+		t.Errorf("sends: %v %v %v", ok1, ok2, ok3)
+	}
+	s.Run(1)
+	if delivered != 2 || l.Drops != 1 {
+		t.Errorf("delivered=%d drops=%d", delivered, l.Drops)
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	s := NewSim()
+	delivered := 0
+	l := NewLink(s, 1, 2, 0, 0.05, 0, func(at, from int, payload any) { delivered++ })
+	l.Down()
+	if l.Send(1, 100, nil) {
+		t.Error("send on down link succeeded")
+	}
+	l.Up()
+	l.Send(1, 100, nil)
+	// Take it down while the packet is in flight: packet is lost.
+	s.Schedule(0.01, func() { l.Down() })
+	s.Run(1)
+	if delivered != 0 {
+		t.Error("in-flight packet survived link failure")
+	}
+	if l.Drops != 2 {
+		t.Errorf("drops = %d", l.Drops)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := NewSim()
+	l := NewLink(s, 1, 2, 8000, 0, 0, nil)
+	// 5 packets × 0.1 s serialization = 0.5 s busy.
+	for i := 0; i < 5; i++ {
+		l.Send(1, 100, nil)
+	}
+	s.Run(1)
+	if math.Abs(l.Utilization()-0.5) > 1e-9 {
+		t.Errorf("utilization = %v", l.Utilization())
+	}
+}
+
+func TestPeer(t *testing.T) {
+	s := NewSim()
+	l := NewLink(s, 7, 9, 0, 0, 0, nil)
+	if l.Peer(7) != 9 || l.Peer(9) != 7 || l.Peer(3) != -1 {
+		t.Error("Peer wrong")
+	}
+}
+
+func TestInfiniteRateLink(t *testing.T) {
+	s := NewSim()
+	var at float64
+	l := NewLink(s, 1, 2, 0, 0.25, 0, func(int, int, any) { at = s.Now() })
+	l.Send(1, 1<<20, nil)
+	s.Run(1)
+	if math.Abs(at-0.25) > 1e-9 {
+		t.Errorf("rate-0 (infinite) link arrival = %v", at)
+	}
+}
+
+func TestImpairmentLoss(t *testing.T) {
+	s := NewSim()
+	delivered := 0
+	l := NewLink(s, 1, 2, 0, 0.001, 0, func(at, from int, payload any) { delivered++ })
+	im := NewImpairment(42, 0.5)
+	im.Attach(s, l, 100)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l.Send(1, 100, nil)
+	}
+	s.Run(10)
+	if delivered == 0 || delivered == n {
+		t.Fatalf("loss model inert: %d/%d delivered", delivered, n)
+	}
+	frac := float64(delivered) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("delivery fraction %v, want ≈0.5", frac)
+	}
+	if l.Drops < int64(n)/3 {
+		t.Errorf("drops = %d", l.Drops)
+	}
+}
+
+func TestImpairmentFlaps(t *testing.T) {
+	s := NewSim()
+	l := NewLink(s, 1, 2, 0, 0, 0, nil)
+	im := NewImpairment(7, 0)
+	im.FlapRate = 2 // ~2 flaps/s
+	im.FlapDown = 0.05
+	im.Attach(s, l, 10)
+	downObserved := false
+	for i := 0; i < 1000; i++ {
+		s.Schedule(float64(i)*0.01, func() {
+			if !l.IsUp() {
+				downObserved = true
+			}
+		})
+	}
+	s.Run(10)
+	if !downObserved {
+		t.Error("link never observed down despite flapping")
+	}
+	if !l.IsUp() && s.Pending() == 0 {
+		t.Error("link left down after horizon")
+	}
+}
+
+func TestImpairmentDeterministic(t *testing.T) {
+	run := func() int {
+		s := NewSim()
+		delivered := 0
+		l := NewLink(s, 1, 2, 0, 0.001, 0, func(int, int, any) { delivered++ })
+		NewImpairment(9, 0.3).Attach(s, l, 100)
+		for i := 0; i < 500; i++ {
+			l.Send(1, 10, nil)
+		}
+		s.Run(5)
+		return delivered
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic impairment: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,112 @@
+// Package orbit implements the orbital-mechanics substrate TinyLEO builds
+// on: circular two-body propagation, Earth-repeat orbit enumeration
+// (Equation 1 of the paper, T/T⊕ = p/q), satellite ground tracks, footprint
+// coverage, and inter-satellite link visibility.
+//
+// Model: spherical Earth, circular Keplerian orbits, no J2 or drag. The
+// paper treats orbit maintenance (station-keeping back onto the repeat
+// track) as an operational task orthogonal to network design (§4.1
+// "Long-term stability"), so the repeat tracks here are exact.
+package orbit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Elements describes a circular LEO orbit slot for one satellite.
+type Elements struct {
+	// SemiMajor is the orbital semi-major axis in meters (circular orbits:
+	// the constant geocentric radius).
+	SemiMajor float64
+	// Inclination is the orbital inclination in radians, in [0, π].
+	Inclination float64
+	// RAAN is the right ascension of the ascending node in radians.
+	RAAN float64
+	// Phase is the argument of latitude at epoch t=0 (angle from the
+	// ascending node along the orbit), in radians.
+	Phase float64
+}
+
+// Altitude returns the orbit's altitude above the spherical Earth, meters.
+func (e Elements) Altitude() float64 { return e.SemiMajor - geom.EarthRadius }
+
+// Period returns the Keplerian orbital period in seconds.
+func (e Elements) Period() float64 {
+	return 2 * math.Pi * math.Sqrt(e.SemiMajor*e.SemiMajor*e.SemiMajor/geom.EarthMu)
+}
+
+// MeanMotion returns the mean motion n = 2π/T in rad/s.
+func (e Elements) MeanMotion() float64 { return 2 * math.Pi / e.Period() }
+
+// SemiMajorForPeriod returns the semi-major axis (m) of a circular orbit
+// with period T seconds.
+func SemiMajorForPeriod(T float64) float64 {
+	return math.Cbrt(geom.EarthMu * (T / (2 * math.Pi)) * (T / (2 * math.Pi)))
+}
+
+// PositionECI returns the satellite's ECI position at time t seconds after
+// epoch. The orbit plane is obtained by rotating the equatorial circle by
+// the inclination about +X, then by the RAAN about +Z.
+func (e Elements) PositionECI(t float64) geom.Vec3 {
+	u := e.Phase + e.MeanMotion()*t
+	s, c := math.Sincos(u)
+	p := geom.Vec3{X: e.SemiMajor * c, Y: e.SemiMajor * s}
+	return p.RotX(e.Inclination).RotZ(e.RAAN)
+}
+
+// VelocityECI returns the satellite's ECI velocity (m/s) at time t.
+func (e Elements) VelocityECI(t float64) geom.Vec3 {
+	u := e.Phase + e.MeanMotion()*t
+	v := e.SemiMajor * e.MeanMotion() // circular speed
+	s, c := math.Sincos(u)
+	p := geom.Vec3{X: -v * s, Y: v * c}
+	return p.RotX(e.Inclination).RotZ(e.RAAN)
+}
+
+// GMST returns the Greenwich mean sidereal angle (radians) at time t seconds
+// after epoch, taking the angle to be zero at epoch. Only the rotation rate
+// matters for TinyLEO's relative geometry.
+func GMST(t float64) float64 {
+	return geom.NormalizeAngle(2 * math.Pi * t / geom.SiderealDay)
+}
+
+// PositionECEF returns the satellite's Earth-fixed position at time t.
+func (e Elements) PositionECEF(t float64) geom.Vec3 {
+	return e.PositionECI(t).RotZ(-GMST(t))
+}
+
+// SubSatellitePoint returns the geodetic point directly under the satellite
+// at time t (the ground-track sample).
+func (e Elements) SubSatellitePoint(t float64) geom.LatLon {
+	return geom.FromUnit(e.PositionECEF(t))
+}
+
+// GroundTrack samples the sub-satellite point every dt seconds over [0, dur].
+func (e Elements) GroundTrack(dur, dt float64) []geom.LatLon {
+	n := int(dur/dt) + 1
+	pts := make([]geom.LatLon, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, e.SubSatellitePoint(float64(i)*dt))
+	}
+	return pts
+}
+
+// MaxLatitude returns the highest geodetic latitude (degrees) the
+// satellite's ground track reaches: min(i, π−i) for inclination i.
+func (e Elements) MaxLatitude() float64 {
+	i := e.Inclination
+	if i > math.Pi/2 {
+		i = math.Pi - i
+	}
+	return geom.Rad2Deg(i)
+}
+
+// String implements fmt.Stringer with the paper's (α, β, T) notation.
+func (e Elements) String() string {
+	return fmt.Sprintf("orbit{h=%.0fkm α=%.1f° β=%.1f° T=%.1fmin u0=%.1f°}",
+		e.Altitude()/1e3, geom.Rad2Deg(e.RAAN), geom.Rad2Deg(e.Inclination),
+		e.Period()/60, geom.Rad2Deg(e.Phase))
+}

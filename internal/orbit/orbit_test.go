@@ -1,0 +1,129 @@
+package orbit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func circular(altKm, incDeg, raanDeg, phaseDeg float64) Elements {
+	return Elements{
+		SemiMajor:   geom.EarthRadius + altKm*1e3,
+		Inclination: geom.Deg2Rad(incDeg),
+		RAAN:        geom.Deg2Rad(raanDeg),
+		Phase:       geom.Deg2Rad(phaseDeg),
+	}
+}
+
+func TestPeriodMatchesPaperAltitudes(t *testing.T) {
+	// Table 1: 423 km ↔ 92.8 min, 1,873 km ↔ 124.2 min (±1% for our
+	// spherical constants).
+	cases := []struct {
+		altKm, periodMin float64
+	}{
+		{423, 92.8}, {573, 95.9}, {1141, 108}, {1335, 112.2}, {1873, 124.2},
+	}
+	for _, c := range cases {
+		e := circular(c.altKm, 53, 0, 0)
+		got := e.Period() / 60
+		if math.Abs(got-c.periodMin)/c.periodMin > 0.01 {
+			t.Errorf("altitude %.0f km: period %.2f min, paper says %.1f", c.altKm, got, c.periodMin)
+		}
+	}
+}
+
+func TestSemiMajorForPeriodInverse(t *testing.T) {
+	for _, alt := range []float64{400e3, 550e3, 1200e3, 1873e3} {
+		e := Elements{SemiMajor: geom.EarthRadius + alt}
+		a := SemiMajorForPeriod(e.Period())
+		if math.Abs(a-e.SemiMajor) > 1 {
+			t.Errorf("inverse semi-major drifted: %v vs %v", a, e.SemiMajor)
+		}
+	}
+}
+
+func TestPositionECIOnSphere(t *testing.T) {
+	e := circular(550, 53, 40, 10)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		tt := rng.Float64() * 86400
+		r := e.PositionECI(tt).Norm()
+		if math.Abs(r-e.SemiMajor) > 1e-3 {
+			t.Fatalf("radius drift at t=%v: %v", tt, r-e.SemiMajor)
+		}
+	}
+}
+
+func TestPositionPeriodicity(t *testing.T) {
+	e := circular(550, 53, 40, 10)
+	p0 := e.PositionECI(0)
+	p1 := e.PositionECI(e.Period())
+	if p0.Dist(p1) > 1 {
+		t.Errorf("position not periodic: drift %v m", p0.Dist(p1))
+	}
+}
+
+func TestVelocityOrthogonalToPosition(t *testing.T) {
+	e := circular(550, 97.6, -60, 200)
+	for _, tt := range []float64{0, 100, 1234, 5555} {
+		p := e.PositionECI(tt)
+		v := e.VelocityECI(tt)
+		if math.Abs(p.Unit().Dot(v.Unit())) > 1e-9 {
+			t.Errorf("velocity not tangential at t=%v", tt)
+		}
+		want := OrbitalVelocity(e.Altitude())
+		if math.Abs(v.Norm()-want)/want > 1e-9 {
+			t.Errorf("speed %v, want %v", v.Norm(), want)
+		}
+	}
+}
+
+func TestOrbitalVelocityIsAbout7kms(t *testing.T) {
+	// §2.3: LEO satellites move at about 7 km/s.
+	v := OrbitalVelocity(550e3)
+	if v < 7.4e3 || v > 7.8e3 {
+		t.Errorf("v at 550km = %v m/s", v)
+	}
+}
+
+func TestMaxLatitude(t *testing.T) {
+	e := circular(550, 53, 0, 0)
+	maxLat := -100.0
+	for _, p := range e.GroundTrack(2*e.Period(), 10) {
+		if p.Lat > maxLat {
+			maxLat = p.Lat
+		}
+	}
+	if math.Abs(maxLat-e.MaxLatitude()) > 0.5 {
+		t.Errorf("observed max lat %v, want %v", maxLat, e.MaxLatitude())
+	}
+	// Retrograde orbit: max latitude is the supplement.
+	e2 := circular(550, 97.6, 0, 0)
+	if got := e2.MaxLatitude(); math.Abs(got-82.4) > 1e-9 {
+		t.Errorf("retrograde max lat = %v", got)
+	}
+}
+
+func TestEquatorialOrbitStaysOnEquator(t *testing.T) {
+	e := circular(550, 0, 0, 0)
+	for _, p := range e.GroundTrack(e.Period(), 60) {
+		if math.Abs(p.Lat) > 1e-6 {
+			t.Fatalf("equatorial orbit left equator: %v", p)
+		}
+	}
+}
+
+func TestGroundTrackDriftsWestward(t *testing.T) {
+	// A prograde LEO's ascending-node longitude shifts westward each orbit
+	// because the Earth rotates under it.
+	e := circular(550, 53, 0, 0)
+	l0 := e.SubSatellitePoint(0).Lon
+	l1 := e.SubSatellitePoint(e.Period()).Lon
+	shift := geom.NormalizeLon(l1 - l0)
+	wantShift := -360 * e.Period() / geom.SiderealDay
+	if math.Abs(shift-wantShift) > 0.01 {
+		t.Errorf("per-orbit drift = %v°, want %v°", shift, wantShift)
+	}
+}

@@ -1,0 +1,99 @@
+package orbit
+
+import (
+	"repro/internal/geom"
+)
+
+// Pass is one visibility window of a satellite over a ground point —
+// the building block of §2.3's observation that a LEO satellite covers
+// any area for only minutes at a time, and of ground-station scheduling.
+type Pass struct {
+	// Start and End bound the window (seconds since epoch); the satellite
+	// is above the minimum elevation throughout [Start, End).
+	Start, End float64
+	// MaxElevation is the pass's peak elevation in radians.
+	MaxElevation float64
+}
+
+// Duration returns the pass length in seconds.
+func (p Pass) Duration() float64 { return p.End - p.Start }
+
+// PredictPasses scans [t0, t0+horizon) in steps of dt and returns every
+// visibility window of the satellite over ground point g at the given
+// coverage geometry. Window edges are refined by bisection to ~dt/64
+// accuracy.
+func PredictPasses(e Elements, g geom.LatLon, cp CoverageParams, t0, horizon, dt float64) []Pass {
+	if dt <= 0 || horizon <= 0 {
+		return nil
+	}
+	visible := func(t float64) bool { return cp.Covers(e, t, g) }
+	elevation := func(t float64) float64 {
+		return geom.ElevationAngle(g, e.PositionECEF(t))
+	}
+	// Bisect a visibility transition inside (lo, hi).
+	refine := func(lo, hi float64, want bool) float64 {
+		for i := 0; i < 6; i++ {
+			mid := (lo + hi) / 2
+			if visible(mid) == want {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+	var passes []Pass
+	inPass := false
+	var cur Pass
+	prevT := t0
+	prevVis := visible(t0)
+	if prevVis {
+		inPass = true
+		cur = Pass{Start: t0, MaxElevation: elevation(t0)}
+	}
+	for t := t0 + dt; t <= t0+horizon; t += dt {
+		vis := visible(t)
+		switch {
+		case vis && !inPass:
+			inPass = true
+			cur = Pass{Start: refine(prevT, t, true), MaxElevation: elevation(t)}
+		case vis && inPass:
+			if el := elevation(t); el > cur.MaxElevation {
+				cur.MaxElevation = el
+			}
+		case !vis && inPass:
+			cur.End = refine(prevT, t, false)
+			passes = append(passes, cur)
+			inPass = false
+		}
+		prevT, prevVis = t, vis
+	}
+	if inPass {
+		cur.End = t0 + horizon
+		passes = append(passes, cur)
+	}
+	_ = prevVis
+	return passes
+}
+
+// RevisitGap returns the longest gap (seconds) between consecutive passes,
+// and the mean gap; zero passes yield (horizon, horizon).
+func RevisitGap(passes []Pass, t0, horizon float64) (maxGap, meanGap float64) {
+	if len(passes) == 0 {
+		return horizon, horizon
+	}
+	gaps := make([]float64, 0, len(passes)+1)
+	gaps = append(gaps, passes[0].Start-t0)
+	for i := 1; i < len(passes); i++ {
+		gaps = append(gaps, passes[i].Start-passes[i-1].End)
+	}
+	gaps = append(gaps, t0+horizon-passes[len(passes)-1].End)
+	sum := 0.0
+	for _, g := range gaps {
+		if g > maxGap {
+			maxGap = g
+		}
+		sum += g
+	}
+	return maxGap, sum / float64(len(gaps))
+}

@@ -1,0 +1,102 @@
+package orbit
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPredictPassesBasics(t *testing.T) {
+	// A satellite on an Earth-repeat track over a point its track crosses.
+	e := (RepeatSpec{1, 15}).Elements(geom.Deg2Rad(53), 0, 0)
+	target := e.SubSatellitePoint(600)
+	cp := DefaultCoverageParams
+	horizon := 2 * geom.SiderealDay / 15 // two orbits
+	passes := PredictPasses(e, target, cp, 0, horizon, 10)
+	if len(passes) == 0 {
+		t.Fatal("no passes over a point on the ground track")
+	}
+	for i, p := range passes {
+		if p.End <= p.Start {
+			t.Errorf("pass %d: inverted window %v..%v", i, p.Start, p.End)
+		}
+		// §2.3: coverage lasts minutes, not hours.
+		if d := p.Duration(); d < 30 || d > 600 {
+			t.Errorf("pass %d: duration %v s outside the minutes regime", i, d)
+		}
+		if p.MaxElevation < cp.MinElevation-0.05 {
+			t.Errorf("pass %d: max elevation %v below the service threshold", i, p.MaxElevation)
+		}
+		// Mid-pass must actually be visible.
+		mid := (p.Start + p.End) / 2
+		if !cp.Covers(e, mid, target) {
+			t.Errorf("pass %d: not visible at its midpoint", i)
+		}
+		if i > 0 && p.Start < passes[i-1].End {
+			t.Errorf("passes overlap: %v before %v", p.Start, passes[i-1].End)
+		}
+	}
+	// Just outside a pass the satellite must be invisible.
+	p0 := passes[0]
+	if cp.Covers(e, p0.Start-30, target) {
+		t.Error("visible well before the refined pass start")
+	}
+	if cp.Covers(e, p0.End+30, target) {
+		t.Error("visible well after the refined pass end")
+	}
+}
+
+func TestPredictPassesOutOfReach(t *testing.T) {
+	// A 53° orbit never covers the pole.
+	e := (RepeatSpec{1, 15}).Elements(geom.Deg2Rad(53), 0, 0)
+	passes := PredictPasses(e, geom.LatLon{Lat: 88, Lon: 0}, DefaultCoverageParams, 0, 6000, 10)
+	if len(passes) != 0 {
+		t.Errorf("polar point got %d passes from a 53° orbit", len(passes))
+	}
+}
+
+func TestPredictPassesDegenerate(t *testing.T) {
+	e := (RepeatSpec{1, 15}).Elements(geom.Deg2Rad(53), 0, 0)
+	if PredictPasses(e, geom.LatLon{}, DefaultCoverageParams, 0, 0, 10) != nil {
+		t.Error("zero horizon should yield nil")
+	}
+	if PredictPasses(e, geom.LatLon{}, DefaultCoverageParams, 0, 100, 0) != nil {
+		t.Error("zero dt should yield nil")
+	}
+}
+
+func TestRevisitGap(t *testing.T) {
+	passes := []Pass{{Start: 100, End: 200}, {Start: 500, End: 600}}
+	maxGap, meanGap := RevisitGap(passes, 0, 1000)
+	// Gaps: 100 (lead-in), 300 (between), 400 (tail).
+	if maxGap != 400 {
+		t.Errorf("max gap = %v", maxGap)
+	}
+	if meanGap != (100+300+400)/3.0 {
+		t.Errorf("mean gap = %v", meanGap)
+	}
+	mg, mn := RevisitGap(nil, 0, 1000)
+	if mg != 1000 || mn != 1000 {
+		t.Errorf("empty passes: %v %v", mg, mn)
+	}
+}
+
+func TestEarthRepeatPassesRepeat(t *testing.T) {
+	// The defining Earth-repeat property at pass granularity: the pass
+	// schedule in day 2 mirrors day 1 shifted by the repeat cycle.
+	s := RepeatSpec{1, 14}
+	e := s.Elements(geom.Deg2Rad(53), geom.Deg2Rad(40), geom.Deg2Rad(10))
+	target := e.SubSatellitePoint(2000)
+	cp := DefaultCoverageParams
+	cycle := s.RepeatCycle()
+	day1 := PredictPasses(e, target, cp, 0, cycle, 20)
+	day2 := PredictPasses(e, target, cp, cycle, cycle, 20)
+	if len(day1) == 0 || len(day1) != len(day2) {
+		t.Fatalf("pass counts differ across repeat cycles: %d vs %d", len(day1), len(day2))
+	}
+	for i := range day1 {
+		if diff := (day2[i].Start - cycle) - day1[i].Start; diff > 60 || diff < -60 {
+			t.Errorf("pass %d shifted by %v s across the repeat cycle", i, diff)
+		}
+	}
+}

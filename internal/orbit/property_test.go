@@ -1,0 +1,112 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// Property tests on orbital invariants, driven by testing/quick.
+
+// randomElements maps arbitrary quick-generated floats into a valid
+// circular LEO orbit.
+func randomElements(altSeed, incSeed, raanSeed, phaseSeed float64) Elements {
+	frac := func(x float64) float64 { // stable mapping into [0,1)
+		f := math.Abs(math.Mod(x, 1))
+		if math.IsNaN(f) {
+			return 0.5
+		}
+		return f
+	}
+	return Elements{
+		SemiMajor:   geom.EarthRadius + 400e3 + frac(altSeed)*1400e3,
+		Inclination: frac(incSeed) * math.Pi,
+		RAAN:        frac(raanSeed)*2*math.Pi - math.Pi,
+		Phase:       frac(phaseSeed) * 2 * math.Pi,
+	}
+}
+
+// TestPropertyRadiusConstant: circular orbits keep a constant geocentric
+// radius at any time.
+func TestPropertyRadiusConstant(t *testing.T) {
+	f := func(a, i, r, p, tSeed float64) bool {
+		e := randomElements(a, i, r, p)
+		tt := math.Abs(math.Mod(tSeed, 1)) * 7200
+		return math.Abs(e.PositionECI(tt).Norm()-e.SemiMajor) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLatitudeBounded: a ground track never exceeds the
+// inclination-implied maximum latitude.
+func TestPropertyLatitudeBounded(t *testing.T) {
+	f := func(a, i, r, p, tSeed float64) bool {
+		e := randomElements(a, i, r, p)
+		tt := math.Abs(math.Mod(tSeed, 1)) * 2 * e.Period()
+		lat := math.Abs(e.SubSatellitePoint(tt).Lat)
+		return lat <= e.MaxLatitude()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAngularMomentumConserved: r × v stays fixed in direction and
+// magnitude for the two-body circular orbit.
+func TestPropertyAngularMomentumConserved(t *testing.T) {
+	f := func(a, i, r, p, t1Seed, t2Seed float64) bool {
+		e := randomElements(a, i, r, p)
+		t1 := math.Abs(math.Mod(t1Seed, 1)) * 7200
+		t2 := math.Abs(math.Mod(t2Seed, 1)) * 7200
+		h1 := e.PositionECI(t1).Cross(e.VelocityECI(t1))
+		h2 := e.PositionECI(t2).Cross(e.VelocityECI(t2))
+		return h1.Dist(h2)/h1.Norm() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRepeatTracksClose: for any reduced (p,q) in the LEO band,
+// the ground track closes after the repeat cycle.
+func TestPropertyRepeatTracksClose(t *testing.T) {
+	specs := EnumerateRepeatSpecs(3, 423e3, 1873e3)
+	f := func(specSeed, i, r, p, tSeed uint32) bool {
+		s := specs[int(specSeed)%len(specs)]
+		e := s.Elements(
+			float64(i%180)*math.Pi/180,
+			float64(r%360)*math.Pi/180-math.Pi,
+			float64(p%360)*math.Pi/180,
+		)
+		t0 := float64(tSeed % 86400) // arbitrary epoch offset
+		a := e.SubSatellitePoint(t0)
+		b := e.SubSatellitePoint(t0 + s.RepeatCycle())
+		return geom.GreatCircleDist(a, b) < 2e3 // within 2 km
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyISLSymmetry: visibility and lifetime are symmetric in the
+// pair.
+func TestPropertyISLSymmetry(t *testing.T) {
+	f := func(a1, i1, r1, p1, a2, i2, r2, p2 float64) bool {
+		ea := randomElements(a1, i1, r1, p1)
+		eb := randomElements(a2, i2, r2, p2)
+		pa, pb := ea.PositionECI(0), eb.PositionECI(0)
+		if DefaultISLParams.Visible(pa, pb) != DefaultISLParams.Visible(pb, pa) {
+			return false
+		}
+		la := ISLLifetime(ea, eb, 0, 600, 60, DefaultISLParams)
+		lb := ISLLifetime(eb, ea, 0, 600, 60, DefaultISLParams)
+		return la == lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package orbit
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// RepeatSpec identifies an Earth-repeat orbit family per Equation 1 of the
+// paper: the satellite completes q orbital revolutions in exactly p Earth
+// rotations (sidereal days), so its ground track repeats with period
+// p·T⊕ = q·T.
+type RepeatSpec struct {
+	P int // Earth rotations per repeat cycle
+	Q int // orbital revolutions per repeat cycle
+}
+
+// Period returns the orbital period T = p·T⊕/q in seconds.
+func (r RepeatSpec) Period() float64 {
+	return float64(r.P) * geom.SiderealDay / float64(r.Q)
+}
+
+// RepeatCycle returns the ground-track repeat period p·T⊕ in seconds.
+func (r RepeatSpec) RepeatCycle() float64 {
+	return float64(r.P) * geom.SiderealDay
+}
+
+// Altitude returns the circular-orbit altitude (m) implied by the repeat
+// period.
+func (r RepeatSpec) Altitude() float64 {
+	return SemiMajorForPeriod(r.Period()) - geom.EarthRadius
+}
+
+// Valid reports whether the spec is a reduced positive fraction (the paper
+// requires p, q ∈ N+ and distinct tracks, i.e. gcd(p,q)=1).
+func (r RepeatSpec) Valid() bool {
+	return r.P > 0 && r.Q > 0 && gcd(r.P, r.Q) == 1
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// EnumerateRepeatSpecs returns all reduced (p,q) pairs with p ≤ maxP whose
+// circular-orbit altitude lies within [minAlt, maxAlt] meters. With maxP=4
+// and the paper's 423–1,873 km band this yields the track families of
+// Table 1 (92.8–124.2 min periods) and their near-repeat relatives.
+func EnumerateRepeatSpecs(maxP int, minAlt, maxAlt float64) []RepeatSpec {
+	var specs []RepeatSpec
+	for p := 1; p <= maxP; p++ {
+		// q/p is revolutions per sidereal day; LEO is roughly 11–16 rev/day.
+		qLo := int(math.Floor(float64(p) * geom.SiderealDay / periodForAltitude(maxAlt)))
+		qHi := int(math.Ceil(float64(p) * geom.SiderealDay / periodForAltitude(minAlt)))
+		for q := qLo; q <= qHi; q++ {
+			s := RepeatSpec{P: p, Q: q}
+			if !s.Valid() {
+				continue
+			}
+			if alt := s.Altitude(); alt >= minAlt && alt <= maxAlt {
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs
+}
+
+func periodForAltitude(alt float64) float64 {
+	a := geom.EarthRadius + alt
+	return 2 * math.Pi * math.Sqrt(a*a*a/geom.EarthMu)
+}
+
+// RepeatElements builds the concrete orbit slot for a repeat spec with the
+// given inclination, RAAN, and initial phase (all radians).
+func (r RepeatSpec) Elements(inclination, raan, phase float64) Elements {
+	return Elements{
+		SemiMajor:   SemiMajorForPeriod(r.Period()),
+		Inclination: inclination,
+		RAAN:        raan,
+		Phase:       phase,
+	}
+}

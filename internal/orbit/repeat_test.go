@@ -1,0 +1,110 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRepeatSpecPeriodAndAltitude(t *testing.T) {
+	// q=15, p=1: ~95.7 min, ~560 km (the paper's 573 km/95.9 min row with
+	// their slightly different day constant).
+	s := RepeatSpec{P: 1, Q: 15}
+	if min := s.Period() / 60; math.Abs(min-95.7) > 0.5 {
+		t.Errorf("1/15 period = %v min", min)
+	}
+	if alt := s.Altitude() / 1e3; alt < 540 || alt > 590 {
+		t.Errorf("1/15 altitude = %v km", alt)
+	}
+}
+
+func TestRepeatSpecValid(t *testing.T) {
+	cases := []struct {
+		s    RepeatSpec
+		want bool
+	}{
+		{RepeatSpec{1, 15}, true},
+		{RepeatSpec{2, 31}, true},
+		{RepeatSpec{2, 30}, false}, // not reduced
+		{RepeatSpec{0, 15}, false},
+		{RepeatSpec{1, 0}, false},
+		{RepeatSpec{3, 44}, true},
+	}
+	for _, c := range cases {
+		if got := c.s.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v", c.s, got)
+		}
+	}
+}
+
+func TestEnumerateRepeatSpecsPaperBand(t *testing.T) {
+	// The paper's Table 1 band: 423–1,873 km, 92.8–124.2 min.
+	specs := EnumerateRepeatSpecs(4, 423e3, 1873e3)
+	if len(specs) == 0 {
+		t.Fatal("no specs enumerated")
+	}
+	seen := map[RepeatSpec]bool{}
+	for _, s := range specs {
+		if !s.Valid() {
+			t.Errorf("invalid spec %v", s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate spec %v", s)
+		}
+		seen[s] = true
+		alt := s.Altitude()
+		if alt < 423e3-1 || alt > 1873e3+1 {
+			t.Errorf("spec %v altitude %v km out of band", s, alt/1e3)
+		}
+		if min := s.Period() / 60; min < 92 || min > 125 {
+			t.Errorf("spec %v period %v min out of band", s, min)
+		}
+	}
+	// p=1 must include the classic integer rev/day orbits q=12..15.
+	for q := 12; q <= 15; q++ {
+		if !seen[RepeatSpec{1, q}] {
+			t.Errorf("missing 1/%d repeat orbit", q)
+		}
+	}
+}
+
+func TestGroundTrackRepeats(t *testing.T) {
+	// The defining property: after p sidereal days (q revolutions) the
+	// sub-satellite point returns to where it started.
+	for _, s := range []RepeatSpec{{1, 14}, {1, 15}, {2, 29}, {3, 44}} {
+		e := s.Elements(geom.Deg2Rad(53), geom.Deg2Rad(30), geom.Deg2Rad(77))
+		p0 := e.SubSatellitePoint(0)
+		p1 := e.SubSatellitePoint(s.RepeatCycle())
+		if d := geom.GreatCircleDist(p0, p1); d > 1e3 {
+			t.Errorf("spec %v: track did not repeat, drift %v km", s, d/1e3)
+		}
+		// And at a half cycle it generally is somewhere else (non-trivial).
+		pm := e.SubSatellitePoint(s.RepeatCycle() / 7)
+		if geom.GreatCircleDist(p0, pm) < 1e3 {
+			t.Errorf("spec %v: track suspiciously static", s)
+		}
+	}
+}
+
+func TestNonRepeatOrbitDoesNotRepeat(t *testing.T) {
+	// An orbit with an irrational rev/day ratio must not return to its
+	// starting ground point after one sidereal day.
+	e := Elements{SemiMajor: geom.EarthRadius + 550.1234e3, Inclination: geom.Deg2Rad(53)}
+	p0 := e.SubSatellitePoint(0)
+	p1 := e.SubSatellitePoint(geom.SiderealDay)
+	if geom.GreatCircleDist(p0, p1) < 50e3 {
+		t.Error("non-repeat orbit repeated unexpectedly")
+	}
+}
+
+func TestRepeatElementsRoundTrip(t *testing.T) {
+	s := RepeatSpec{P: 1, Q: 15}
+	e := s.Elements(1.1, -0.5, 2.2)
+	if math.Abs(e.Period()-s.Period()) > 1e-6 {
+		t.Errorf("period mismatch")
+	}
+	if e.Inclination != 1.1 || e.RAAN != -0.5 || e.Phase != 2.2 {
+		t.Errorf("elements not preserved: %+v", e)
+	}
+}

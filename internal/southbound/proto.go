@@ -1,0 +1,138 @@
+// Package southbound implements TinyLEO's southbound control protocol
+// (paper §5: a per-satellite agent exchanges control commands and runtime
+// ISL/satellite status with the MPC controller; the paper uses gRPC, this
+// implementation uses a length-prefixed binary protocol over TCP with the
+// same message vocabulary). The controller pushes ISL/ring/route
+// configuration; agents report failures and acknowledge commands.
+package southbound
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+const (
+	// MsgHello registers an agent (SatID) with the controller.
+	MsgHello MsgType = iota + 1
+	// MsgHelloAck confirms registration.
+	MsgHelloAck
+	// MsgSetISL instructs a satellite to (dis)establish an ISL to Peer.
+	MsgSetISL
+	// MsgSetRing instructs a satellite that its intra-cell ring successor
+	// is Peer.
+	MsgSetRing
+	// MsgInstallRoute installs a geographic segment route (Cells) at a
+	// source satellite.
+	MsgInstallRoute
+	// MsgFailureReport notifies the controller that the link to Peer (or
+	// the satellite itself, Peer == 0xFFFFFFFF) failed.
+	MsgFailureReport
+	// MsgAck acknowledges a command by Seq.
+	MsgAck
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello-ack"
+	case MsgSetISL:
+		return "set-isl"
+	case MsgSetRing:
+		return "set-ring"
+	case MsgInstallRoute:
+		return "install-route"
+	case MsgFailureReport:
+		return "failure-report"
+	case MsgAck:
+		return "ack"
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// Message is the protocol unit.
+type Message struct {
+	Type  MsgType
+	SatID uint32 // subject satellite
+	Seq   uint32 // command sequence / ack correlation
+	Peer  uint32 // peer satellite for ISL/ring messages
+	Up    bool   // ISL establish (true) or teardown (false)
+	Cells []uint16
+}
+
+const (
+	headerLen = 4 + 1 + 4 + 4 + 4 + 1 + 2 // length prefix + fields + cell count
+	// MaxCells bounds route length on the wire.
+	MaxCells = 1024
+	// maxFrame guards against hostile/corrupt length prefixes.
+	maxFrame = headerLen + 2*MaxCells
+)
+
+// ErrFrameTooLarge reports a length prefix beyond protocol limits.
+var ErrFrameTooLarge = errors.New("southbound: frame too large")
+
+// WriteMessage writes one framed message.
+func WriteMessage(w io.Writer, m *Message) error {
+	if len(m.Cells) > MaxCells {
+		return fmt.Errorf("southbound: %d cells exceed max %d", len(m.Cells), MaxCells)
+	}
+	n := headerLen - 4 + 2*len(m.Cells)
+	buf := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	buf[4] = byte(m.Type)
+	binary.BigEndian.PutUint32(buf[5:], m.SatID)
+	binary.BigEndian.PutUint32(buf[9:], m.Seq)
+	binary.BigEndian.PutUint32(buf[13:], m.Peer)
+	if m.Up {
+		buf[17] = 1
+	}
+	binary.BigEndian.PutUint16(buf[18:], uint16(len(m.Cells)))
+	for i, c := range m.Cells {
+		binary.BigEndian.PutUint16(buf[20+2*i:], c)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n < headerLen-4 {
+		return nil, fmt.Errorf("southbound: short frame %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	m := &Message{
+		Type:  MsgType(buf[0]),
+		SatID: binary.BigEndian.Uint32(buf[1:]),
+		Seq:   binary.BigEndian.Uint32(buf[5:]),
+		Peer:  binary.BigEndian.Uint32(buf[9:]),
+		Up:    buf[13] == 1,
+	}
+	count := int(binary.BigEndian.Uint16(buf[14:]))
+	if len(buf) < 16+2*count {
+		return nil, fmt.Errorf("southbound: cell list truncated (%d cells, %d bytes)", count, len(buf))
+	}
+	if count > 0 {
+		m.Cells = make([]uint16, count)
+		for i := range m.Cells {
+			m.Cells[i] = binary.BigEndian.Uint16(buf[16+2*i:])
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,65 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(rows, cols int, density float64) (*Matrix, []float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Set(i, j, rng.Float64())
+			}
+		}
+	}
+	x := make([]float64, cols)
+	y := make([]float64, rows)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return b.Build(), x, y
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m, x, y := benchMatrix(2000, 500, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x, y)
+	}
+}
+
+func BenchmarkMulVecT(b *testing.B) {
+	m, _, _ := benchMatrix(2000, 500, 0.02)
+	x := make([]float64, 2000)
+	dst := make([]float64, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecT(x, dst)
+	}
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	type trip struct {
+		i, j int
+		v    float64
+	}
+	trips := make([]trip, 50000)
+	for k := range trips {
+		trips[k] = trip{rng.Intn(2000), rng.Intn(500), rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		bu := NewBuilder(2000, 500)
+		for _, t := range trips {
+			bu.Set(t.i, t.j, t.v)
+		}
+		bu.Build()
+	}
+}

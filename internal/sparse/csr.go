@@ -1,0 +1,181 @@
+// Package sparse implements the compressed sparse row (CSR) matrices the
+// TinyLEO synthesizer uses to hold per-slot coverage matrices A_t and to
+// accelerate the matching-pursuit inner products (paper §5: "our
+// implementation encodes the LEO network supplies x, demands y_t, and
+// coverage matrix A_t using compressed sparse row matrices").
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is an immutable CSR sparse matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	rowPtr     []int64   // len rows+1
+	colIdx     []int32   // len nnz
+	vals       []float64 // len nnz
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of stored (non-zero) entries.
+func (m *Matrix) NNZ() int { return len(m.vals) }
+
+// At returns the value at (i, j) using binary search within row i.
+func (m *Matrix) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	seg := m.colIdx[lo:hi]
+	k := sort.Search(len(seg), func(k int) bool { return seg[k] >= int32(j) })
+	if k < len(seg) && seg[k] == int32(j) {
+		return m.vals[int(lo)+k]
+	}
+	return 0
+}
+
+// Row calls f(j, v) for each stored entry in row i, in column order.
+func (m *Matrix) Row(i int, f func(j int, v float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		f(int(m.colIdx[k]), m.vals[k])
+	}
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *Matrix) RowNNZ(i int) int { return int(m.rowPtr[i+1] - m.rowPtr[i]) }
+
+// MulVec computes y = M·x into dst (allocated if nil) and returns it.
+func (m *Matrix) MulVec(x, dst []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec dim mismatch: %d vs %d", len(x), m.cols))
+	}
+	if dst == nil {
+		dst = make([]float64, m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulVecT computes y = Mᵀ·x into dst (allocated if nil) and returns it.
+// This is the g = Aᵀr step of Algorithm 1.
+func (m *Matrix) MulVecT(x, dst []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVecT dim mismatch: %d vs %d", len(x), m.rows))
+	}
+	if dst == nil {
+		dst = make([]float64, m.cols)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			dst[m.colIdx[k]] += m.vals[k] * xi
+		}
+	}
+	return dst
+}
+
+// Transpose returns Mᵀ as a new CSR matrix (i.e. CSC view materialized).
+func (m *Matrix) Transpose() *Matrix {
+	b := NewBuilder(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			b.Set(int(m.colIdx[k]), i, m.vals[k])
+		}
+	}
+	return b.Build()
+}
+
+// VStack stacks matrices vertically (all must share the column count). This
+// implements the paper's temporal unfolding Ã = [A₁; A₂; …; A_Tmax].
+func VStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return &Matrix{rowPtr: []int64{0}}
+	}
+	cols := ms[0].cols
+	rows, nnz := 0, 0
+	for _, m := range ms {
+		if m.cols != cols {
+			panic("sparse: VStack column mismatch")
+		}
+		rows += m.rows
+		nnz += m.NNZ()
+	}
+	out := &Matrix{
+		rows:   rows,
+		cols:   cols,
+		rowPtr: make([]int64, 1, rows+1),
+		colIdx: make([]int32, 0, nnz),
+		vals:   make([]float64, 0, nnz),
+	}
+	for _, m := range ms {
+		base := out.rowPtr[len(out.rowPtr)-1]
+		for i := 1; i <= m.rows; i++ {
+			out.rowPtr = append(out.rowPtr, base+m.rowPtr[i])
+		}
+		out.colIdx = append(out.colIdx, m.colIdx...)
+		out.vals = append(out.vals, m.vals...)
+	}
+	return out
+}
+
+// ColumnNormsSquared returns ‖A_j‖² for every column j (used for the
+// least-squares MP coefficient).
+func (m *Matrix) ColumnNormsSquared() []float64 {
+	out := make([]float64, m.cols)
+	for k, j := range m.colIdx {
+		out[j] += m.vals[k] * m.vals[k]
+	}
+	return out
+}
+
+// ColumnSums returns Σ_i A_ij for every column j.
+func (m *Matrix) ColumnSums() []float64 {
+	out := make([]float64, m.cols)
+	for k, j := range m.colIdx {
+		out[j] += m.vals[k]
+	}
+	return out
+}
+
+// AddScaledColumn computes dst += s·A_j for dense dst of length Rows().
+// It requires the transpose matrix (column-major access); see Transposed.
+func (t *Transposed) AddScaledColumn(j int, s float64, dst []float64) {
+	t.m.Row(j, func(i int, v float64) { dst[i] += s * v })
+}
+
+// Transposed wraps Mᵀ to give cheap column access into M's row space.
+type Transposed struct{ m *Matrix }
+
+// NewTransposed materializes the transpose of m for column operations.
+func NewTransposed(m *Matrix) *Transposed { return &Transposed{m: m.Transpose()} }
+
+// Column calls f(i, v) for each stored entry of column j of the original
+// matrix.
+func (t *Transposed) Column(j int, f func(i int, v float64)) { t.m.Row(j, f) }
+
+// ColNNZ returns the number of stored entries in original column j.
+func (t *Transposed) ColNNZ(j int) int { return t.m.RowNNZ(j) }
+
+// DotColumn returns A_jᵀ·x for dense x over the original row space.
+func (t *Transposed) DotColumn(j int, x []float64) float64 {
+	s := 0.0
+	t.m.Row(j, func(i int, v float64) { s += v * x[i] })
+	return s
+}

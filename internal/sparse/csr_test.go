@@ -1,0 +1,258 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int, density float64) *Matrix {
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func denseMulVec(d [][]float64, x []float64) []float64 {
+	out := make([]float64, len(d))
+	for i, row := range d {
+		for j, v := range row {
+			out[i] += v * x[j]
+		}
+	}
+	return out
+}
+
+func vecApprox(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildAndAt(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Set(0, 1, 2)
+	b.Set(2, 3, -1)
+	b.Set(1, 0, 5)
+	b.Set(0, 1, 3) // duplicate sums -> 5
+	m := b.Build()
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+	if m.At(0, 1) != 5 || m.At(1, 0) != 5 || m.At(2, 3) != -1 {
+		t.Errorf("wrong values: %v %v %v", m.At(0, 1), m.At(1, 0), m.At(2, 3))
+	}
+	if m.At(0, 0) != 0 || m.At(2, 0) != 0 {
+		t.Errorf("phantom values")
+	}
+}
+
+func TestBuildPruned(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Set(0, 0, 1)
+	b.Set(0, 0, -1)
+	b.Set(1, 1, 2)
+	m := b.BuildPruned()
+	if m.NNZ() != 1 {
+		t.Errorf("pruned nnz = %d", m.NNZ())
+	}
+	if m.At(1, 1) != 2 {
+		t.Errorf("surviving value wrong")
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewBuilder(5, 7).Build()
+	if m.NNZ() != 0 {
+		t.Fatal("empty should have 0 nnz")
+	}
+	y := m.MulVec(make([]float64, 7), nil)
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("empty MulVec nonzero")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if m.RowNNZ(i) != 0 {
+			t.Fatal("empty row nnz nonzero")
+		}
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	d := [][]float64{{1, 0, 2}, {0, 0, 0}, {0, -3, 4}}
+	m := FromDense(d)
+	if got := m.ToDense(); !reflect.DeepEqual(got, d) {
+		t.Errorf("roundtrip = %v", got)
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randMatrix(rng, rows, cols, 0.3)
+		d := m.ToDense()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		if !vecApprox(m.MulVec(x, nil), denseMulVec(d, x), 1e-9) {
+			t.Fatalf("MulVec mismatch trial %d", trial)
+		}
+	}
+}
+
+func TestMulVecTAgainstTransposeDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randMatrix(rng, rows, cols, 0.3)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := m.Transpose().MulVec(x, nil)
+		got := m.MulVecT(x, nil)
+		if !vecApprox(got, want, 1e-9) {
+			t.Fatalf("MulVecT mismatch trial %d", trial)
+		}
+	}
+}
+
+func TestMulVecReusesDst(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 4}})
+	dst := []float64{99, 99}
+	got := m.MulVec([]float64{1, 1}, dst)
+	if &got[0] != &dst[0] {
+		t.Error("dst not reused")
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("values %v", got)
+	}
+	// MulVecT must zero its dst before accumulating.
+	dt := []float64{50, 50}
+	gt := m.MulVecT([]float64{1, 0}, dt)
+	if gt[0] != 1 || gt[1] != 2 {
+		t.Errorf("MulVecT with dirty dst = %v", gt)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randMatrix(rng, 15, 9, 0.25)
+	tt := m.Transpose().Transpose()
+	if !reflect.DeepEqual(m.ToDense(), tt.ToDense()) {
+		t.Error("double transpose differs")
+	}
+}
+
+func TestVStack(t *testing.T) {
+	a := FromDense([][]float64{{1, 0}, {0, 2}})
+	b := FromDense([][]float64{{3, 4}})
+	s := VStack(a, b)
+	want := [][]float64{{1, 0}, {0, 2}, {3, 4}}
+	if !reflect.DeepEqual(s.ToDense(), want) {
+		t.Errorf("VStack = %v", s.ToDense())
+	}
+	if s.NNZ() != 4 {
+		t.Errorf("VStack nnz = %d", s.NNZ())
+	}
+}
+
+func TestVStackEmptyAndMismatch(t *testing.T) {
+	e := VStack()
+	if e.Rows() != 0 {
+		t.Error("empty VStack rows")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("column mismatch should panic")
+		}
+	}()
+	VStack(FromDense([][]float64{{1}}), FromDense([][]float64{{1, 2}}))
+}
+
+func TestColumnNormsAndSums(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 0}, {0, -4}})
+	norms := m.ColumnNormsSquared()
+	if norms[0] != 10 || norms[1] != 20 {
+		t.Errorf("norms = %v", norms)
+	}
+	sums := m.ColumnSums()
+	if sums[0] != 4 || sums[1] != -2 {
+		t.Errorf("sums = %v", sums)
+	}
+}
+
+func TestTransposedColumnOps(t *testing.T) {
+	m := FromDense([][]float64{{1, 2}, {3, 0}, {0, -4}})
+	tr := NewTransposed(m)
+	if tr.ColNNZ(0) != 2 || tr.ColNNZ(1) != 2 {
+		t.Errorf("ColNNZ wrong")
+	}
+	x := []float64{1, 1, 1}
+	if got := tr.DotColumn(0, x); got != 4 {
+		t.Errorf("DotColumn(0) = %v", got)
+	}
+	dst := make([]float64, 3)
+	tr.AddScaledColumn(1, 2, dst)
+	if dst[0] != 4 || dst[1] != 0 || dst[2] != -8 {
+		t.Errorf("AddScaledColumn = %v", dst)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	b := NewBuilder(2, 2)
+	for _, fn := range []func(){
+		func() { b.Set(-1, 0, 1) },
+		func() { b.Set(0, 2, 1) },
+		func() { b.Set(2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRowIterationOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 10, 10, 0.4)
+		ok := true
+		for i := 0; i < m.Rows(); i++ {
+			last := -1
+			m.Row(i, func(j int, v float64) {
+				if j <= last {
+					ok = false
+				}
+				last = j
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

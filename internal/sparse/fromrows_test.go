@@ -1,0 +1,36 @@
+package sparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFromRows(t *testing.T) {
+	m := FromRows(3, 4,
+		[][]int32{{0, 2}, nil, {1, 3}},
+		[][]float64{{1, 2}, nil, {3, 4}},
+	)
+	want := [][]float64{{1, 0, 2, 0}, {0, 0, 0, 0}, {0, 3, 0, 4}}
+	if !reflect.DeepEqual(m.ToDense(), want) {
+		t.Errorf("FromRows = %v", m.ToDense())
+	}
+	if m.NNZ() != 4 {
+		t.Errorf("nnz = %d", m.NNZ())
+	}
+}
+
+func TestFromRowsPanics(t *testing.T) {
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	check("row count", func() { FromRows(2, 2, [][]int32{{0}}, [][]float64{{1}}) })
+	check("len mismatch", func() { FromRows(1, 2, [][]int32{{0, 1}}, [][]float64{{1}}) })
+	check("unsorted", func() { FromRows(1, 3, [][]int32{{2, 1}}, [][]float64{{1, 2}}) })
+	check("dup col", func() { FromRows(1, 3, [][]int32{{1, 1}}, [][]float64{{1, 2}}) })
+	check("col range", func() { FromRows(1, 2, [][]int32{{5}}, [][]float64{{1}}) })
+}

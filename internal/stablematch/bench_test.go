@@ -1,0 +1,49 @@
+package stablematch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomInstance(nP, nR int, seed int64) (pPrefs [][]int, rRank [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([][]float64, nP)
+	for i := range w {
+		w[i] = make([]float64, nR)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	pPrefs = PrefsFromWeights(w, 0)
+	rw := make([][]float64, nR)
+	for j := range rw {
+		rw[j] = make([]float64, nP)
+		for i := range rw[j] {
+			rw[j][i] = rng.Float64()
+		}
+	}
+	rRank = RanksFromPrefs(PrefsFromWeights(rw, 0), nP)
+	return
+}
+
+func BenchmarkOneToOne(b *testing.B) {
+	pPrefs, rRank := randomInstance(128, 128, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OneToOne(pPrefs, rRank)
+	}
+}
+
+func BenchmarkManyToOne(b *testing.B) {
+	pPrefs, rRank := randomInstance(256, 16, 2)
+	caps := make([]int, 16)
+	for i := range caps {
+		caps[i] = 8
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ManyToOne(pPrefs, rRank, caps)
+	}
+}

@@ -1,0 +1,205 @@
+// Package stablematch implements the Gale–Shapley stable matchings TinyLEO's
+// orbital MPC uses to compile geographic topology intents into satellite
+// topologies (paper §4.2): a many-to-one matching assigns each cell's
+// satellites to neighbor cells as gateways, and a one-to-one matching pairs
+// the gateways of adjacent cells into concrete ISLs. Preferences are
+// expected ISL lifetimes, so the resulting topology maximizes stability.
+package stablematch
+
+import "sort"
+
+// PrefsFromWeights converts a weight matrix (higher = more preferred) into
+// ordered preference lists: prefs[i] lists the candidate indices j sorted
+// by w[i][j] descending. Candidates with weight ≤ cutoff are omitted
+// (unacceptable partners). Ties break toward the lower index so matchings
+// are deterministic.
+func PrefsFromWeights(w [][]float64, cutoff float64) [][]int {
+	prefs := make([][]int, len(w))
+	for i, row := range w {
+		var list []int
+		for j, v := range row {
+			if v > cutoff {
+				list = append(list, j)
+			}
+		}
+		sort.SliceStable(list, func(a, b int) bool {
+			if row[list[a]] != row[list[b]] {
+				return row[list[a]] > row[list[b]]
+			}
+			return list[a] < list[b]
+		})
+		prefs[i] = list
+	}
+	return prefs
+}
+
+// OneToOne computes a stable marriage between proposers (indices into
+// proposerPrefs) and reviewers. proposerPrefs[i] is proposer i's ordered
+// list of acceptable reviewers; reviewerRank[j][i] is reviewer j's rank of
+// proposer i (lower = preferred; a missing/negative rank marks i
+// unacceptable to j). Returns match[i] = reviewer of proposer i, or -1.
+//
+// The classic deferred-acceptance run is proposer-optimal and guarantees no
+// blocking pair among mutually acceptable pairs.
+func OneToOne(proposerPrefs [][]int, reviewerRank [][]int) []int {
+	nP := len(proposerPrefs)
+	match := make([]int, nP)
+	next := make([]int, nP) // next preference index to propose to
+	for i := range match {
+		match[i] = -1
+	}
+	nR := len(reviewerRank)
+	holds := make([]int, nR) // reviewer's current proposer or -1
+	for j := range holds {
+		holds[j] = -1
+	}
+	free := make([]int, 0, nP)
+	for i := 0; i < nP; i++ {
+		free = append(free, i)
+	}
+	for len(free) > 0 {
+		i := free[len(free)-1]
+		free = free[:len(free)-1]
+		for next[i] < len(proposerPrefs[i]) {
+			j := proposerPrefs[i][next[i]]
+			next[i]++
+			if j < 0 || j >= nR {
+				continue
+			}
+			rank := rankOf(reviewerRank[j], i)
+			if rank < 0 {
+				continue // unacceptable to the reviewer
+			}
+			cur := holds[j]
+			if cur == -1 {
+				holds[j], match[i] = i, j
+				break
+			}
+			if rankOf(reviewerRank[j], cur) > rank {
+				// Reviewer trades up; the displaced proposer re-enters.
+				match[cur] = -1
+				free = append(free, cur)
+				holds[j], match[i] = i, j
+				break
+			}
+			// Rejected; continue down the list.
+		}
+	}
+	return match
+}
+
+func rankOf(ranks []int, i int) int {
+	if i < 0 || i >= len(ranks) {
+		return -1
+	}
+	return ranks[i]
+}
+
+// RanksFromPrefs inverts preference lists into rank vectors usable as
+// reviewerRank: rank[j][i] is j's position of i (0 = favourite), or -1 if
+// absent. n is the number of counterparties.
+func RanksFromPrefs(prefs [][]int, n int) [][]int {
+	ranks := make([][]int, len(prefs))
+	for j, list := range prefs {
+		ranks[j] = make([]int, n)
+		for i := range ranks[j] {
+			ranks[j][i] = -1
+		}
+		for pos, i := range list {
+			if i >= 0 && i < n {
+				ranks[j][i] = pos
+			}
+		}
+	}
+	return ranks
+}
+
+// ManyToOne computes a hospitals/residents-style stable matching:
+// proposers (satellites) each match at most one slot, reviewers (neighbor
+// cells) accept up to capacity[j] proposers. Returns match[i] = reviewer of
+// proposer i or -1, and assigned[j] = proposers held by reviewer j.
+func ManyToOne(proposerPrefs [][]int, reviewerRank [][]int, capacity []int) (match []int, assigned [][]int) {
+	nP := len(proposerPrefs)
+	nR := len(reviewerRank)
+	match = make([]int, nP)
+	next := make([]int, nP)
+	for i := range match {
+		match[i] = -1
+	}
+	held := make([][]int, nR)
+	free := make([]int, 0, nP)
+	for i := nP - 1; i >= 0; i-- {
+		free = append(free, i) // pop order = ascending index, deterministic
+	}
+	for len(free) > 0 {
+		i := free[len(free)-1]
+		free = free[:len(free)-1]
+		for next[i] < len(proposerPrefs[i]) {
+			j := proposerPrefs[i][next[i]]
+			next[i]++
+			if j < 0 || j >= nR || capacity[j] <= 0 {
+				continue
+			}
+			rank := rankOf(reviewerRank[j], i)
+			if rank < 0 {
+				continue
+			}
+			if len(held[j]) < capacity[j] {
+				held[j] = append(held[j], i)
+				match[i] = j
+				break
+			}
+			// Find the worst currently held proposer.
+			worstIdx, worstRank := -1, -1
+			for k, p := range held[j] {
+				if r := rankOf(reviewerRank[j], p); r > worstRank {
+					worstIdx, worstRank = k, r
+				}
+			}
+			if worstRank > rank {
+				displaced := held[j][worstIdx]
+				held[j][worstIdx] = i
+				match[i] = j
+				match[displaced] = -1
+				free = append(free, displaced)
+				break
+			}
+		}
+	}
+	for j := range held {
+		sort.Ints(held[j])
+	}
+	return match, held
+}
+
+// IsStableOneToOne verifies the no-blocking-pair property for a one-to-one
+// matching, given both sides' rank matrices (−1 = unacceptable). Exposed
+// for property tests.
+func IsStableOneToOne(match []int, proposerRank, reviewerRank [][]int) bool {
+	// reverse map
+	nR := len(reviewerRank)
+	rmatch := make([]int, nR)
+	for j := range rmatch {
+		rmatch[j] = -1
+	}
+	for i, j := range match {
+		if j >= 0 {
+			rmatch[j] = i
+		}
+	}
+	for i := range proposerRank {
+		for j := 0; j < nR; j++ {
+			pr := rankOf(proposerRank[i], j)
+			rr := rankOf(reviewerRank[j], i)
+			if pr < 0 || rr < 0 {
+				continue // not mutually acceptable
+			}
+			iPrefersJ := match[i] == -1 || rankOf(proposerRank[i], match[i]) > pr
+			jPrefersI := rmatch[j] == -1 || rankOf(reviewerRank[j], rmatch[j]) > rr
+			if iPrefersJ && jPrefersI {
+				return false // blocking pair (i, j)
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package tinyleo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/orbit"
+)
+
+// TestPublicAPIEndToEnd drives the whole toolkit through the facade the
+// way examples/quickstart does: plan a sparse network for a demand field,
+// derive an intent, compile it with the MPC, and forward a packet.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	grid, err := NewGrid(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := BuildLibrary(LibraryConfig{
+		Grid:            grid,
+		Specs:           EnumerateRepeatSpecs(1, 500e3, 1600e3),
+		InclinationsDeg: []float64{53, 85, -53},
+		RAANs:           6, Phases: 3, Slots: 6, SlotSeconds: 900, SubSamples: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem := StarlinkCustomersDemand(ScenarioOptions{
+		Grid: grid, Slots: 6, SlotSeconds: 900, TotalSatUnits: 60,
+	})
+	plan, err := Sparsify(SparsifyProblem{Library: lib, Demand: dem.Y, Epsilon: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Satellites == 0 {
+		t.Fatal("empty plan")
+	}
+	if v := VerifyAvailability(lib, plan.X, dem.Y); v < 0.9 {
+		t.Fatalf("availability = %v", v)
+	}
+
+	// Incremental expansion through the facade.
+	extra := LatinAmericaDemand(ScenarioOptions{
+		Grid: grid, Slots: 6, SlotSeconds: 900, TotalSatUnits: 30,
+	})
+	grown, err := Expand(SparsifyProblem{Library: lib, Demand: dem.Y, Epsilon: 0.9}, plan, extra.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Satellites < plan.Satellites {
+		t.Fatal("expansion shrank the plan")
+	}
+
+	// Control plane: a chain intent over a dense test constellation.
+	sats := WalkerConfig{InclinationDeg: 53, AltitudeKm: 1200, Planes: 16, SatsPerPlane: 16, PhasingF: 1}.Satellites()
+	topo := NewTopology(grid)
+	var cells []int
+	for i := 0; i < 3; i++ {
+		id := grid.CellOf(LatLon{Lat: 5, Lon: float64(-10 + i*10)})
+		topo.AddCell(id, 3)
+		cells = append(cells, id)
+	}
+	topo.Connect(cells[0], cells[1], 1)
+	topo.Connect(cells[1], cells[2], 1)
+	ctl, err := NewController(MPCConfig{
+		Topo: topo, Sats: sats,
+		Coverage:        orbit.CoverageParams{MinElevation: geom.Deg2Rad(15)},
+		LifetimeHorizon: 600, LifetimeStep: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ctl.Compile(0)
+	if len(snap.InterLinks) == 0 {
+		t.Fatal("MPC produced no links")
+	}
+
+	// Data plane: a 2-hop anycast delivery.
+	net := NewNetwork()
+	net.AddSatellite(0, cells[0])
+	net.AddSatellite(1, cells[1])
+	net.AddSatellite(2, cells[2])
+	net.Connect(0, 1, 0.004)
+	net.Connect(1, 2, 0.004)
+	done := false
+	net.OnDeliver = func(s *Satellite, p *Packet) { done = true }
+	pkt, err := NewGeoPacket(0, []int{cells[1], cells[2]}, 1, 1, []byte("quickstart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Inject(0, pkt)
+	net.Sim.Run(1)
+	if !done {
+		t.Fatal("packet not delivered through facade API")
+	}
+}
+
+// TestPublicAPISouthbound exercises the TCP southbound facade.
+func TestPublicAPISouthbound(t *testing.T) {
+	ctl, err := ListenSouthbound("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	agent, err := DialSouthbound(ctl.Addr(), 7, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if err := ctl.WaitForAgents(1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.ReportFailure(42); err != nil {
+		t.Fatal(err)
+	}
+}
