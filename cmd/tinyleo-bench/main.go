@@ -6,7 +6,12 @@
 //
 //	tinyleo-bench [-scale small|paper] [-run all|table1|fig3|fig4|fig9|fig13|
 //	               fig14|fig15|fig15d|fig15e|fig16|fig17|fig17d|fig18|fig19a|fig19bcd]
-//	               [-csv]
+//	               [-csv] [-metrics-addr host:port] [-trace-out file.jsonl]
+//
+// Telemetry: -metrics-addr serves live Prometheus text on /metrics (plus
+// /metrics.json, /healthz, /trace, /trace.chrome) while the experiments
+// run — solver iterations, MPC compile latency, data-plane counters move
+// in real time; -trace-out writes the span ring as JSONL when done.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/texture"
 )
 
@@ -26,7 +32,38 @@ func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, ablations, discussion)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address while experiments run (empty = telemetry off)")
+	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file when done")
 	flag.Parse()
+
+	if *metricsAddr != "" || *traceOut != "" {
+		obs.Enable()
+		obs.EnableTracing(0)
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tinyleo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	if *traceOut != "" {
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-bench: trace: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.Trace().WriteJSONL(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-bench: trace: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: wrote %s to %s\n", obs.Trace().WriteFileSummary(), *traceOut)
+		}()
+	}
 
 	scale, ok := experiments.ScaleByName(*scaleName)
 	if !ok {

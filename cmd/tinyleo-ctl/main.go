@@ -6,6 +6,14 @@
 // Run one tinyleo-ctl and any number of tinyleo-sat agents against it:
 //
 //	tinyleo-ctl -listen 127.0.0.1:7601 -agents 8 -slots 4 -dt 300
+//
+// Telemetry: -metrics-addr serves live Prometheus text on /metrics —
+// merging the process-wide registry (MPC compile/repair series) with the
+// southbound controller's registry (per-type message counters, connected
+// agents, ack RTT) — plus /metrics.json, /healthz, /trace; -trace-out
+// writes the span ring as JSONL on exit.
+//
+//	tinyleo-ctl -listen 127.0.0.1:7601 -agents 8 -metrics-addr 127.0.0.1:9100
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/intent"
 	"repro/internal/mpc"
+	"repro/internal/obs"
 	"repro/internal/southbound"
 )
 
@@ -28,14 +37,44 @@ func main() {
 	slots := flag.Int("slots", 4, "control slots to run")
 	dt := flag.Float64("dt", 300, "control slot duration (seconds of orbital time)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for agents")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address (empty = telemetry off)")
+	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
 	flag.Parse()
 
+	if *metricsAddr != "" || *traceOut != "" {
+		obs.Enable()
+		obs.EnableTracing(0)
+	}
 	ctl, err := southbound.ListenController(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tinyleo-ctl: %v\n", err)
 		os.Exit(1)
 	}
 	defer ctl.Close()
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default(), ctl.Metrics())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tinyleo-ctl: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	if *traceOut != "" {
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-ctl: trace: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.Trace().WriteJSONL(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-ctl: trace: %v\n", err)
+				return
+			}
+			fmt.Printf("trace: wrote %s to %s\n", obs.Trace().WriteFileSummary(), *traceOut)
+		}()
+	}
 	fmt.Printf("controller listening on %s, waiting for %d agents...\n", ctl.Addr(), *agents)
 	if err := ctl.WaitForAgents(*agents, *wait); err != nil {
 		fmt.Fprintf(os.Stderr, "tinyleo-ctl: %v\n", err)

@@ -4,6 +4,14 @@
 // loop (§4.2's "repairing unpredictable failures").
 //
 //	tinyleo-sat -controller 127.0.0.1:7601 -id 3 -fail-peer 7 -fail-after 2s
+//
+// Telemetry: -metrics-addr serves live Prometheus text on /metrics (plus
+// /metrics.json, /healthz, /trace, /trace.chrome) for the duration of the
+// run; -trace-out writes the span ring as JSONL on exit. Either flag
+// enables the otherwise-free default registry and tracer.
+//
+//	tinyleo-sat -controller 127.0.0.1:7601 -id 3 \
+//	    -metrics-addr 127.0.0.1:9103 -trace-out sat3-trace.jsonl
 package main
 
 import (
@@ -12,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/southbound"
 )
 
@@ -21,14 +30,39 @@ func main() {
 	failPeer := flag.Int("fail-peer", -1, "report an ISL failure toward this peer (-1 = never)")
 	failAfter := flag.Duration("fail-after", 2*time.Second, "when to report the failure")
 	runFor := flag.Duration("run-for", 10*time.Second, "how long to stay up")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address (empty = telemetry off)")
+	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
 	flag.Parse()
 
+	if *metricsAddr != "" || *traceOut != "" {
+		obs.Enable()
+		obs.EnableTracing(0)
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tinyleo-sat: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("sat %d telemetry on http://%s/metrics\n", *id, srv.Addr())
+	}
+	if *traceOut != "" {
+		defer func() {
+			if err := writeTrace(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-sat: trace: %v\n", err)
+			}
+		}()
+	}
+
+	span := obs.StartSpan("sat.session", "id", fmt.Sprint(*id))
 	agent, err := southbound.DialAgent(*addr, uint32(*id), 10*time.Second)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tinyleo-sat: %v\n", err)
 		os.Exit(1)
 	}
 	defer agent.Close()
+	defer span.End()
 	fmt.Printf("sat %d registered with %s\n", *id, *addr)
 
 	agent.OnCommand = func(m *southbound.Message) {
@@ -55,4 +89,17 @@ func main() {
 		})
 	}
 	time.Sleep(*runFor)
+}
+
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.Trace().WriteJSONL(f); err != nil {
+		return err
+	}
+	fmt.Printf("trace: wrote %s to %s\n", obs.Trace().WriteFileSummary(), path)
+	return nil
 }

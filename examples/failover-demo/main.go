@@ -1,5 +1,6 @@
 // Failover demo: shows the two recovery paths of §4.3 side by side on an
-// emulated network, then exercises the real southbound TCP repair loop.
+// emulated network, then exercises the orbital MPC and the real
+// southbound TCP repair loop.
 //
 //  1. TinyLEO's data plane reroutes locally (anycast + gateway ring) in
 //     milliseconds when an ISL dies mid-flow.
@@ -7,25 +8,100 @@
 //  2. A legacy routing-table plane must buffer and wait ~84 ms for the
 //     remote control plane (Figure 17d/19d).
 //
-//  3. The same failure report travels over a real TCP southbound session
+//  3. The orbital MPC compiles a chain intent over a Walker
+//     constellation and repairs a synthetic ISL failure (§4.2).
+//
+//  4. The same failure report travels over a real TCP southbound session
 //     to a controller that answers with repair commands.
 //
 //     go run ./examples/failover-demo
+//
+// With -metrics-addr every stage is recorded on the runtime telemetry
+// registry and served as Prometheus text — non-zero MPC compile-latency,
+// southbound message, and data-plane failover series on one /metrics
+// endpoint — for -hold after the stages finish:
+//
+//	go run ./examples/failover-demo -metrics-addr 127.0.0.1:9100 -hold 1m
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	tinyleo "repro"
 
+	"repro/internal/mpc"
 	"repro/internal/southbound"
 )
 
 func main() {
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /healthz, /trace on this address (empty = telemetry off)")
+	hold := flag.Duration("hold", 5*time.Second,
+		"keep the telemetry endpoint up this long after the demo stages finish")
+	flag.Parse()
+
+	if *metricsAddr != "" {
+		tinyleo.EnableTelemetry()
+		tinyleo.EnableTraceSpans(0)
+	}
 	emulatedFailover()
-	southboundRepair()
+	mpcCompileRepair()
+	ctlMetrics := southboundRepair()
+	if *metricsAddr != "" {
+		srv, err := tinyleo.ServeTelemetry(*metricsAddr, tinyleo.Telemetry(), ctlMetrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("== telemetry ==\nserving http://%s/metrics for %v\n", srv.Addr(), *hold)
+		time.Sleep(*hold)
+	}
+}
+
+// mpcCompileRepair compiles a 4-cell chain intent over a Walker
+// constellation for two control slots and repairs a synthetic ISL failure,
+// so the MPC's compile/repair telemetry series move.
+func mpcCompileRepair() {
+	fmt.Println("== orbital MPC compile + repair ==")
+	sats := tinyleo.WalkerConfig{
+		InclinationDeg: 53, AltitudeKm: 1200, Planes: 16, SatsPerPlane: 16, PhasingF: 1,
+	}.Satellites()
+	g, err := tinyleo.NewGrid(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := tinyleo.NewTopology(g)
+	var cells []int
+	for i := 0; i < 4; i++ {
+		id := g.CellOf(tinyleo.LatLon{Lat: 5, Lon: float64(-15 + i*10)})
+		topo.AddCell(id, 3)
+		cells = append(cells, id)
+	}
+	for i := 1; i < len(cells); i++ {
+		topo.Connect(cells[i-1], cells[i], 1)
+	}
+	ctrl, err := tinyleo.NewController(tinyleo.MPCConfig{Topo: topo, Sats: sats})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var prev *tinyleo.Snapshot
+	for slot := 0; slot < 2; slot++ {
+		snap := ctrl.Compile(float64(slot) * 300)
+		added, removed := mpc.DiffLinks(prev, snap)
+		prev = snap
+		fmt.Printf("slot %d: %d inter-cell ISLs, %d ring ISLs, %d changes, enforcement %.2f\n",
+			slot, len(snap.InterLinks), len(snap.RingLinks), len(added)+len(removed),
+			ctrl.EnforcementRatio(snap))
+	}
+	if len(prev.InterLinks) > 0 {
+		repaired, stats := ctrl.Repair(prev, prev.InterLinks[:1], nil, 83800*time.Microsecond)
+		fmt.Printf("repair: %d new ISLs, %d messages, %v end-to-end (enforcement %.2f)\n",
+			len(stats.NewLinks), stats.Messages, stats.Total().Round(time.Millisecond),
+			ctrl.EnforcementRatio(repaired))
+	}
 }
 
 // emulatedFailover builds a 3-cell chain with two gateways per cell and
@@ -108,8 +184,9 @@ func emulatedFailover() {
 }
 
 // southboundRepair runs the failure-report → repair-command loop over a
-// real localhost TCP session.
-func southboundRepair() {
+// real localhost TCP session. It returns the controller's telemetry
+// registry so main can serve its message counters after the session ends.
+func southboundRepair() *tinyleo.TelemetryRegistry {
 	fmt.Println("== southbound TCP repair loop ==")
 	ctl, err := tinyleo.ListenSouthbound("127.0.0.1:0")
 	if err != nil {
@@ -149,4 +226,5 @@ func southboundRepair() {
 			log.Fatal("controller never repaired")
 		}
 	}
+	return ctl.Metrics()
 }

@@ -17,9 +17,24 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/texture"
+)
+
+// Solver telemetry on the process-wide default registry (free unless
+// obs.Enable() was called): per-iteration progress of Algorithm 1 — the
+// Fig. 15c availability-vs-size trajectory as live series.
+var (
+	obsIterations   = obs.Default().Counter("tinyleo_sparsify_iterations_total")
+	obsIterSeconds  = obs.Default().Histogram("tinyleo_sparsify_iteration_seconds", obs.DefBuckets)
+	obsResidual     = obs.Default().Gauge("tinyleo_sparsify_residual_fraction")
+	obsAvailability = obs.Default().Gauge("tinyleo_sparsify_availability")
+	obsSatellites   = obs.Default().Gauge("tinyleo_sparsify_satellites")
+	obsPruned       = obs.Default().Counter("tinyleo_sparsify_pruned_total")
 )
 
 // Problem describes one sparsification run.
@@ -163,6 +178,7 @@ func prune(p Problem, res *Result, floor []int) {
 		res.X[bestJ]--
 		res.Satellites--
 		res.Pruned++
+		obsPruned.Inc()
 		satisfied += bestDelta
 		lib.TrackRow(bestJ, func(k int, frac float64) { supply[k] -= frac })
 	}
@@ -282,7 +298,10 @@ func (st *solverState) run(res *Result) error {
 	}
 	target := (1 - p.Epsilon) * st.total
 
+	span := obs.StartSpan("core.sparsify", "tracks", strconv.Itoa(n))
+	defer span.End()
 	for res.Iterations < maxIter && st.remain > target+1e-9 {
+		iterStart := time.Now()
 		j, satisfiable, dot, norm2 := st.argmax(n)
 		if satisfiable <= 1e-12 {
 			res.Availability = st.availability()
@@ -318,6 +337,11 @@ func (st *solverState) run(res *Result) error {
 			Availability: st.availability(),
 		}
 		res.Trace = append(res.Trace, stat)
+		obsIterations.Inc()
+		obsIterSeconds.ObserveDuration(time.Since(iterStart))
+		obsAvailability.Set(stat.Availability)
+		obsResidual.Set(1 - stat.Availability)
+		obsSatellites.Set(float64(res.Satellites))
 		if p.OnIteration != nil {
 			p.OnIteration(stat)
 		}

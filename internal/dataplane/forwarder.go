@@ -4,6 +4,28 @@ import (
 	"sort"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
+)
+
+// Data-plane telemetry on the process-wide default registry. These sit on
+// the per-packet forwarding path, so they rely on obs instruments costing
+// ~1 ns when the registry is disabled (see internal/obs/bench_test.go).
+var (
+	dpForwarded = obs.Default().Counter("tinyleo_dataplane_forwarded_total")
+	dpDelivered = obs.Default().Counter("tinyleo_dataplane_delivered_total")
+	dpBuffered  = obs.Default().Counter("tinyleo_dataplane_buffered_total")
+	dpFailovers = obs.Default().Counter("tinyleo_dataplane_failovers_total")
+	dpRingHops  = obs.Default().Counter("tinyleo_dataplane_ring_fallback_total")
+	dpHops      = obs.Default().Histogram("tinyleo_dataplane_delivery_hops", obs.HopBuckets)
+
+	// dpDropped is keyed by the forwarder's drop reasons; unknown reasons
+	// fall back to a registry lookup.
+	dpDropped = map[string]*obs.Counter{
+		"hop limit":               obs.Default().Counter("tinyleo_dataplane_dropped_total", "reason", "hop limit"),
+		"no route":                obs.Default().Counter("tinyleo_dataplane_dropped_total", "reason", "no route"),
+		"missing link":            obs.Default().Counter("tinyleo_dataplane_dropped_total", "reason", "missing link"),
+		"link down or queue full": obs.Default().Counter("tinyleo_dataplane_dropped_total", "reason", "link down or queue full"),
+	}
 )
 
 // Satellite is one forwarding node.
@@ -59,6 +81,8 @@ func (s *Satellite) forwardGeo(p *Packet) {
 		// Final segment reached: this satellite covers the destination
 		// cell; hand off to the ground segment.
 		s.Delivered++
+		dpDelivered.Inc()
+		dpHops.Observe(float64(len(p.HopTrace)))
 		if s.net.OnDeliver != nil {
 			s.net.OnDeliver(s, p)
 		}
@@ -91,12 +115,14 @@ func (s *Satellite) forwardGeo(p *Packet) {
 		sort.Ints(candidates)
 		if sawDown {
 			s.Failovers++
+			dpFailovers.Inc()
 		}
 		s.send(candidates[0], p)
 		return
 	}
 	if sawDown {
 		s.Failovers++
+		dpFailovers.Inc()
 	}
 	// Fallback: pass clockwise along the intra-cell gateway ring; the ring
 	// visits every gateway of this cell, one of which has the ISL toward
@@ -104,6 +130,7 @@ func (s *Satellite) forwardGeo(p *Packet) {
 	if s.RingNext >= 0 {
 		if l := s.links[s.RingNext]; l != nil && l.IsUp() {
 			s.RingHops++
+			dpRingHops.Inc()
 			s.send(s.RingNext, p)
 			return
 		}
@@ -111,6 +138,7 @@ func (s *Satellite) forwardGeo(p *Packet) {
 	// Worst case: ring disconnected by failures. Buffer until the MPC
 	// repairs the topology (§4.3).
 	s.Buffered++
+	dpBuffered.Inc()
 	s.Buffer = append(s.Buffer, p)
 }
 
@@ -121,6 +149,8 @@ func (s *Satellite) forwardLegacy(p *Packet) {
 	dstSat := p.Base.FlowID // legacy mode: FlowID carries the destination satellite
 	if uint32(s.ID) == dstSat {
 		s.Delivered++
+		dpDelivered.Inc()
+		dpHops.Observe(float64(len(p.HopTrace)))
 		if s.net.OnDeliver != nil {
 			s.net.OnDeliver(s, p)
 		}
@@ -140,6 +170,7 @@ func (s *Satellite) forwardLegacy(p *Packet) {
 	if l == nil || !l.IsUp() {
 		// Legacy data plane cannot reroute locally; wait for control plane.
 		s.Buffered++
+		dpBuffered.Inc()
 		s.Buffer = append(s.Buffer, p)
 		return
 	}
@@ -157,10 +188,16 @@ func (s *Satellite) send(peer int, p *Packet) {
 		return
 	}
 	s.Forwarded++
+	dpForwarded.Inc()
 }
 
 func (s *Satellite) drop(p *Packet, reason string) {
 	s.Dropped++
+	if c, ok := dpDropped[reason]; ok {
+		c.Inc()
+	} else {
+		obs.Default().Counter("tinyleo_dataplane_dropped_total", "reason", reason).Inc()
+	}
 	if s.net.OnDrop != nil {
 		s.net.OnDrop(s, p, reason)
 	}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Undefined statistics (empty-sample percentiles, CDF quantiles) are NaN;
+// they must render as "-" in tables and CSV, never as "NaN".
+func TestTableNaNRendersPlaceholder(t *testing.T) {
+	tab := NewTable("Fig", "name", "p50", "p99")
+	tab.AddRow("empty", Percentile(nil, 50), NewCDF(nil).Quantile(0.99))
+	tab.AddRow("inf", math.Inf(1), math.Inf(-1))
+
+	var txt, csv strings.Builder
+	tab.Render(&txt)
+	tab.RenderCSV(&csv)
+	for _, out := range []string{txt.String(), csv.String()} {
+		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Errorf("NaN/Inf leaked into output:\n%s", out)
+		}
+		if !strings.Contains(out, "-") {
+			t.Errorf("placeholder missing:\n%s", out)
+		}
+	}
+	if got := csv.String(); !strings.Contains(got, "empty,-,-") {
+		t.Errorf("csv row = %q, want empty,-,-", got)
+	}
+}
+
+// Counter must be safe for concurrent Add/Get/Total/Keys/String (run with
+// -race to prove it).
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", w%4)
+			for i := 0; i < perWorker; i++ {
+				c.Add(key, 1)
+				if i%100 == 0 {
+					c.Get(key)
+					c.Total()
+					c.Keys()
+					_ = c.String()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Total(); got != workers*perWorker {
+		t.Errorf("Total = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(c.Keys()); got != 4 {
+		t.Errorf("Keys = %d, want 4", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Summary holds basic descriptive statistics of a sample.
@@ -145,8 +146,9 @@ func (c *CDF) Points(n int) [][2]float64 {
 }
 
 // Counter is a monotonically growing event counter keyed by name, used for
-// signaling-message accounting (Figure 17).
+// signaling-message accounting (Figure 17). It is safe for concurrent use.
 type Counter struct {
+	mu     sync.Mutex
 	counts map[string]int64
 	order  []string
 }
@@ -156,6 +158,8 @@ func NewCounter() *Counter { return &Counter{counts: map[string]int64{}} }
 
 // Add increments key by n.
 func (c *Counter) Add(key string, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.counts[key]; !ok {
 		c.order = append(c.order, key)
 	}
@@ -163,10 +167,16 @@ func (c *Counter) Add(key string, n int64) {
 }
 
 // Get returns the count for key.
-func (c *Counter) Get(key string) int64 { return c.counts[key] }
+func (c *Counter) Get(key string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[key]
+}
 
 // Total returns the sum over all keys.
 func (c *Counter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var t int64
 	for _, v := range c.counts {
 		t += v
@@ -175,10 +185,16 @@ func (c *Counter) Total() int64 {
 }
 
 // Keys returns keys in first-insertion order.
-func (c *Counter) Keys() []string { return append([]string(nil), c.order...) }
+func (c *Counter) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
 
 // String renders the counter as "k1=v1 k2=v2 …".
 func (c *Counter) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	s := ""
 	for i, k := range c.order {
 		if i > 0 {

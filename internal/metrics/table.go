@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -37,6 +38,12 @@ func (t *Table) AddRow(cells ...any) {
 
 func formatFloat(v float64) string {
 	switch {
+	case math.IsNaN(v):
+		// Undefined statistics (e.g. a percentile of an empty sample)
+		// render as a placeholder, not "NaN", in tables and CSV.
+		return "-"
+	case math.IsInf(v, 0):
+		return "-"
 	case v == 0:
 		return "0"
 	case v >= 1000 || v <= -1000:

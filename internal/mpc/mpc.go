@@ -16,13 +16,43 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/geom"
 	"repro/internal/intent"
+	"repro/internal/obs"
 	"repro/internal/orbit"
 	"repro/internal/stablematch"
 )
+
+// Control-plane telemetry on the process-wide default registry (free
+// unless obs.Enable() was called): the paper's Fig. 15 compile/repair
+// latency and Fig. 16/17 enforcement and signaling signals.
+var (
+	obsCompileSeconds = obs.Default().Histogram("tinyleo_mpc_compile_seconds", obs.DefBuckets)
+	obsCompiles       = obs.Default().Counter("tinyleo_mpc_compile_total")
+	obsInterLinks     = obs.Default().Gauge("tinyleo_mpc_inter_links")
+	obsRingLinks      = obs.Default().Gauge("tinyleo_mpc_ring_links")
+	obsDeficitSlots   = obs.Default().Gauge("tinyleo_mpc_gateway_deficit_slots")
+	obsEnforcement    = obs.Default().Gauge("tinyleo_mpc_enforcement_ratio")
+
+	obsLinksAdded   = obs.Default().Counter("tinyleo_mpc_links_changed_total", "op", "added")
+	obsLinksRemoved = obs.Default().Counter("tinyleo_mpc_links_changed_total", "op", "removed")
+
+	obsRepairs      = obs.Default().Counter("tinyleo_mpc_repair_total")
+	obsRepairStage  = map[string]*obs.Histogram{} // report|compute|instruct|total
+	obsRepairLinks  = obs.Default().Counter("tinyleo_mpc_repair_new_links_total")
+	obsRepairMsgs   = obs.Default().Counter("tinyleo_mpc_repair_messages_total")
+	obsRepairFailed = obs.Default().Counter("tinyleo_mpc_repair_unrepaired_total")
+)
+
+func init() {
+	for _, stage := range []string{"report", "compute", "instruct", "total"} {
+		obsRepairStage[stage] = obs.Default().Histogram(
+			"tinyleo_mpc_repair_stage_seconds", obs.DefBuckets, "stage", stage)
+	}
+}
 
 // Config parameterizes a controller.
 type Config struct {
@@ -140,6 +170,9 @@ func New(cfg Config) (*Controller, error) {
 // Compile produces the satellite topology snapshot enforcing the intent at
 // time t.
 func (c *Controller) Compile(t float64) *Snapshot {
+	span := obs.StartSpan("mpc.compile", "t", strconv.FormatFloat(t, 'f', 0, 64))
+	start := time.Now()
+	defer func() { span.End() }()
 	cfg := &c.cfg
 	snap := &Snapshot{
 		Time:     t,
@@ -314,6 +347,15 @@ func (c *Controller) Compile(t float64) *Snapshot {
 		}
 	}
 	sort.Slice(snap.RingLinks, func(a, b int) bool { return lessLink(snap.RingLinks[a], snap.RingLinks[b]) })
+	obsCompiles.Inc()
+	obsCompileSeconds.ObserveDuration(time.Since(start))
+	obsInterLinks.Set(float64(len(snap.InterLinks)))
+	obsRingLinks.Set(float64(len(snap.RingLinks)))
+	deficit := 0
+	for _, d := range snap.Deficits {
+		deficit += d
+	}
+	obsDeficitSlots.Set(float64(deficit))
 	return snap
 }
 
@@ -362,7 +404,9 @@ func (c *Controller) meanLifetime(s int, vSats []int, t float64) float64 {
 // one to each endpoint satellite).
 func DiffLinks(prev, cur *Snapshot) (added, removed []Link) {
 	if prev == nil {
-		return cur.Links(), nil
+		added = cur.Links()
+		obsLinksAdded.Add(int64(len(added)))
+		return added, nil
 	}
 	ps, cs := prev.LinkSet(), cur.LinkSet()
 	for l := range cs {
@@ -377,6 +421,8 @@ func DiffLinks(prev, cur *Snapshot) (added, removed []Link) {
 	}
 	sort.Slice(added, func(a, b int) bool { return lessLink(added[a], added[b]) })
 	sort.Slice(removed, func(a, b int) bool { return lessLink(removed[a], removed[b]) })
+	obsLinksAdded.Add(int64(len(added)))
+	obsLinksRemoved.Add(int64(len(removed)))
 	return
 }
 
@@ -412,9 +458,12 @@ func (c *Controller) EnforcementRatio(s *Snapshot) float64 {
 		satisfied += links
 	}
 	if totalDemand == 0 {
+		obsEnforcement.Set(1)
 		return 1
 	}
-	return float64(satisfied) / float64(totalDemand)
+	ratio := float64(satisfied) / float64(totalDemand)
+	obsEnforcement.Set(ratio)
+	return ratio
 }
 
 // RepairStats summarizes one failure-repair round (Figure 17d).
@@ -445,6 +494,9 @@ func (r RepairStats) Total() time.Duration {
 // replacements. rtt models the unavoidable controller round-trip (the
 // paper measures 83.5 ms of its 83.8 ms average repair time as RTT).
 func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, rtt time.Duration) (*Snapshot, RepairStats) {
+	span := obs.StartSpan("mpc.repair",
+		"failed_links", strconv.Itoa(len(failedLinks)), "failed_sats", strconv.Itoa(len(failedSats)))
+	defer span.End()
 	start := time.Now()
 	stats := RepairStats{ReportRTT: rtt / 2, InstructRTT: rtt / 2}
 	stats.Messages = len(failedLinks) + len(failedSats)
@@ -537,7 +589,21 @@ func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, r
 	_, ringAdded := DiffLinks(&Snapshot{InterLinks: s.RingLinks}, &Snapshot{InterLinks: out.RingLinks})
 	stats.Messages += 2 * len(ringAdded)
 	stats.ComputeTime = time.Since(start)
+	stats.observe()
 	return out, stats
+}
+
+// observe records the repair round on the default telemetry registry
+// (Fig. 15 repair-latency stages, Fig. 17 signaling counts).
+func (r RepairStats) observe() {
+	obsRepairs.Inc()
+	obsRepairStage["report"].ObserveDuration(r.ReportRTT)
+	obsRepairStage["compute"].ObserveDuration(r.ComputeTime)
+	obsRepairStage["instruct"].ObserveDuration(r.InstructRTT)
+	obsRepairStage["total"].ObserveDuration(r.Total())
+	obsRepairLinks.Add(int64(len(r.NewLinks)))
+	obsRepairMsgs.Add(int64(r.Messages))
+	obsRepairFailed.Add(int64(r.Unrepaired))
 }
 
 // dropGateway releases the gateway assignments of a failed link's

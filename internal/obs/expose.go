@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Sample is one exported series in a Snapshot.
+type Sample struct {
+	Name   string            `json:"name"`
+	Kind   Kind              `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value holds the counter count or gauge value.
+	Value float64 `json:"value,omitempty"`
+	// Histogram-only fields. Buckets are raw (non-cumulative) counts per
+	// bound; the entry past the last bound is the +Inf bucket.
+	Count   int64     `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every series of the given registries in registration
+// order (registries concatenated in argument order).
+func Snapshot(regs ...*Registry) []Sample {
+	var out []Sample
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		order := append([]*series(nil), r.order...)
+		r.mu.Unlock()
+		for _, s := range order {
+			smp := Sample{Name: s.name, Kind: s.kind}
+			if len(s.labels) > 0 {
+				smp.Labels = make(map[string]string, len(s.labels))
+				for _, lp := range s.labels {
+					smp.Labels[lp.k] = lp.v
+				}
+			}
+			switch s.kind {
+			case KindCounter:
+				smp.Value = float64(s.c.Value())
+			case KindGauge:
+				smp.Value = s.g.Value()
+			case KindHistogram:
+				smp.Count = s.h.Count()
+				smp.Sum = s.h.Sum()
+				smp.Bounds = s.h.bounds
+				smp.Buckets = make([]int64, len(s.h.buckets))
+				for i := range s.h.buckets {
+					smp.Buckets[i] = s.h.buckets[i].Load()
+				}
+			}
+			out = append(out, smp)
+		}
+	}
+	return out
+}
+
+// SumCounters returns the summed value of every counter series named name
+// across the registries (e.g. totaling a labeled message counter).
+func SumCounters(name string, regs ...*Registry) int64 {
+	var total int64
+	for _, smp := range Snapshot(regs...) {
+		if smp.Kind == KindCounter && smp.Name == name {
+			total += int64(smp.Value)
+		}
+	}
+	return total
+}
+
+// WritePrometheus renders every series of the registries in the Prometheus
+// text exposition format (version 0.0.4): a "# TYPE" line per metric name
+// followed by its samples; histograms expose cumulative _bucket/_sum/_count
+// series.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	typed := map[string]bool{}
+	for _, smp := range Snapshot(regs...) {
+		if !typed[smp.Name] {
+			typed[smp.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", smp.Name, smp.Kind); err != nil {
+				return err
+			}
+		}
+		switch smp.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				smp.Name, promLabels(smp.Labels, "", 0), promFloat(smp.Value)); err != nil {
+				return err
+			}
+		case KindHistogram:
+			cum := int64(0)
+			for i, b := range smp.Buckets {
+				cum += b
+				le := math.Inf(1)
+				if i < len(smp.Bounds) {
+					le = smp.Bounds[i]
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					smp.Name, promLabels(smp.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+				smp.Name, promLabels(smp.Labels, "", 0), promFloat(smp.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n",
+				smp.Name, promLabels(smp.Labels, "", 0), smp.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as one indented JSON document.
+func WriteJSON(w io.Writer, regs ...*Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	samples := Snapshot(regs...)
+	if samples == nil {
+		samples = []Sample{}
+	}
+	return enc.Encode(struct {
+		Series []Sample `json:"series"`
+	}{samples})
+}
+
+// promLabels renders a label set (plus an optional le bound for histogram
+// buckets) as {k="v",...}, or "" when empty.
+func promLabels(labels map[string]string, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q yields exactly the Prometheus label escaping (\\, \", \n).
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if leKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		if math.IsInf(le, 1) {
+			fmt.Fprintf(&b, "%s=%q", leKey, "+Inf")
+		} else {
+			fmt.Fprintf(&b, "%s=%q", leKey, promFloat(le))
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the registries' JSON snapshot under the expvar
+// name "tinyleo" (alongside the stock memstats/cmdline vars on
+// /debug/vars). Safe to call more than once; only the first call's
+// registry list is published.
+func PublishExpvar(regs ...*Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("tinyleo", expvar.Func(func() any {
+			return Snapshot(regs...)
+		}))
+	})
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+var processStart = time.Now()
+
+// NewHandler builds the telemetry HTTP surface over the given registries
+// (merged in order) and the default tracer:
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/metrics.json  JSON snapshot of every series
+//	/healthz       liveness: {"status":"ok","uptime_s":...}
+//	/trace         span ring as JSONL
+//	/trace.chrome  span ring as a Chrome trace_event array
+func NewHandler(regs ...*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, regs...)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, regs...)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":   "ok",
+			"uptime_s": time.Since(processStart).Seconds(),
+		})
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = Trace().WriteJSONL(w)
+	})
+	mux.HandleFunc("/trace.chrome", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = Trace().WriteChromeTrace(w)
+	})
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry HTTP surface on addr (":0" picks a free
+// port) over the given registries. The returned server runs until Close.
+func Serve(addr string, regs ...*Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(regs...)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

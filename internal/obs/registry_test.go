@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry(true)
+	c := r.Counter("events_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("events_total"); again != c {
+		t.Error("re-registration returned a different instrument")
+	}
+}
+
+func TestDisabledRegistryDropsWrites(t *testing.T) {
+	r := NewRegistry(false)
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DefBuckets)
+	c.Inc()
+	g.Set(3)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("disabled registry recorded: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	g.Set(3)
+	h.Observe(0.5)
+	if c.Value() != 1 || g.Value() != 3 || h.Count() != 1 {
+		t.Errorf("enable not observed by existing instruments: c=%d g=%v h=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestLabelsDistinguishSeries(t *testing.T) {
+	r := NewRegistry(true)
+	rx := r.Counter("msgs_total", "dir", "rx", "type", "hello")
+	tx := r.Counter("msgs_total", "dir", "tx", "type", "hello")
+	rx.Add(2)
+	tx.Add(3)
+	if rx.Value() != 2 || tx.Value() != 3 {
+		t.Errorf("label series cross-talk: rx=%d tx=%d", rx.Value(), tx.Value())
+	}
+	// Label order must not matter (canonicalized by key).
+	if again := r.Counter("msgs_total", "type", "hello", "dir", "rx"); again != rx {
+		t.Error("label order changed series identity")
+	}
+	if got := SumCounters("msgs_total", r); got != 5 {
+		t.Errorf("SumCounters = %d, want 5", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry(true)
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry(true)
+	g := r.Gauge("connected")
+	g.Add(1)
+	g.Add(1)
+	g.Add(-1)
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %v, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry(true)
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 1, 1} // ≤0.01 is inclusive; 5 lands in +Inf
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.565) > 1e-9 {
+		t.Errorf("sum = %v, want 5.565", h.Sum())
+	}
+	h.ObserveDuration(20 * time.Millisecond)
+	if got := h.buckets[1].Load(); got != 2 {
+		t.Errorf("ObserveDuration bucket = %d, want 2", got)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry(true)
+	c := r.Counter("hits")
+	g := r.Gauge("level")
+	h := r.Histogram("obs", []float64{1, 10})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 20))
+				// Registration from many goroutines must be safe too.
+				r.Counter("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one completed span in the trace ring.
+type Event struct {
+	Name string `json:"name"`
+	// StartUS/DurUS are microseconds since tracer enable / span duration.
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records spans into a fixed-capacity ring buffer: the newest
+// events win, so a long-running emulation keeps the recent control-loop
+// history without unbounded memory. Disabled tracers drop spans at the
+// cost of one atomic load.
+type Tracer struct {
+	on atomic.Bool
+
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+	epoch   time.Time
+}
+
+// DefaultTraceCapacity is the ring size used by EnableTracing(0).
+const DefaultTraceCapacity = 4096
+
+var defaultTracer = &Tracer{}
+
+// Trace returns the process-wide tracer (disabled until EnableTracing).
+func Trace() *Tracer { return defaultTracer }
+
+// EnableTracing enables the default tracer with the given ring capacity
+// (0 = DefaultTraceCapacity).
+func EnableTracing(capacity int) { defaultTracer.Enable(capacity) }
+
+// StartSpan opens a span on the default tracer; attrs are key/value
+// pairs. The returned span records on End().
+func StartSpan(name string, attrs ...string) Span { return defaultTracer.StartSpan(name, attrs...) }
+
+// Enable (re)enables the tracer, allocating a ring of the given capacity
+// (0 = DefaultTraceCapacity). Re-enabling resets the ring and epoch.
+func (t *Tracer) Enable(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t.mu.Lock()
+	t.buf = make([]Event, capacity)
+	t.next, t.wrapped, t.dropped = 0, false, 0
+	t.epoch = time.Now()
+	t.mu.Unlock()
+	t.on.Store(true)
+}
+
+// Enabled reports whether spans are recorded.
+func (t *Tracer) Enabled() bool { return t.on.Load() }
+
+// Disable stops recording; the ring stays readable.
+func (t *Tracer) Disable() { t.on.Store(false) }
+
+// Span is an in-flight trace span. The zero Span (from a disabled tracer)
+// is inert: End() is a nil check.
+type Span struct {
+	t     *Tracer
+	name  string
+	attrs []string
+	start time.Time
+}
+
+// StartSpan opens a span; attrs are key/value pairs attached on End.
+func (t *Tracer) StartSpan(name string, attrs ...string) Span {
+	if !t.on.Load() {
+		return Span{}
+	}
+	return Span{t: t, name: name, attrs: attrs, start: time.Now()}
+}
+
+// End completes the span and commits it to the ring.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.record(s.name, s.start, time.Since(s.start), s.attrs)
+}
+
+// Attr appends a key/value pair to an in-flight span (no-op when inert).
+func (s *Span) Attr(k, v string) {
+	if s.t != nil {
+		s.attrs = append(s.attrs, k, v)
+	}
+}
+
+func (t *Tracer) record(name string, start time.Time, dur time.Duration, attrs []string) {
+	var m map[string]string
+	if len(attrs) > 0 {
+		m = make(map[string]string, (len(attrs)+1)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			m[attrs[i]] = attrs[i+1]
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) == 0 {
+		return
+	}
+	if t.wrapped {
+		t.dropped++
+	}
+	t.buf[t.next] = Event{
+		Name:    name,
+		StartUS: start.Sub(t.epoch).Microseconds(),
+		DurUS:   dur.Microseconds(),
+		Attrs:   m,
+	}
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Events returns the ring contents oldest-first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]Event(nil), t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL writes one JSON object per event, oldest-first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is Chrome's trace_event "complete" (ph=X) record, loadable
+// in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the ring as a Chrome trace_event JSON array.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, len(events))
+	for i, ev := range events {
+		out[i] = chromeEvent{
+			Name: ev.Name, Ph: "X", PID: 1, TID: 1,
+			TS: ev.StartUS, Dur: ev.DurUS, Args: ev.Attrs,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFileSummary returns a short human-readable description of the ring
+// state, used by the CLI when flushing -trace-out.
+func (t *Tracer) WriteFileSummary() string {
+	t.mu.Lock()
+	n := t.next
+	if t.wrapped {
+		n = len(t.buf)
+	}
+	dropped := t.dropped
+	t.mu.Unlock()
+	return fmt.Sprintf("%d spans (%d overwritten)", n, dropped)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(8)
+	sp := tr.StartSpan("compile", "slot", "0")
+	time.Sleep(time.Millisecond)
+	sp.Attr("links", "12")
+	sp.End()
+	tr.StartSpan("repair").End()
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Name != "compile" || events[0].Attrs["slot"] != "0" || events[0].Attrs["links"] != "12" {
+		t.Errorf("first event = %+v", events[0])
+	}
+	if events[0].DurUS < 500 {
+		t.Errorf("span duration %d µs, expected ≥ 1 ms sleep", events[0].DurUS)
+	}
+	if events[1].StartUS < events[0].StartUS {
+		t.Error("events not in chronological order")
+	}
+}
+
+func TestTracerDisabledIsInert(t *testing.T) {
+	tr := &Tracer{}
+	sp := tr.StartSpan("x")
+	sp.End() // must not panic or record
+	if n := len(tr.Events()); n != 0 {
+		t.Errorf("disabled tracer recorded %d events", n)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(4)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan("s").End()
+	}
+	if n := len(tr.Events()); n != 4 {
+		t.Errorf("ring holds %d, want 4", n)
+	}
+	if d := tr.Dropped(); d != 6 {
+		t.Errorf("dropped = %d, want 6", d)
+	}
+	if !strings.Contains(tr.WriteFileSummary(), "4 spans") {
+		t.Errorf("summary = %q", tr.WriteFileSummary())
+	}
+}
+
+func TestTraceJSONLAndChrome(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(16)
+	tr.StartSpan("a", "k", "v").End()
+	tr.StartSpan("b").End()
+
+	var jsonl strings.Builder
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(strings.NewReader(jsonl.String()))
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("JSONL line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("JSONL lines = %d, want 2", lines)
+	}
+
+	var chrome strings.Builder
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal([]byte(chrome.String()), &arr); err != nil {
+		t.Fatalf("chrome trace invalid JSON: %v", err)
+	}
+	if len(arr) != 2 || arr[0]["ph"] != "X" || arr[0]["name"] != "a" {
+		t.Errorf("chrome trace = %v", arr)
+	}
+}

@@ -5,7 +5,26 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// Agent-side telemetry on the process-wide default registry (disabled —
+// and therefore free — unless obs.Enable() was called, e.g. by the
+// tinyleo-sat -metrics-addr flag). Counters are cached per message type so
+// the read loop never takes the registry lock.
+var agentMetrics = struct {
+	rx, tx [MsgAck + 1]*obs.Counter
+}{}
+
+func init() {
+	for t := MsgHello; t <= MsgAck; t++ {
+		agentMetrics.rx[t] = obs.Default().Counter(
+			"tinyleo_southbound_agent_messages_total", "dir", "rx", "type", t.String())
+		agentMetrics.tx[t] = obs.Default().Counter(
+			"tinyleo_southbound_agent_messages_total", "dir", "tx", "type", t.String())
+	}
+}
 
 // Agent is the per-satellite southbound endpoint: it registers with the
 // controller, receives topology commands, acknowledges them, and reports
@@ -55,6 +74,9 @@ func (a *Agent) readLoop() {
 		if err != nil {
 			return
 		}
+		if int(m.Type) < len(agentMetrics.rx) && agentMetrics.rx[m.Type] != nil {
+			agentMetrics.rx[m.Type].Inc()
+		}
 		switch m.Type {
 		case MsgHelloAck:
 			if !acked {
@@ -76,7 +98,13 @@ func (a *Agent) write(m *Message) error {
 	if a.closed {
 		return net.ErrClosed
 	}
-	return WriteMessage(a.conn, m)
+	if err := WriteMessage(a.conn, m); err != nil {
+		return err
+	}
+	if int(m.Type) < len(agentMetrics.tx) && agentMetrics.tx[m.Type] != nil {
+		agentMetrics.tx[m.Type].Inc()
+	}
+	return nil
 }
 
 // ReportFailure notifies the controller that the ISL toward peer failed.

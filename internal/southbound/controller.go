@@ -4,21 +4,39 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/metrics"
+	"repro/internal/obs"
 )
+
+// Telemetry series names exported by a Controller's registry.
+const (
+	// MetricMessages counts southbound messages by {dir, type} labels.
+	MetricMessages = "tinyleo_southbound_messages_total"
+	// MetricBytes counts wire bytes by {dir} label.
+	MetricBytes = "tinyleo_southbound_bytes_total"
+	// MetricConnectedAgents gauges currently registered agents.
+	MetricConnectedAgents = "tinyleo_southbound_connected_agents"
+	// MetricAckRTT is the command→ack round-trip histogram (seconds).
+	MetricAckRTT = "tinyleo_southbound_ack_rtt_seconds"
+)
+
+// maxPendingAcks bounds the seq→send-time map used for ack RTT
+// measurement; beyond it new sends are simply not RTT-tracked.
+const maxPendingAcks = 4096
 
 // Controller is the terrestrial MPC endpoint of the southbound API: it
 // accepts agent registrations and pushes topology commands.
 type Controller struct {
 	ln net.Listener
 
-	mu     sync.Mutex
-	agents map[uint32]net.Conn
-	seq    uint32
-	closed bool
+	mu      sync.Mutex
+	agents  map[uint32]net.Conn
+	seq     uint32
+	closed  bool
+	pending map[uint32]time.Time // command seq → send time (ack RTT)
 
 	// OnFailure, if set, is invoked when an agent reports a failure and
 	// returns the repair commands to push (addressed by Message.SatID).
@@ -26,9 +44,16 @@ type Controller struct {
 	// OnAck observes acknowledgements.
 	OnAck func(m *Message)
 
-	// counters tracks sent/received message counts by type (the Figure 17
-	// signaling accounting); read it via Count/TotalMessages.
-	counters *metrics.Counter
+	// reg is the controller's always-enabled telemetry registry (the
+	// Figure 17 signaling accounting, plus wire bytes, the connected-agent
+	// gauge, and the ack RTT histogram). Read it via Count/TotalMessages/
+	// Metrics; serve it via obs.Serve.
+	reg       *obs.Registry
+	rx, tx    [MsgAck + 1]*obs.Counter // indexed by MsgType
+	rxBytes   *obs.Counter
+	txBytes   *obs.Counter
+	connected *obs.Gauge
+	ackRTT    *obs.Histogram
 
 	wg sync.WaitGroup
 }
@@ -39,10 +64,20 @@ func ListenController(addr string) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry(true)
 	c := &Controller{
-		ln:       ln,
-		agents:   map[uint32]net.Conn{},
-		counters: metrics.NewCounter(),
+		ln:        ln,
+		agents:    map[uint32]net.Conn{},
+		pending:   map[uint32]time.Time{},
+		reg:       reg,
+		rxBytes:   reg.Counter(MetricBytes, "dir", "rx"),
+		txBytes:   reg.Counter(MetricBytes, "dir", "tx"),
+		connected: reg.Gauge(MetricConnectedAgents),
+		ackRTT:    reg.Histogram(MetricAckRTT, obs.DefBuckets),
+	}
+	for t := MsgHello; t <= MsgAck; t++ {
+		c.rx[t] = reg.Counter(MetricMessages, "dir", "rx", "type", t.String())
+		c.tx[t] = reg.Counter(MetricMessages, "dir", "tx", "type", t.String())
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -51,6 +86,10 @@ func ListenController(addr string) (*Controller, error) {
 
 // Addr returns the listening address.
 func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// Metrics returns the controller's telemetry registry, suitable for
+// merging into an obs.Serve endpoint.
+func (c *Controller) Metrics() *obs.Registry { return c.reg }
 
 func (c *Controller) acceptLoop() {
 	defer c.wg.Done()
@@ -74,6 +113,7 @@ func (c *Controller) serve(conn net.Conn) {
 			c.mu.Lock()
 			if c.agents[satID] == conn {
 				delete(c.agents, satID)
+				c.connected.Set(float64(len(c.agents)))
 			}
 			c.mu.Unlock()
 		}
@@ -83,19 +123,20 @@ func (c *Controller) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		c.count("rx-" + m.Type.String())
+		c.countRx(m)
 		switch m.Type {
 		case MsgHello:
 			satID = m.SatID
 			c.mu.Lock()
 			c.agents[satID] = conn
+			c.connected.Set(float64(len(c.agents)))
 			c.mu.Unlock()
 			registered = true
 			ack := &Message{Type: MsgHelloAck, SatID: satID, Seq: m.Seq}
 			if err := WriteMessage(conn, ack); err != nil {
 				return
 			}
-			c.count("tx-" + ack.Type.String())
+			c.countTx(ack)
 		case MsgFailureReport:
 			var cmds []*Message
 			if c.OnFailure != nil {
@@ -107,6 +148,12 @@ func (c *Controller) serve(conn net.Conn) {
 				}
 			}
 		case MsgAck:
+			c.mu.Lock()
+			if sentAt, ok := c.pending[m.Seq]; ok {
+				delete(c.pending, m.Seq)
+				c.ackRTT.ObserveDuration(time.Since(sentAt))
+			}
+			c.mu.Unlock()
 			if c.OnAck != nil {
 				c.OnAck(m)
 			}
@@ -114,25 +161,38 @@ func (c *Controller) serve(conn net.Conn) {
 	}
 }
 
-func (c *Controller) count(key string) {
-	c.mu.Lock()
-	c.counters.Add(key, 1)
-	c.mu.Unlock()
+func (c *Controller) countRx(m *Message) {
+	if int(m.Type) < len(c.rx) && c.rx[m.Type] != nil {
+		c.rx[m.Type].Inc()
+	} else {
+		c.reg.Counter(MetricMessages, "dir", "rx", "type", m.Type.String()).Inc()
+	}
+	c.rxBytes.Add(int64(m.WireSize()))
 }
 
-// Count returns the number of messages recorded under key (e.g.
-// "rx-failure-report", "tx-set-isl").
+func (c *Controller) countTx(m *Message) {
+	if int(m.Type) < len(c.tx) && c.tx[m.Type] != nil {
+		c.tx[m.Type].Inc()
+	} else {
+		c.reg.Counter(MetricMessages, "dir", "tx", "type", m.Type.String()).Inc()
+	}
+	c.txBytes.Add(int64(m.WireSize()))
+}
+
+// Count returns the number of messages recorded under key: "rx-" or "tx-"
+// followed by the message type name (e.g. "rx-failure-report",
+// "tx-set-isl"), matching the telemetry series' {dir, type} labels.
 func (c *Controller) Count(key string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters.Get(key)
+	dir, typ, ok := strings.Cut(key, "-")
+	if !ok {
+		return 0
+	}
+	return c.reg.Counter(MetricMessages, "dir", dir, "type", typ).Value()
 }
 
 // TotalMessages returns the total southbound messages sent and received.
 func (c *Controller) TotalMessages() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters.Total()
+	return obs.SumCounters(MetricMessages, c.reg)
 }
 
 // ErrUnknownAgent reports a command addressed to an unregistered satellite.
@@ -143,9 +203,14 @@ var ErrUnknownAgent = errors.New("southbound: unknown agent")
 func (c *Controller) Send(m *Message) error {
 	c.mu.Lock()
 	conn, ok := c.agents[m.SatID]
-	if ok && m.Seq == 0 {
-		c.seq++
-		m.Seq = c.seq
+	if ok {
+		if m.Seq == 0 {
+			c.seq++
+			m.Seq = c.seq
+		}
+		if len(c.pending) < maxPendingAcks {
+			c.pending[m.Seq] = time.Now()
+		}
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -154,7 +219,7 @@ func (c *Controller) Send(m *Message) error {
 	if err := WriteMessage(conn, m); err != nil {
 		return err
 	}
-	c.count("tx-" + m.Type.String())
+	c.countTx(m)
 	return nil
 }
 

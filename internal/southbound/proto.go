@@ -77,6 +77,10 @@ const (
 // ErrFrameTooLarge reports a length prefix beyond protocol limits.
 var ErrFrameTooLarge = errors.New("southbound: frame too large")
 
+// WireSize returns the message's framed size in bytes (length prefix
+// included), used for signaling-byte accounting.
+func (m *Message) WireSize() int { return headerLen + 2*len(m.Cells) }
+
 // WriteMessage writes one framed message.
 func WriteMessage(w io.Writer, m *Message) error {
 	if len(m.Cells) > MaxCells {

@@ -30,10 +30,40 @@ import (
 	"repro/internal/geom"
 	"repro/internal/intent"
 	"repro/internal/mpc"
+	"repro/internal/obs"
 	"repro/internal/orbit"
 	"repro/internal/southbound"
 	"repro/internal/texture"
 )
+
+// ---- Runtime telemetry (internal/obs) ----
+
+// TelemetryRegistry is a concurrency-safe registry of counters, gauges,
+// and histograms.
+type TelemetryRegistry = obs.Registry
+
+// TelemetryServer is a running /metrics + /healthz + /trace HTTP endpoint.
+type TelemetryServer = obs.Server
+
+// Telemetry returns the process-wide registry that internal/mpc,
+// internal/core, internal/dataplane, and the southbound agent write to.
+// It is disabled (zero-cost) until EnableTelemetry.
+func Telemetry() *TelemetryRegistry { return obs.Default() }
+
+// EnableTelemetry turns on the default registry so instrumented hot paths
+// start recording.
+func EnableTelemetry() { obs.Enable() }
+
+// EnableTraceSpans turns on span tracing with a ring buffer of the given
+// capacity (0 = default). Spans are served on /trace and /trace.chrome.
+func EnableTraceSpans(capacity int) { obs.EnableTracing(capacity) }
+
+// ServeTelemetry serves Prometheus text, JSON snapshots, health, and span
+// traces over HTTP for the given registries (e.g. Telemetry() plus a
+// SouthboundController's Metrics()).
+func ServeTelemetry(addr string, regs ...*TelemetryRegistry) (*TelemetryServer, error) {
+	return obs.Serve(addr, regs...)
+}
 
 // ---- Geography ----
 
