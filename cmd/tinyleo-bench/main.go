@@ -6,12 +6,18 @@
 //
 //	tinyleo-bench [-scale small|paper] [-run all|table1|fig3|fig4|fig9|fig13|
 //	               fig14|fig15|fig15d|fig15e|fig16|fig17|fig17d|fig18|fig19a|fig19bcd]
-//	               [-csv] [-metrics-addr host:port] [-trace-out file.jsonl]
+//	               [-csv] [-bench-json out.json] [-metrics-addr host:port]
+//	               [-trace-out file.jsonl] [-record-out flight.jsonl.gz]
 //
 // Telemetry: -metrics-addr serves live Prometheus text on /metrics (plus
 // /metrics.json, /healthz, /trace, /trace.chrome) while the experiments
 // run — solver iterations, MPC compile latency, data-plane counters move
-// in real time; -trace-out writes the span ring as JSONL when done.
+// in real time; -trace-out writes the span ring as JSONL when done;
+// -record-out writes a flight recording for tinyleo-ctl inspect;
+// -bench-json flattens every emitted table into a
+// [{"name","value","unit"}] array (schema: EXPERIMENTS.md) for
+// continuous-benchmarking dashboards. All output files flush on
+// SIGINT/SIGTERM, so an interrupted sweep keeps its partial results.
 package main
 
 import (
@@ -22,9 +28,11 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/texture"
 )
 
@@ -34,23 +42,40 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address while experiments run (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file when done")
+	recordOut := flag.String("record-out", "", "write a flight recording to this file when done (.gz = gzip)")
+	benchJSON := flag.String("bench-json", "", "write every emitted table as a flat [{name,value,unit}] JSON array to this file")
 	flag.Parse()
 
-	if *metricsAddr != "" || *traceOut != "" {
+	defer cli.Flush()
+	cli.TrapSignals()
+
+	if *metricsAddr != "" || *traceOut != "" || *recordOut != "" {
 		obs.Enable()
 		obs.EnableTracing(0)
+	}
+	if *recordOut != "" {
+		if err := flightrec.Enable(flightrec.Options{}); err != nil {
+			cli.Fatalf("tinyleo-bench: flight recorder: %v\n", err)
+		}
+		cli.AtExit(func() {
+			summary, err := flightrec.SaveRecording(*recordOut, "tinyleo-bench")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-bench: recording: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "recording: wrote %s to %s\n", summary, *recordOut)
+		})
 	}
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, obs.Default())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tinyleo-bench: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("tinyleo-bench: %v\n", err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
 	}
 	if *traceOut != "" {
-		defer func() {
+		cli.AtExit(func() {
 			f, err := os.Create(*traceOut)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tinyleo-bench: trace: %v\n", err)
@@ -62,19 +87,29 @@ func main() {
 				return
 			}
 			fmt.Fprintf(os.Stderr, "trace: wrote %s to %s\n", obs.Trace().WriteFileSummary(), *traceOut)
-		}()
+		})
 	}
 
 	scale, ok := experiments.ScaleByName(*scaleName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tinyleo-bench: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		cli.Exit(2)
 	}
 	sel := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
 		sel[strings.TrimSpace(name)] = true
 	}
 	want := func(name string) bool { return sel["all"] || sel[name] }
+	var emitted []*metrics.Table
+	if *benchJSON != "" {
+		cli.AtExit(func() {
+			if err := writeBenchJSON(*benchJSON, emitted); err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-bench: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "bench-json: wrote %d tables to %s\n", len(emitted), *benchJSON)
+		})
+	}
 	emit := func(tabs ...*metrics.Table) {
 		for _, t := range tabs {
 			if *csv {
@@ -84,11 +119,11 @@ func main() {
 				t.Render(os.Stdout)
 			}
 			fmt.Println()
+			emitted = append(emitted, t)
 		}
 	}
 	fail := func(name string, err error) {
-		fmt.Fprintf(os.Stderr, "tinyleo-bench: %s: %v\n", name, err)
-		os.Exit(1)
+		cli.Fatalf("tinyleo-bench: %s: %v\n", name, err)
 	}
 
 	needLib := want("table1") || want("fig9") || want("fig13") || want("fig14") ||
@@ -238,4 +273,14 @@ func main() {
 		emit(tab)
 	}
 	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+}
+
+// writeBenchJSON flattens every emitted table into the -bench-json file.
+func writeBenchJSON(path string, tables []*metrics.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return metrics.WriteBenchJSON(f, tables)
 }

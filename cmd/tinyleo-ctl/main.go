@@ -11,9 +11,21 @@
 // merging the process-wide registry (MPC compile/repair series) with the
 // southbound controller's registry (per-type message counters, connected
 // agents, ack RTT) — plus /metrics.json, /healthz, /trace; -trace-out
-// writes the span ring as JSONL on exit.
+// writes the span ring as JSONL on exit. -record-out captures a flight
+// recording (per-slot compiled topologies, typed events, SLO status) and
+// -slo overrides the objective thresholds; with -metrics-addr the live
+// SLO status is also served on /slo. Output files flush on
+// SIGINT/SIGTERM too.
 //
-//	tinyleo-ctl -listen 127.0.0.1:7601 -agents 8 -metrics-addr 127.0.0.1:9100
+//	tinyleo-ctl -listen 127.0.0.1:7601 -agents 8 -metrics-addr 127.0.0.1:9100 \
+//	    -record-out flight.jsonl.gz -slo 'availability>=0.95,deficit_ratio<=0.1'
+//
+// Postmortems: the inspect subcommand renders a recording into per-slot
+// topology diffs, reconstructed failure→repair sequences, and SLO breach
+// context:
+//
+//	tinyleo-ctl inspect -in flight.jsonl.gz
+//	tinyleo-ctl inspect -in flight.jsonl.gz -events -max-links 16
 package main
 
 import (
@@ -23,46 +35,115 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/cli"
 	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/intent"
 	"repro/internal/mpc"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/southbound"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "inspect" {
+		runInspect(os.Args[2:])
+		return
+	}
+	runController()
+}
+
+// runInspect implements `tinyleo-ctl inspect`: load a recording, print
+// the postmortem report.
+func runInspect(args []string) {
+	fs := flag.NewFlagSet("tinyleo-ctl inspect", flag.ExitOnError)
+	in := fs.String("in", "", "flight recording to inspect (required; .gz sniffed automatically)")
+	events := fs.Bool("events", false, "append the full event log to the report")
+	maxLinks := fs.Int("max-links", 8, "ISL diff entries to print per slot before eliding")
+	ctx := fs.Int("context", 6, "events of context to print before each SLO breach")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "tinyleo-ctl inspect: -in <recording> is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	rec, err := flightrec.ReadRecordingFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tinyleo-ctl inspect: %v\n", err)
+		os.Exit(1)
+	}
+	opt := flightrec.InspectOptions{MaxLinks: *maxLinks, Context: *ctx, Events: *events}
+	if err := rec.WriteReport(os.Stdout, opt); err != nil {
+		fmt.Fprintf(os.Stderr, "tinyleo-ctl inspect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runController() {
 	listen := flag.String("listen", "127.0.0.1:7601", "southbound listen address")
 	agents := flag.Int("agents", 4, "number of satellite agents to wait for")
 	slots := flag.Int("slots", 4, "control slots to run")
 	dt := flag.Float64("dt", 300, "control slot duration (seconds of orbital time)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for agents")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address (empty = telemetry off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace, /slo on this address (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
+	recordOut := flag.String("record-out", "", "write a flight recording to this file on exit (.gz = gzip)")
+	sloSpec := flag.String("slo", "", "SLO rule spec, e.g. 'availability>=0.95,repair_p99<=0.2' (empty = defaults)")
 	flag.Parse()
 
-	if *metricsAddr != "" || *traceOut != "" {
+	defer cli.Flush()
+	cli.TrapSignals()
+
+	if *metricsAddr != "" || *traceOut != "" || *recordOut != "" || *sloSpec != "" {
+		// Recording implies telemetry: the SLO engine reads registry
+		// metrics (enforcement ratio, repair latency, ack RTT).
 		obs.Enable()
 		obs.EnableTracing(0)
 	}
 	ctl, err := southbound.ListenController(*listen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tinyleo-ctl: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("tinyleo-ctl: %v\n", err)
 	}
 	defer ctl.Close()
+	if *recordOut != "" || *sloSpec != "" {
+		rules := flightrec.DefaultRules()
+		if *sloSpec != "" {
+			rules, err = flightrec.ParseRules(*sloSpec)
+			if err != nil {
+				cli.Fatalf("tinyleo-ctl: -slo: %v\n", err)
+			}
+		}
+		opts := flightrec.Options{
+			Rules:      rules,
+			Registries: []flightrec.RegistrySource{obs.Default(), ctl.Metrics()},
+		}
+		if err := flightrec.Enable(opts); err != nil {
+			cli.Fatalf("tinyleo-ctl: flight recorder: %v\n", err)
+		}
+		if *recordOut != "" {
+			out := *recordOut
+			cli.AtExit(func() {
+				summary, err := flightrec.SaveRecording(out, "tinyleo-ctl")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tinyleo-ctl: recording: %v\n", err)
+					return
+				}
+				fmt.Printf("recording: wrote %s to %s\n", summary, out)
+			})
+		}
+	}
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, obs.Default(), ctl.Metrics())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tinyleo-ctl: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("tinyleo-ctl: %v\n", err)
 		}
 		defer srv.Close()
 		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
 	}
 	if *traceOut != "" {
-		defer func() {
-			f, err := os.Create(*traceOut)
+		out := *traceOut
+		cli.AtExit(func() {
+			f, err := os.Create(out)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tinyleo-ctl: trace: %v\n", err)
 				return
@@ -72,13 +153,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "tinyleo-ctl: trace: %v\n", err)
 				return
 			}
-			fmt.Printf("trace: wrote %s to %s\n", obs.Trace().WriteFileSummary(), *traceOut)
-		}()
+			fmt.Printf("trace: wrote %s to %s\n", obs.Trace().WriteFileSummary(), out)
+		})
 	}
 	fmt.Printf("controller listening on %s, waiting for %d agents...\n", ctl.Addr(), *agents)
 	if err := ctl.WaitForAgents(*agents, *wait); err != nil {
-		fmt.Fprintf(os.Stderr, "tinyleo-ctl: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("tinyleo-ctl: %v\n", err)
 	}
 	fmt.Printf("%d agents registered\n", ctl.AgentCount())
 
@@ -99,8 +179,7 @@ func main() {
 	}
 	compiler, err := mpc.New(mpc.Config{Topo: topo, Sats: sats})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tinyleo-ctl: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("tinyleo-ctl: %v\n", err)
 	}
 
 	// Failure hook: greedily re-link the reporter to the best alternative.

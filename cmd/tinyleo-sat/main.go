@@ -7,11 +7,14 @@
 //
 // Telemetry: -metrics-addr serves live Prometheus text on /metrics (plus
 // /metrics.json, /healthz, /trace, /trace.chrome) for the duration of the
-// run; -trace-out writes the span ring as JSONL on exit. Either flag
-// enables the otherwise-free default registry and tracer.
+// run; -trace-out writes the span ring as JSONL on exit; -record-out
+// writes a flight recording (events + SLO status) for tinyleo-ctl
+// inspect. All output files also flush on SIGINT/SIGTERM, so an
+// interrupted run still yields a usable postmortem.
 //
 //	tinyleo-sat -controller 127.0.0.1:7601 -id 3 \
-//	    -metrics-addr 127.0.0.1:9103 -trace-out sat3-trace.jsonl
+//	    -metrics-addr 127.0.0.1:9103 -trace-out sat3-trace.jsonl \
+//	    -record-out sat3-flight.jsonl.gz
 package main
 
 import (
@@ -20,7 +23,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/southbound"
 )
 
@@ -32,34 +37,49 @@ func main() {
 	runFor := flag.Duration("run-for", 10*time.Second, "how long to stay up")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
+	recordOut := flag.String("record-out", "", "write a flight recording to this file on exit (.gz = gzip)")
 	flag.Parse()
 
-	if *metricsAddr != "" || *traceOut != "" {
+	defer cli.Flush()
+	cli.TrapSignals()
+
+	if *metricsAddr != "" || *traceOut != "" || *recordOut != "" {
 		obs.Enable()
 		obs.EnableTracing(0)
+	}
+	if *recordOut != "" {
+		if err := flightrec.Enable(flightrec.Options{}); err != nil {
+			cli.Fatalf("tinyleo-sat: flight recorder: %v\n", err)
+		}
+		cli.AtExit(func() {
+			summary, err := flightrec.SaveRecording(*recordOut, "tinyleo-sat")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-sat: recording: %v\n", err)
+				return
+			}
+			fmt.Printf("recording: wrote %s to %s\n", summary, *recordOut)
+		})
 	}
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, obs.Default())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tinyleo-sat: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("tinyleo-sat: %v\n", err)
 		}
 		defer srv.Close()
 		fmt.Printf("sat %d telemetry on http://%s/metrics\n", *id, srv.Addr())
 	}
 	if *traceOut != "" {
-		defer func() {
+		cli.AtExit(func() {
 			if err := writeTrace(*traceOut); err != nil {
 				fmt.Fprintf(os.Stderr, "tinyleo-sat: trace: %v\n", err)
 			}
-		}()
+		})
 	}
 
 	span := obs.StartSpan("sat.session", "id", fmt.Sprint(*id))
 	agent, err := southbound.DialAgent(*addr, uint32(*id), 10*time.Second)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tinyleo-sat: %v\n", err)
-		os.Exit(1)
+		cli.Fatalf("tinyleo-sat: %v\n", err)
 	}
 	defer agent.Close()
 	defer span.End()

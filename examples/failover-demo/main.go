@@ -22,6 +22,16 @@
 // endpoint — for -hold after the stages finish:
 //
 //	go run ./examples/failover-demo -metrics-addr 127.0.0.1:9100 -hold 1m
+//
+// With -record-out the whole run is captured by the constellation flight
+// recorder — per-slot compiled topologies, typed failure/repair events,
+// SLO status — and written as a recording that `tinyleo-ctl inspect`
+// renders into a postmortem; -slo overrides the objective thresholds
+// (live status on /slo when -metrics-addr is set too):
+//
+//	go run ./examples/failover-demo -record-out flight.jsonl.gz \
+//	    -slo 'availability>=0.99,deficit_ratio<=0.01'
+//	go run ./cmd/tinyleo-ctl inspect -in flight.jsonl.gz
 package main
 
 import (
@@ -38,25 +48,57 @@ import (
 
 func main() {
 	metricsAddr := flag.String("metrics-addr", "",
-		"serve /metrics, /healthz, /trace on this address (empty = telemetry off)")
+		"serve /metrics, /healthz, /trace, /slo on this address (empty = telemetry off)")
 	hold := flag.Duration("hold", 5*time.Second,
 		"keep the telemetry endpoint up this long after the demo stages finish")
+	recordOut := flag.String("record-out", "",
+		"write a flight recording to this file when done (.gz = gzip)")
+	sloSpec := flag.String("slo", "",
+		"SLO rule spec, e.g. 'availability>=0.95,repair_p99<=0.2' (empty = defaults)")
 	flag.Parse()
 
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *recordOut != "" || *sloSpec != "" {
+		// The flight recorder's SLO engine reads registry metrics
+		// (enforcement ratio, repair latency), so recording implies
+		// telemetry.
 		tinyleo.EnableTelemetry()
 		tinyleo.EnableTraceSpans(0)
+	}
+	if *recordOut != "" || *sloSpec != "" {
+		rules := tinyleo.DefaultSLORules()
+		if *sloSpec != "" {
+			var err error
+			rules, err = tinyleo.ParseSLORules(*sloSpec)
+			if err != nil {
+				log.Fatalf("-slo: %v", err)
+			}
+		}
+		if err := tinyleo.EnableFlightRecorder(tinyleo.FlightRecorderOptions{
+			Rules:      rules,
+			Registries: []*tinyleo.TelemetryRegistry{tinyleo.Telemetry()},
+		}); err != nil {
+			log.Fatal(err)
+		}
 	}
 	emulatedFailover()
 	mpcCompileRepair()
 	ctlMetrics := southboundRepair()
+	tinyleo.AddSLORegistries(ctlMetrics)
+	if *recordOut != "" {
+		summary, err := tinyleo.SaveFlightRecording(*recordOut, "failover-demo")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== flight recording ==\nwrote %s to %s\ninspect with: go run ./cmd/tinyleo-ctl inspect -in %s\n",
+			summary, *recordOut, *recordOut)
+	}
 	if *metricsAddr != "" {
 		srv, err := tinyleo.ServeTelemetry(*metricsAddr, tinyleo.Telemetry(), ctlMetrics)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("== telemetry ==\nserving http://%s/metrics for %v\n", srv.Addr(), *hold)
+		fmt.Printf("== telemetry ==\nserving http://%s/metrics (SLO status on /slo) for %v\n", srv.Addr(), *hold)
 		time.Sleep(*hold)
 	}
 }

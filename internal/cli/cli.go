@@ -1,0 +1,79 @@
+// Package cli holds shared plumbing for the tinyleo command-line
+// binaries: exit-time flush hooks (trace and flight-recording writers)
+// that also run on SIGINT/SIGTERM, so -trace-out and -record-out files
+// survive an interrupted run instead of being skipped with the deferred
+// writers.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+var (
+	mu       sync.Mutex
+	cleanups []func()
+	flushed  bool
+	trapOnce sync.Once
+)
+
+// AtExit registers fn to run exactly once at process end: on Flush
+// (normal return), on Exit, or on SIGINT/SIGTERM after TrapSignals.
+// Functions run in reverse registration order, defer-style.
+func AtExit(fn func()) {
+	mu.Lock()
+	cleanups = append(cleanups, fn)
+	mu.Unlock()
+}
+
+// Flush runs every registered cleanup once; later calls are no-ops.
+// Binaries `defer cli.Flush()` at the top of main.
+func Flush() {
+	mu.Lock()
+	if flushed {
+		mu.Unlock()
+		return
+	}
+	flushed = true
+	fns := cleanups
+	cleanups = nil
+	mu.Unlock()
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+}
+
+// Exit flushes the cleanups and terminates with code.
+func Exit(code int) {
+	Flush()
+	os.Exit(code)
+}
+
+// Fatalf prints to stderr and Exits(1), so error paths still flush
+// partial traces/recordings.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format, args...)
+	Exit(1)
+}
+
+// TrapSignals installs a SIGINT/SIGTERM handler that flushes the
+// registered cleanups and exits with the conventional 128+signal code.
+// Safe to call more than once.
+func TrapSignals() {
+	trapOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-ch
+			fmt.Fprintf(os.Stderr, "\ninterrupted (%v); flushing telemetry...\n", sig)
+			code := 130 // SIGINT
+			if sig == syscall.SIGTERM {
+				code = 143
+			}
+			Exit(code)
+		}()
+	})
+}

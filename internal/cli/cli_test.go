@@ -1,0 +1,23 @@
+package cli
+
+import "testing"
+
+// Note: Flush is once-per-process, so the ordering and idempotence
+// checks share one TestMain-free test to keep the package state simple.
+func TestFlushRunsCleanupsInReverseOrderOnce(t *testing.T) {
+	var order []int
+	AtExit(func() { order = append(order, 1) })
+	AtExit(func() { order = append(order, 2) })
+	AtExit(func() { order = append(order, 3) })
+	Flush()
+	if len(order) != 3 || order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("cleanup order = %v, want [3 2 1]", order)
+	}
+	// Second Flush is a no-op, and cleanups registered after a flush
+	// never fire (the process is exiting).
+	AtExit(func() { order = append(order, 4) })
+	Flush()
+	if len(order) != 3 {
+		t.Fatalf("post-flush cleanups ran: %v", order)
+	}
+}

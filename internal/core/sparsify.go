@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/texture"
 )
 
@@ -342,6 +343,14 @@ func (st *solverState) run(res *Result) error {
 		obsAvailability.Set(stat.Availability)
 		obsResidual.Set(1 - stat.Availability)
 		obsSatellites.Set(float64(res.Satellites))
+		if flightrec.Enabled() {
+			flightrec.Emit(flightrec.CompCore, "sparsify_iter",
+				"iter", strconv.Itoa(stat.Iteration),
+				"track", strconv.Itoa(stat.Track),
+				"added", strconv.Itoa(stat.Added),
+				"satellites", strconv.Itoa(stat.Satellites),
+				"availability", strconv.FormatFloat(stat.Availability, 'f', 4, 64))
+		}
 		if p.OnIteration != nil {
 			p.OnIteration(stat)
 		}

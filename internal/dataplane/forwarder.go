@@ -2,9 +2,11 @@ package dataplane
 
 import (
 	"sort"
+	"strconv"
 
 	"repro/internal/netem"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 )
 
 // Data-plane telemetry on the process-wide default registry. These sit on
@@ -116,6 +118,10 @@ func (s *Satellite) forwardGeo(p *Packet) {
 		if sawDown {
 			s.Failovers++
 			dpFailovers.Inc()
+			if flightrec.Enabled() {
+				s.emitEvent("failover", "next_cell", strconv.Itoa(next),
+					"via", strconv.Itoa(candidates[0]))
+			}
 		}
 		s.send(candidates[0], p)
 		return
@@ -123,6 +129,9 @@ func (s *Satellite) forwardGeo(p *Packet) {
 	if sawDown {
 		s.Failovers++
 		dpFailovers.Inc()
+		if flightrec.Enabled() {
+			s.emitEvent("failover", "next_cell", strconv.Itoa(next))
+		}
 	}
 	// Fallback: pass clockwise along the intra-cell gateway ring; the ring
 	// visits every gateway of this cell, one of which has the ISL toward
@@ -131,6 +140,10 @@ func (s *Satellite) forwardGeo(p *Packet) {
 		if l := s.links[s.RingNext]; l != nil && l.IsUp() {
 			s.RingHops++
 			dpRingHops.Inc()
+			if flightrec.Enabled() {
+				s.emitEvent("ring_fallback", "next_cell", strconv.Itoa(next),
+					"ring_next", strconv.Itoa(s.RingNext))
+			}
 			s.send(s.RingNext, p)
 			return
 		}
@@ -139,6 +152,9 @@ func (s *Satellite) forwardGeo(p *Packet) {
 	// repairs the topology (§4.3).
 	s.Buffered++
 	dpBuffered.Inc()
+	if flightrec.Enabled() {
+		s.emitEvent("buffered", "next_cell", strconv.Itoa(next))
+	}
 	s.Buffer = append(s.Buffer, p)
 }
 
@@ -198,9 +214,22 @@ func (s *Satellite) drop(p *Packet, reason string) {
 	} else {
 		obs.Default().Counter("tinyleo_dataplane_dropped_total", "reason", reason).Inc()
 	}
+	if flightrec.Enabled() {
+		s.emitEvent("drop", "reason", reason)
+	}
 	if s.net.OnDrop != nil {
 		s.net.OnDrop(s, p, reason)
 	}
+}
+
+// emitEvent records a flight-recorder event for this satellite. Call
+// sites guard with flightrec.Enabled() BEFORE formatting attributes, so
+// the per-packet forwarder pays a single atomic load while recording is
+// off; drops, failovers, ring fallbacks, and buffering are rare relative
+// to forwards, keeping the enabled cost off the common path too.
+func (s *Satellite) emitEvent(typ string, attrs ...string) {
+	flightrec.Emit(flightrec.CompDataplane, typ,
+		append([]string{"sat", strconv.Itoa(s.ID), "cell", strconv.Itoa(s.Cell)}, attrs...)...)
 }
 
 // Peers returns the satellite's ISL peers in ascending order.

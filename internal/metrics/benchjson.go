@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// BenchEntry is one flat benchmark datapoint, the interchange schema of
+// tinyleo-bench's -bench-json output (see EXPERIMENTS.md). The format is
+// compatible with continuous-benchmarking tooling that consumes
+// `[{"name","value","unit"}]` arrays.
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+var slugNonWord = regexp.MustCompile(`[^a-z0-9]+`)
+
+// slug collapses a table title or row label to a stable metric-name
+// segment: lower-case, runs of non-alphanumerics become single
+// underscores.
+func slug(s string) string {
+	s = slugNonWord.ReplaceAllString(strings.ToLower(s), "_")
+	return strings.Trim(s, "_")
+}
+
+// unitOf extracts a trailing parenthesized unit from a column header:
+// "repair RTT (ms)" → "ms". Headers without one yield "".
+func unitOf(header string) string {
+	open := strings.LastIndexByte(header, '(')
+	if open < 0 || !strings.HasSuffix(header, ")") {
+		return ""
+	}
+	return strings.TrimSpace(header[open+1 : len(header)-1])
+}
+
+// BenchEntries flattens the table's numeric cells into benchmark
+// datapoints named "<title>/<row label>/<column header>" (each segment
+// slugged). The first column is treated as the row label; non-numeric
+// cells are skipped. Units come from "(unit)" suffixes on headers.
+func (t *Table) BenchEntries() []BenchEntry {
+	if len(t.Headers) < 2 {
+		return nil
+	}
+	title := slug(t.Title)
+	var out []BenchEntry
+	for _, row := range t.rows {
+		if len(row) == 0 {
+			continue
+		}
+		label := slug(row[0])
+		for i := 1; i < len(row) && i < len(t.Headers); i++ {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[i], "%"), 64)
+			if err != nil {
+				continue
+			}
+			header := t.Headers[i]
+			unit := unitOf(header)
+			if unit == "" && strings.HasSuffix(row[i], "%") {
+				unit = "percent"
+			}
+			name := title + "/" + label + "/" + slug(header)
+			out = append(out, BenchEntry{Name: name, Value: v, Unit: unit})
+		}
+	}
+	return out
+}
+
+// WriteBenchJSON writes the entries of all tables as one indented JSON
+// array, the -bench-json file format.
+func WriteBenchJSON(w io.Writer, tables []*Table) error {
+	entries := []BenchEntry{}
+	for _, t := range tables {
+		entries = append(entries, t.BenchEntries()...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		return fmt.Errorf("bench json: %w", err)
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/intent"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/orbit"
 	"repro/internal/stablematch"
 )
@@ -356,7 +357,61 @@ func (c *Controller) Compile(t float64) *Snapshot {
 		deficit += d
 	}
 	obsDeficitSlots.Set(float64(deficit))
+	if flightrec.Enabled() {
+		flightrec.Emit(flightrec.CompMPC, "slot_compiled",
+			"t", strconv.FormatFloat(t, 'f', 0, 64),
+			"inter", strconv.Itoa(len(snap.InterLinks)),
+			"ring", strconv.Itoa(len(snap.RingLinks)),
+			"deficit_slots", strconv.Itoa(deficit))
+		for key, d := range snap.Deficits {
+			if d > 0 {
+				flightrec.Emit(flightrec.CompMPC, "deficit",
+					"edge", flightrec.EdgeKey(key[0], key[1]),
+					"slots", strconv.Itoa(d))
+			}
+		}
+		st := flightState(snap, "compile")
+		// Computing the ratio here also publishes the enforcement gauge
+		// before the SLO engine evaluates this slot, so the availability
+		// rule never reads a stale pre-compile value.
+		st.Enforcement = c.EnforcementRatio(snap)
+		flightrec.RecordSlot(st)
+	}
 	return snap
+}
+
+// flightState converts a compiled snapshot into the recorder's
+// plain-data slot form (O(snapshot) allocation, once per control slot).
+func flightState(s *Snapshot, kind string) flightrec.SlotState {
+	st := flightrec.SlotState{
+		Time:       s.Time,
+		Kind:       kind,
+		InterLinks: make([][2]int, len(s.InterLinks)),
+		RingLinks:  make([][2]int, len(s.RingLinks)),
+		CellSats:   make(map[int][]int, len(s.CellSats)),
+	}
+	for i, l := range s.InterLinks {
+		st.InterLinks[i] = [2]int(l)
+	}
+	for i, l := range s.RingLinks {
+		st.RingLinks[i] = [2]int(l)
+	}
+	for u, sats := range s.CellSats {
+		st.CellSats[u] = append([]int(nil), sats...)
+	}
+	if len(s.Gateways) > 0 {
+		st.Gateways = make(map[string][]int, len(s.Gateways))
+		for key, gws := range s.Gateways {
+			st.Gateways[flightrec.EdgeKey(key[0], key[1])] = append([]int(nil), gws...)
+		}
+	}
+	if len(s.Deficits) > 0 {
+		st.Deficits = make(map[string]int, len(s.Deficits))
+		for key, d := range s.Deficits {
+			st.Deficits[flightrec.EdgeKey(key[0], key[1])] = d
+		}
+	}
+	return st
 }
 
 func lessLink(a, b Link) bool {
@@ -497,6 +552,18 @@ func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, r
 	span := obs.StartSpan("mpc.repair",
 		"failed_links", strconv.Itoa(len(failedLinks)), "failed_sats", strconv.Itoa(len(failedSats)))
 	defer span.End()
+	if flightrec.Enabled() {
+		for _, l := range failedLinks {
+			flightrec.Emit(flightrec.CompMPC, "isl_fail",
+				"a", strconv.Itoa(l[0]), "b", strconv.Itoa(l[1]),
+				"t", strconv.FormatFloat(s.Time, 'f', 0, 64))
+		}
+		for _, f := range failedSats {
+			flightrec.Emit(flightrec.CompMPC, "sat_fail",
+				"sat", strconv.Itoa(f),
+				"t", strconv.FormatFloat(s.Time, 'f', 0, 64))
+		}
+	}
 	start := time.Now()
 	stats := RepairStats{ReportRTT: rtt / 2, InstructRTT: rtt / 2}
 	stats.Messages = len(failedLinks) + len(failedSats)
@@ -590,6 +657,25 @@ func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, r
 	stats.Messages += 2 * len(ringAdded)
 	stats.ComputeTime = time.Since(start)
 	stats.observe()
+	if flightrec.Enabled() {
+		flightrec.Emit(flightrec.CompMPC, "repair",
+			"new_links", strconv.Itoa(len(stats.NewLinks)),
+			"messages", strconv.Itoa(stats.Messages),
+			"unrepaired", strconv.Itoa(stats.Unrepaired),
+			"total_ms", strconv.FormatFloat(stats.Total().Seconds()*1e3, 'f', 1, 64))
+		if stats.Unrepaired == 0 {
+			flightrec.Emit(flightrec.CompMPC, "recovered",
+				"inter", strconv.Itoa(len(out.InterLinks)))
+		} else {
+			flightrec.Emit(flightrec.CompMPC, "degraded",
+				"unrepaired", strconv.Itoa(stats.Unrepaired))
+		}
+		st := flightState(out, "repair")
+		// As in Compile: publish the post-repair enforcement gauge before
+		// the SLO evaluation this RecordSlot triggers.
+		st.Enforcement = c.EnforcementRatio(out)
+		flightrec.RecordSlot(st)
+	}
 	return out, stats
 }
 

@@ -1,0 +1,430 @@
+package flightrec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// newTestRegistry returns an enabled, test-private registry so SLO
+// indicator tests don't share series with the process-wide default.
+func newTestRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	return obs.NewRegistry(true)
+}
+
+func TestLogRingKeepsNewestAndCountsDrops(t *testing.T) {
+	var l Log
+	l.Enable(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(CompMPC, "tick", "i", string(rune('0'+i)))
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	// Newest-wins: the survivors are seq 7..10, in order.
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if got := l.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6", got)
+	}
+	if s := l.Summary(); !strings.Contains(s, "4 events") || !strings.Contains(s, "6 overwritten") {
+		t.Fatalf("Summary() = %q", s)
+	}
+}
+
+func TestLogDisabledEmitIsNoop(t *testing.T) {
+	var l Log
+	l.Emit(CompMPC, "tick")
+	if n := len(l.Events()); n != 0 {
+		t.Fatalf("disabled log recorded %d events", n)
+	}
+	l.Enable(8)
+	l.Disable()
+	l.Emit(CompMPC, "tick")
+	if n := len(l.Events()); n != 0 {
+		t.Fatalf("re-disabled log recorded %d events", n)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Event{Seq: 7, TimeUS: 1234, Component: CompDataplane, Type: "drop",
+		Attrs: []string{"sat", "3", "reason", "hop limit"}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attrs render as an object, not a flat array.
+	if !strings.Contains(string(b), `"attrs":{`) {
+		t.Fatalf("marshal = %s", b)
+	}
+	var out Event
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.TimeUS != in.TimeUS || out.Component != in.Component || out.Type != in.Type {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+	if out.Attr("reason") != "hop limit" || out.Attr("sat") != "3" {
+		t.Fatalf("attrs lost: %+v", out.Attrs)
+	}
+	if out.Attr("missing") != "" {
+		t.Fatal("Attr(missing) should be empty")
+	}
+}
+
+func TestSnapshotterRingAndGzipSpill(t *testing.T) {
+	spill := filepath.Join(t.TempDir(), "slots.jsonl.gz")
+	var s Snapshotter
+	if err := s.enable(3, spill); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.RecordSlot(SlotState{Time: float64(i) * 100, Kind: "compile",
+			InterLinks: [][2]int{{i, i + 1}}})
+	}
+	slots := s.Slots()
+	if len(slots) != 3 {
+		t.Fatalf("ring kept %d slots, want 3", len(slots))
+	}
+	// RecordSlot assigns monotonic slot numbers; ring keeps 2,3,4.
+	for i, st := range slots {
+		if want := 2 + i; st.Slot != want {
+			t.Fatalf("slot %d numbered %d, want %d", i, st.Slot, want)
+		}
+	}
+	if got := s.Recorded(); got != 5 {
+		t.Fatalf("Recorded() = %d, want 5", got)
+	}
+	if err := s.disable(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SpillErr(); err != nil {
+		t.Fatal(err)
+	}
+	// The spill file holds ALL 5 slots, gzip-compressed, one JSON per line.
+	f, err := os.Open(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(gz)
+	n := 0
+	for dec.More() {
+		var st SlotState
+		if err := dec.Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Slot != n {
+			t.Fatalf("spilled slot %d numbered %d", n, st.Slot)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("spill holds %d slots, want 5", n)
+	}
+}
+
+func TestEdgeKeyRoundTrip(t *testing.T) {
+	u, v, ok := ParseEdgeKey(EdgeKey(12, 345))
+	if !ok || u != 12 || v != 345 {
+		t.Fatalf("ParseEdgeKey(EdgeKey(12,345)) = %d,%d,%v", u, v, ok)
+	}
+	if _, _, ok := ParseEdgeKey("nonsense"); ok {
+		t.Fatal("ParseEdgeKey accepted garbage")
+	}
+}
+
+func sampleRecording() *Recording {
+	return &Recording{
+		Meta: Meta{Version: RecordingVersion, Binary: "test"},
+		Slots: []SlotState{
+			{Slot: 0, Time: 0, Kind: "compile",
+				InterLinks: [][2]int{{1, 2}, {3, 4}}, RingLinks: [][2]int{{1, 3}},
+				CellSats: map[int][]int{10: {1, 2}, 20: {3, 4}},
+				Deficits: map[string]int{EdgeKey(10, 20): 1}},
+			{Slot: 1, Time: 300, Kind: "repair",
+				InterLinks: [][2]int{{1, 2}, {5, 6}}, RingLinks: [][2]int{{1, 3}},
+				CellSats: map[int][]int{10: {1}, 20: {3, 4}}},
+		},
+		Events: []Event{
+			{Seq: 1, TimeUS: 10, Component: CompMPC, Type: "slot_compiled", Attrs: []string{"t", "0"}},
+			{Seq: 2, TimeUS: 20, Component: CompMPC, Type: "isl_fail", Attrs: []string{"a", "3", "b", "4"}},
+			{Seq: 3, TimeUS: 30, Component: CompSLO, Type: "slo_breach",
+				Attrs: []string{"rule", "availability", "expr", "availability>=0.99", "value", "0.5"}},
+			{Seq: 4, TimeUS: 40, Component: CompMPC, Type: "repair", Attrs: []string{"new_links", "1"}},
+			{Seq: 5, TimeUS: 50, Component: CompMPC, Type: "recovered", Attrs: []string{"inter", "2"}},
+		},
+		SLO: []RuleStatus{{
+			Rule:  Rule{Name: "availability", Kind: SLOAvailability, Op: ">=", Threshold: 0.99},
+			Value: 0.5, Breached: true, Breaches: 1,
+		}},
+	}
+}
+
+func TestRecordingRoundTripPlainAndGzip(t *testing.T) {
+	rec := sampleRecording()
+	var plain bytes.Buffer
+	if err := rec.Write(&plain); err != nil {
+		t.Fatal(err)
+	}
+	var gzBuf bytes.Buffer
+	gz := gzip.NewWriter(&gzBuf)
+	if err := rec.Write(gz); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"plain": &plain, "gzip": &gzBuf} {
+		got, err := ReadRecording(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.Slots) != 2 || len(got.Events) != 5 || len(got.SLO) != 1 {
+			t.Fatalf("%s: read %d slots, %d events, %d slo", name,
+				len(got.Slots), len(got.Events), len(got.SLO))
+		}
+		if got.Slots[1].Kind != "repair" || got.Events[1].Attr("a") != "3" {
+			t.Fatalf("%s: payload mangled: %+v", name, got.Slots[1])
+		}
+		if !got.SLO[0].Breached || got.SLO[0].Value != 0.5 {
+			t.Fatalf("%s: SLO status mangled: %+v", name, got.SLO[0])
+		}
+	}
+}
+
+func TestRuleStatusJSONNaNValue(t *testing.T) {
+	st := RuleStatus{Rule: Rule{Name: "repair_p99", Kind: SLORepairP99, Op: "<=", Threshold: 0.2},
+		Value: math.NaN()}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"value":null`) {
+		t.Fatalf("NaN should serialize as null: %s", b)
+	}
+	var back RuleStatus
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.Value) {
+		t.Fatalf("null should come back as NaN, got %v", back.Value)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("availability>=0.99, deficit_ratio<=0.05,repair_p99<=0.1,tinyleo_mpc_compile_total>=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	if rules[0].Kind != SLOAvailability || rules[0].Op != ">=" || rules[0].Threshold != 0.99 {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Kind != SLODeficitRatio || rules[1].Threshold != 0.05 {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+	// Unknown names fall back to raw-metric rules.
+	if rules[3].Kind != SLOMetric || rules[3].Metric != "tinyleo_mpc_compile_total" {
+		t.Fatalf("rule 3 = %+v", rules[3])
+	}
+	if rules[3].Expr() != "tinyleo_mpc_compile_total>=3" {
+		t.Fatalf("Expr() = %q", rules[3].Expr())
+	}
+	for _, bad := range []string{"availability=0.9", "repair_p99<=abc"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("ParseRules(%q) should fail", bad)
+		}
+	}
+	if rules, err := ParseRules(" , "); err != nil || len(rules) != 0 {
+		t.Fatalf("blank spec: %v, %v", rules, err)
+	}
+}
+
+func TestEngineBreachAndRecoveryTransitions(t *testing.T) {
+	reg := newTestRegistry(t)
+	avail := reg.Gauge("tinyleo_mpc_enforcement_ratio")
+	var log Log
+	log.Enable(64)
+	eng := NewEngine(&log, Rule{Name: "availability", Kind: SLOAvailability, Op: ">=", Threshold: 0.95})
+	eng.SetRegistries(reg)
+
+	avail.Set(0.80)
+	st := eng.Eval()
+	if !st[0].Breached || st[0].Breaches != 1 {
+		t.Fatalf("below threshold should breach: %+v", st[0])
+	}
+	// Staying breached is not a new transition.
+	avail.Set(0.70)
+	if st = eng.Eval(); st[0].Breaches != 1 {
+		t.Fatalf("re-breach counted twice: %+v", st[0])
+	}
+	avail.Set(0.99)
+	if st = eng.Eval(); st[0].Breached {
+		t.Fatalf("above threshold still breached: %+v", st[0])
+	}
+	var types []string
+	for _, ev := range log.Events() {
+		if ev.Component == CompSLO {
+			types = append(types, ev.Type)
+		}
+	}
+	if len(types) != 2 || types[0] != "slo_breach" || types[1] != "slo_recovered" {
+		t.Fatalf("SLO events = %v, want [slo_breach slo_recovered]", types)
+	}
+}
+
+func TestEngineHistogramQuantileIndicator(t *testing.T) {
+	reg := newTestRegistry(t)
+	h := reg.Histogram("tinyleo_mpc_repair_stage_seconds", nil, "stage", "total")
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05) // all repairs at 50 ms
+	}
+	eng := NewEngine(nil, Rule{Name: "repair_p99", Kind: SLORepairP99, Op: "<=", Threshold: 0.2})
+	eng.SetRegistries(reg)
+	st := eng.Eval()
+	if st[0].Breached {
+		t.Fatalf("50 ms p99 breaches 200 ms threshold: %+v", st[0])
+	}
+	if math.IsNaN(st[0].Value) || st[0].Value <= 0 || st[0].Value > 0.2 {
+		t.Fatalf("p99 = %v, want in (0, 0.2]", st[0].Value)
+	}
+	// Tighten below the observed latency: must breach.
+	eng2 := NewEngine(nil, Rule{Name: "repair_p99", Kind: SLORepairP99, Op: "<=", Threshold: 0.001})
+	eng2.SetRegistries(reg)
+	if st := eng2.Eval(); !st[0].Breached {
+		t.Fatalf("50 ms p99 should breach 1 ms threshold: %+v", st[0])
+	}
+}
+
+func TestEngineUnknownIndicatorIsNaNNotBreach(t *testing.T) {
+	reg := newTestRegistry(t)
+	eng := NewEngine(nil, Rule{Name: "ghost", Kind: SLOMetric, Metric: "no_such_series", Op: ">=", Threshold: 1})
+	eng.SetRegistries(reg)
+	st := eng.Eval()
+	if !math.IsNaN(st[0].Value) || st[0].Breached {
+		t.Fatalf("missing series should be NaN and healthy: %+v", st[0])
+	}
+}
+
+func TestFailureSequences(t *testing.T) {
+	rec := sampleRecording()
+	seqs := rec.FailureSequences()
+	if len(seqs) != 1 {
+		t.Fatalf("got %d sequences, want 1", len(seqs))
+	}
+	s := seqs[0]
+	if len(s.Failures) != 1 || s.Failures[0].Type != "isl_fail" {
+		t.Fatalf("failures = %+v", s.Failures)
+	}
+	if s.Repair == nil || s.Outcome == nil || s.Outcome.Type != "recovered" {
+		t.Fatalf("sequence incomplete: repair=%v outcome=%v", s.Repair, s.Outcome)
+	}
+}
+
+func TestDiffSlots(t *testing.T) {
+	rec := sampleRecording()
+	d := DiffSlots(&rec.Slots[0], &rec.Slots[1])
+	if len(d.InterAdded) != 1 || d.InterAdded[0] != [2]int{5, 6} {
+		t.Fatalf("InterAdded = %v", d.InterAdded)
+	}
+	if len(d.InterRemoved) != 1 || d.InterRemoved[0] != [2]int{3, 4} {
+		t.Fatalf("InterRemoved = %v", d.InterRemoved)
+	}
+	if len(d.RingAdded) != 0 || len(d.RingRemoved) != 0 {
+		t.Fatalf("ring churn = %v / %v", d.RingAdded, d.RingRemoved)
+	}
+	if got := d.CellsShrunk[10]; got != -1 {
+		t.Fatalf("cell 10 shrink = %d, want -1", got)
+	}
+	if d.DeficitDelta != -1 {
+		t.Fatalf("DeficitDelta = %d, want -1", d.DeficitDelta)
+	}
+	if d.Churn() != 2 {
+		t.Fatalf("Churn() = %d, want 2", d.Churn())
+	}
+}
+
+func TestWriteReportSections(t *testing.T) {
+	rec := sampleRecording()
+	var buf bytes.Buffer
+	if err := rec.WriteReport(&buf, InspectOptions{Events: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== recording ==",
+		"== per-slot topology ==",
+		"slot 1 (t=300s, repair)",
+		"== failure sequences ==",
+		"mpc/isl_fail",
+		"== SLO breaches ==",
+		"availability>=0.99",
+		"== final SLO status ==",
+		"BREACHED",
+		"== event log ==",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSaveAndReadRecordingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl.gz")
+	if err := Enable(Options{EventCapacity: 64, SlotCapacity: 8}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := Disable(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	Emit(CompMPC, "slot_compiled", "t", "0")
+	RecordSlot(SlotState{Time: 0, Kind: "compile", InterLinks: [][2]int{{1, 2}}})
+	summary, err := SaveRecording(path, "flightrec-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "1 slots") {
+		t.Fatalf("summary = %q", summary)
+	}
+	rec, err := ReadRecordingFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Meta.Binary != "flightrec-test" || rec.Meta.Version != RecordingVersion {
+		t.Fatalf("meta = %+v", rec.Meta)
+	}
+	if len(rec.Slots) != 1 || rec.Slots[0].InterLinks[0] != [2]int{1, 2} {
+		t.Fatalf("slots = %+v", rec.Slots)
+	}
+	// Default rules ran against an empty registry: present, none breached
+	// (NaN indicators never breach).
+	if len(rec.SLO) == 0 {
+		t.Fatal("recording lost SLO status")
+	}
+	for _, st := range rec.SLO {
+		if st.Breached {
+			t.Fatalf("empty-registry indicator breached: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package flightrec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SlotDiff is the change between two consecutive recorded slots: the
+// postmortem unit the inspector prints.
+type SlotDiff struct {
+	Prev, Cur *SlotState
+	// InterAdded/InterRemoved/RingAdded/RingRemoved are ISL churn.
+	InterAdded, InterRemoved [][2]int
+	RingAdded, RingRemoved   [][2]int
+	// CellsLost lists cells that had coverage before and none now;
+	// CellsGained the reverse; CellsShrunk cells whose satellite count
+	// dropped (cell → before-after delta).
+	CellsLost, CellsGained []int
+	CellsShrunk            map[int]int
+	// DeficitDelta is cur.DeficitTotal() - prev.DeficitTotal().
+	DeficitDelta int
+}
+
+// Churn returns the total number of link changes in the diff.
+func (d *SlotDiff) Churn() int {
+	return len(d.InterAdded) + len(d.InterRemoved) + len(d.RingAdded) + len(d.RingRemoved)
+}
+
+// DiffSlots computes the change from prev to cur.
+func DiffSlots(prev, cur *SlotState) *SlotDiff {
+	d := &SlotDiff{Prev: prev, Cur: cur, CellsShrunk: map[int]int{}}
+	d.InterAdded, d.InterRemoved = diffLinks(prev.InterLinks, cur.InterLinks)
+	d.RingAdded, d.RingRemoved = diffLinks(prev.RingLinks, cur.RingLinks)
+	cells := map[int]bool{}
+	for u := range prev.CellSats {
+		cells[u] = true
+	}
+	for u := range cur.CellSats {
+		cells[u] = true
+	}
+	for u := range cells {
+		before, after := len(prev.CellSats[u]), len(cur.CellSats[u])
+		switch {
+		case before > 0 && after == 0:
+			d.CellsLost = append(d.CellsLost, u)
+		case before == 0 && after > 0:
+			d.CellsGained = append(d.CellsGained, u)
+		case after < before:
+			d.CellsShrunk[u] = after - before
+		}
+	}
+	sort.Ints(d.CellsLost)
+	sort.Ints(d.CellsGained)
+	d.DeficitDelta = cur.DeficitTotal() - prev.DeficitTotal()
+	return d
+}
+
+func diffLinks(prev, cur [][2]int) (added, removed [][2]int) {
+	ps := make(map[[2]int]bool, len(prev))
+	for _, l := range prev {
+		ps[l] = true
+	}
+	cs := make(map[[2]int]bool, len(cur))
+	for _, l := range cur {
+		cs[l] = true
+		if !ps[l] {
+			added = append(added, l)
+		}
+	}
+	for _, l := range prev {
+		if !cs[l] {
+			removed = append(removed, l)
+		}
+	}
+	sortLinks(added)
+	sortLinks(removed)
+	return
+}
+
+func sortLinks(ls [][2]int) {
+	sort.Slice(ls, func(a, b int) bool {
+		if ls[a][0] != ls[b][0] {
+			return ls[a][0] < ls[b][0]
+		}
+		return ls[a][1] < ls[b][1]
+	})
+}
+
+// FailureSequence is one reconstructed injected-failure timeline: the
+// failure events, the repair that answered them, and the recovery (or
+// degradation) outcome.
+type FailureSequence struct {
+	Failures []Event // isl_fail / sat_fail / failure_report
+	Repair   *Event  // mpc repair event, if any
+	Outcome  *Event  // recovered / degraded, if any
+}
+
+// FailureSequences groups the recording's failure-related events into
+// ordered timelines: a run of failure events, then the next repair, then
+// its outcome.
+func (rec *Recording) FailureSequences() []FailureSequence {
+	var out []FailureSequence
+	var cur *FailureSequence
+	for i := range rec.Events {
+		ev := &rec.Events[i]
+		switch ev.Type {
+		case "isl_fail", "sat_fail", "failure_report":
+			if cur == nil || cur.Repair != nil || cur.Outcome != nil {
+				out = append(out, FailureSequence{})
+				cur = &out[len(out)-1]
+			}
+			cur.Failures = append(cur.Failures, *ev)
+		case "repair":
+			if cur != nil && cur.Repair == nil {
+				cur.Repair = ev
+			}
+		case "recovered", "degraded":
+			if cur != nil && cur.Outcome == nil {
+				cur.Outcome = ev
+			}
+		}
+	}
+	return out
+}
+
+// InspectOptions bounds report verbosity.
+type InspectOptions struct {
+	// MaxLinks caps how many individual links each diff section lists
+	// (0 = 8); counts are always exact.
+	MaxLinks int
+	// Context is how many events to print before each SLO breach (0 = 6).
+	Context int
+	// Events additionally dumps the full event log.
+	Events bool
+}
+
+// WriteReport renders the postmortem report: recording header, per-slot
+// topology diffs, failure sequences, SLO breaches with preceding
+// context, and the final SLO status.
+func (rec *Recording) WriteReport(w io.Writer, opt InspectOptions) error {
+	if opt.MaxLinks <= 0 {
+		opt.MaxLinks = 8
+	}
+	if opt.Context <= 0 {
+		opt.Context = 6
+	}
+	bw := &reportWriter{w: w}
+
+	bw.section("recording")
+	created := time.UnixMilli(rec.Meta.CreatedUnixMS).UTC().Format(time.RFC3339)
+	bw.printf("version %d, created %s, binary %q\n", rec.Meta.Version, created, rec.Meta.Binary)
+	bw.printf("%d slot snapshots, %d events", len(rec.Slots), len(rec.Events))
+	if rec.Meta.EventsDropped > 0 {
+		bw.printf(" (%d older events overwritten)", rec.Meta.EventsDropped)
+	}
+	if rec.Meta.SlotsRecorded > len(rec.Slots) {
+		bw.printf(" (%d older slots overwritten)", rec.Meta.SlotsRecorded-len(rec.Slots))
+	}
+	bw.printf("\n")
+	if n := len(rec.Events); n > 0 {
+		bw.printf("event span: t=%.3fs .. t=%.3fs\n",
+			float64(rec.Events[0].TimeUS)/1e6, float64(rec.Events[n-1].TimeUS)/1e6)
+	}
+	bw.eventHistogram(rec.Events)
+
+	bw.section("per-slot topology")
+	for i := range rec.Slots {
+		cur := &rec.Slots[i]
+		kind := cur.Kind
+		if kind == "" {
+			kind = "compile"
+		}
+		bw.printf("slot %d (t=%.0fs, %s): %d inter, %d ring, %d cells covered, deficit %d",
+			cur.Slot, cur.Time, kind, len(cur.InterLinks), len(cur.RingLinks),
+			coveredCells(cur), cur.DeficitTotal())
+		if cur.Enforcement > 0 {
+			bw.printf(", enforcement %.2f", cur.Enforcement)
+		}
+		bw.printf("\n")
+		if i == 0 {
+			continue
+		}
+		d := DiffSlots(&rec.Slots[i-1], cur)
+		if d.Churn() == 0 && len(d.CellsLost) == 0 && len(d.CellsGained) == 0 &&
+			len(d.CellsShrunk) == 0 && d.DeficitDelta == 0 {
+			bw.printf("  no change from slot %d\n", rec.Slots[i-1].Slot)
+			continue
+		}
+		bw.linkDiff("  inter", d.InterAdded, d.InterRemoved, opt.MaxLinks)
+		bw.linkDiff("  ring ", d.RingAdded, d.RingRemoved, opt.MaxLinks)
+		if len(d.CellsLost) > 0 {
+			bw.printf("  cells lost ALL coverage: %v\n", d.CellsLost)
+		}
+		if len(d.CellsGained) > 0 {
+			bw.printf("  cells gained coverage: %v\n", d.CellsGained)
+		}
+		if len(d.CellsShrunk) > 0 {
+			bw.printf("  cells with fewer satellites: %s\n", shrunkString(d.CellsShrunk))
+		}
+		if d.DeficitDelta != 0 {
+			bw.printf("  gateway deficit %+d (now %d)\n", d.DeficitDelta, d.Cur.DeficitTotal())
+		}
+	}
+	if len(rec.Slots) == 0 {
+		bw.printf("(no slot snapshots recorded)\n")
+	}
+
+	seqs := rec.FailureSequences()
+	bw.section("failure sequences")
+	if len(seqs) == 0 {
+		bw.printf("(no failures recorded)\n")
+	}
+	for i, s := range seqs {
+		bw.printf("sequence %d:\n", i+1)
+		for _, f := range s.Failures {
+			bw.event("  ", &f)
+		}
+		if s.Repair != nil {
+			bw.event("  ", s.Repair)
+		} else {
+			bw.printf("  (no repair recorded)\n")
+		}
+		if s.Outcome != nil {
+			bw.event("  ", s.Outcome)
+		}
+	}
+
+	bw.section("SLO breaches")
+	breaches := 0
+	for i := range rec.Events {
+		ev := &rec.Events[i]
+		if ev.Type != "slo_breach" {
+			continue
+		}
+		breaches++
+		bw.printf("breach %d: rule %s (%s) value %s at t=%.3fs\n",
+			breaches, ev.Attr("rule"), ev.Attr("expr"), ev.Attr("value"),
+			float64(ev.TimeUS)/1e6)
+		lo := i - opt.Context
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			bw.event("  ↳ preceded by ", &rec.Events[j])
+		}
+	}
+	if breaches == 0 {
+		bw.printf("(none)\n")
+	}
+
+	if len(rec.SLO) > 0 {
+		bw.section("final SLO status")
+		for _, st := range rec.SLO {
+			state := "ok"
+			if st.Breached {
+				state = "BREACHED"
+			}
+			bw.printf("%-24s %-10s value=%s (breaches: %d)\n",
+				st.Rule.Expr(), state, formatValue(st.Value), st.Breaches)
+		}
+	}
+
+	if opt.Events {
+		bw.section("event log")
+		for i := range rec.Events {
+			bw.event("", &rec.Events[i])
+		}
+	}
+	return bw.err
+}
+
+func coveredCells(s *SlotState) int {
+	n := 0
+	for _, sats := range s.CellSats {
+		if len(sats) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func shrunkString(m map[int]int) string {
+	cells := make([]int, 0, len(m))
+	for u := range m {
+		cells = append(cells, u)
+	}
+	sort.Ints(cells)
+	parts := make([]string, len(cells))
+	for i, u := range cells {
+		parts[i] = fmt.Sprintf("%d(%d)", u, m[u])
+	}
+	return strings.Join(parts, " ")
+}
+
+func formatValue(v float64) string {
+	if v != v { // NaN
+		return "-"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// reportWriter accumulates the first write error so report code stays
+// linear.
+type reportWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *reportWriter) printf(format string, args ...any) {
+	if b.err == nil {
+		_, b.err = fmt.Fprintf(b.w, format, args...)
+	}
+}
+
+func (b *reportWriter) section(title string) {
+	b.printf("== %s ==\n", title)
+}
+
+// eventHistogram prints a component/type count summary of the log.
+func (b *reportWriter) eventHistogram(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	counts := map[string]int{}
+	for i := range events {
+		counts[events[i].Component+"/"+events[i].Type]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.printf("events by type:")
+	for _, k := range keys {
+		b.printf(" %s×%d", k, counts[k])
+	}
+	b.printf("\n")
+}
+
+func (b *reportWriter) event(prefix string, ev *Event) {
+	b.printf("%st=%8.3fs  %s/%s", prefix, float64(ev.TimeUS)/1e6, ev.Component, ev.Type)
+	for i := 0; i+1 < len(ev.Attrs); i += 2 {
+		b.printf(" %s=%s", ev.Attrs[i], ev.Attrs[i+1])
+	}
+	b.printf("\n")
+}
+
+func (b *reportWriter) linkDiff(label string, added, removed [][2]int, maxLinks int) {
+	if len(added) == 0 && len(removed) == 0 {
+		return
+	}
+	b.printf("%s +%d -%d", label, len(added), len(removed))
+	if len(added) > 0 {
+		b.printf("  added %s", linksString(added, maxLinks))
+	}
+	if len(removed) > 0 {
+		b.printf("  removed %s", linksString(removed, maxLinks))
+	}
+	b.printf("\n")
+}
+
+func linksString(ls [][2]int, maxLinks int) string {
+	var b strings.Builder
+	for i, l := range ls {
+		if i == maxLinks {
+			fmt.Fprintf(&b, " …+%d", len(ls)-maxLinks)
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d-%d", l[0], l[1])
+	}
+	return b.String()
+}

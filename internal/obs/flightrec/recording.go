@@ -1,0 +1,175 @@
+package flightrec
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// RecordingVersion is the current recording format version.
+const RecordingVersion = 1
+
+// Meta is the recording header line.
+type Meta struct {
+	Version       int    `json:"version"`
+	CreatedUnixMS int64  `json:"created_unix_ms"`
+	Binary        string `json:"binary,omitempty"`
+	// EventsDropped / SlotsRecorded describe ring wrap-around at save
+	// time, so the inspector can flag truncated history.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	SlotsRecorded int    `json:"slots_recorded,omitempty"`
+}
+
+// Recording is one loaded flight recording.
+type Recording struct {
+	Meta   Meta
+	Slots  []SlotState
+	Events []Event
+	SLO    []RuleStatus
+}
+
+// record is the JSONL line wrapper; exactly one payload field is set.
+type record struct {
+	Rec   string       `json:"rec"`
+	Meta  *Meta        `json:"meta,omitempty"`
+	Slot  *SlotState   `json:"slot,omitempty"`
+	Event *Event       `json:"event,omitempty"`
+	SLO   []RuleStatus `json:"slo,omitempty"`
+}
+
+// Write serializes the recording as JSONL: one meta line, then slots
+// oldest-first, events oldest-first, and a final SLO status line.
+func (rec *Recording) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	meta := rec.Meta
+	if meta.Version == 0 {
+		meta.Version = RecordingVersion
+	}
+	if err := enc.Encode(record{Rec: "meta", Meta: &meta}); err != nil {
+		return err
+	}
+	for i := range rec.Slots {
+		if err := enc.Encode(record{Rec: "slot", Slot: &rec.Slots[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range rec.Events {
+		if err := enc.Encode(record{Rec: "event", Event: &rec.Events[i]}); err != nil {
+			return err
+		}
+	}
+	if len(rec.SLO) > 0 {
+		if err := enc.Encode(record{Rec: "slo", SLO: rec.SLO}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRecording parses a JSONL recording stream (plain or gzip; sniffed
+// by magic bytes, not file name).
+func ReadRecording(r io.Reader) (*Recording, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("flightrec: gzip: %w", err)
+		}
+		defer gz.Close()
+		br = bufio.NewReader(gz)
+	}
+	rec := &Recording{}
+	dec := json.NewDecoder(br)
+	for {
+		var line record
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("flightrec: parse recording: %w", err)
+		}
+		switch line.Rec {
+		case "meta":
+			if line.Meta != nil {
+				rec.Meta = *line.Meta
+			}
+		case "slot":
+			if line.Slot != nil {
+				rec.Slots = append(rec.Slots, *line.Slot)
+			}
+		case "event":
+			if line.Event != nil {
+				rec.Events = append(rec.Events, *line.Event)
+			}
+		case "slo":
+			rec.SLO = line.SLO
+		}
+	}
+	return rec, nil
+}
+
+// ReadRecordingFile loads a recording from path.
+func ReadRecordingFile(path string) (*Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRecording(f)
+}
+
+// CurrentRecording assembles a Recording from the process-wide log,
+// snapshotter, and SLO engine.
+func CurrentRecording(binary string) *Recording {
+	rec := &Recording{
+		Meta: Meta{
+			Version:       RecordingVersion,
+			CreatedUnixMS: time.Now().UnixMilli(),
+			Binary:        binary,
+			EventsDropped: defaultLog.Dropped(),
+			SlotsRecorded: defaultSnapshotter.Recorded(),
+		},
+		Slots:  defaultSnapshotter.Slots(),
+		Events: defaultLog.Events(),
+	}
+	if eng := DefaultSLOEngine(); eng != nil {
+		rec.SLO = eng.Eval()
+	}
+	return rec
+}
+
+// SaveRecording writes the process-wide recorder state to path as JSONL
+// (gzip-compressed when the name ends in .gz). It is the -record-out
+// flush and returns a one-line summary for the CLI.
+func SaveRecording(path, binary string) (string, error) {
+	rec := CurrentRecording(binary)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	werr := rec.Write(w)
+	if gz != nil {
+		if cerr := gz.Close(); werr == nil {
+			werr = cerr
+		}
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", werr
+	}
+	return fmt.Sprintf("%d slots, %d events, %d SLO rules",
+		len(rec.Slots), len(rec.Events), len(rec.SLO)), nil
+}

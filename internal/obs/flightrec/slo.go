@@ -1,0 +1,467 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RegistrySource is a metric registry the SLO engine reads.
+type RegistrySource = *obs.Registry
+
+// Rule kinds: the built-in service-level indicators (the paper's headline
+// SLOs) plus a generic raw-metric selector.
+const (
+	// SLOAvailability is the intent enforcement ratio
+	// (tinyleo_mpc_enforcement_ratio), the paper's availability SLO.
+	SLOAvailability = "availability"
+	// SLODeficitSlots is the current gateway-deficit slot count.
+	SLODeficitSlots = "deficit_slots"
+	// SLODeficitRatio is deficit / (deficit + compiled inter-cell ISLs):
+	// the paper's deficit-slot ratio.
+	SLODeficitRatio = "deficit_ratio"
+	// SLORepairP99 / SLOCompileP99 / SLOAckRTTP99 are p99 latencies (s)
+	// from the matching histograms.
+	SLORepairP99  = "repair_p99"
+	SLOCompileP99 = "compile_p99"
+	SLOAckRTTP99  = "ack_rtt_p99"
+	// SLODropRatio is dropped / (forwarded + delivered) packets.
+	SLODropRatio = "drop_ratio"
+	// SLOFailureEvents counts isl_fail/sat_fail/failure_report events in
+	// the rolling window (default 60 s).
+	SLOFailureEvents = "failure_events"
+	// SLOMetric compares a raw series by name (counters summed across
+	// label sets, gauges read directly).
+	SLOMetric = "metric"
+)
+
+// Rule is one declarative SLO threshold.
+type Rule struct {
+	// Name identifies the rule ("availability", or a custom name).
+	Name string `json:"name"`
+	// Kind selects the indicator (one of the SLO* constants).
+	Kind string `json:"kind"`
+	// Metric names the raw series for Kind == SLOMetric.
+	Metric string `json:"metric,omitempty"`
+	// Op is "<=" or ">=".
+	Op string `json:"op"`
+	// Threshold is the SLO boundary.
+	Threshold float64 `json:"threshold"`
+	// WindowSeconds bounds event-window indicators (0 = 60 s).
+	WindowSeconds float64 `json:"window_s,omitempty"`
+}
+
+// Expr renders the rule as its spec string.
+func (r Rule) Expr() string {
+	name := r.Name
+	if r.Kind == SLOMetric && r.Metric != "" {
+		name = r.Metric
+	}
+	return fmt.Sprintf("%s%s%g", name, r.Op, r.Threshold)
+}
+
+// RuleStatus is one rule's latest evaluation.
+type RuleStatus struct {
+	Rule
+	// Value is the indicator's current value (NaN when not yet
+	// observable, e.g. a quantile of an empty histogram; never a breach).
+	Value float64 `json:"value"`
+	// Breached reports whether the current value violates the threshold.
+	Breached bool `json:"breached"`
+	// Breaches counts healthy→breached transitions since engine start.
+	Breaches int64 `json:"breaches_total"`
+	// EvalUS is the recorder-relative evaluation time (µs).
+	EvalUS int64 `json:"eval_us"`
+}
+
+// MarshalJSON flattens the embedded rule and renders NaN values as null
+// (JSON has no NaN).
+func (s RuleStatus) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Name     string   `json:"name"`
+		Expr     string   `json:"expr"`
+		Kind     string   `json:"kind"`
+		Metric   string   `json:"metric,omitempty"`
+		Op       string   `json:"op"`
+		Thresh   float64  `json:"threshold"`
+		Value    *float64 `json:"value"`
+		Breached bool     `json:"breached"`
+		Breaches int64    `json:"breaches_total"`
+		EvalUS   int64    `json:"eval_us"`
+	}
+	a := alias{
+		Name: s.Name, Expr: s.Rule.Expr(), Kind: s.Kind, Metric: s.Metric,
+		Op: s.Op, Thresh: s.Threshold,
+		Breached: s.Breached, Breaches: s.Breaches, EvalUS: s.EvalUS,
+	}
+	if !math.IsNaN(s.Value) {
+		v := s.Value
+		a.Value = &v
+	}
+	return json.Marshal(a)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON (nil value → NaN).
+func (s *RuleStatus) UnmarshalJSON(b []byte) error {
+	var a struct {
+		Name     string   `json:"name"`
+		Kind     string   `json:"kind"`
+		Metric   string   `json:"metric"`
+		Op       string   `json:"op"`
+		Thresh   float64  `json:"threshold"`
+		Value    *float64 `json:"value"`
+		Breached bool     `json:"breached"`
+		Breaches int64    `json:"breaches_total"`
+		EvalUS   int64    `json:"eval_us"`
+	}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*s = RuleStatus{
+		Rule:     Rule{Name: a.Name, Kind: a.Kind, Metric: a.Metric, Op: a.Op, Threshold: a.Thresh},
+		Value:    math.NaN(),
+		Breached: a.Breached, Breaches: a.Breaches, EvalUS: a.EvalUS,
+	}
+	if a.Value != nil {
+		s.Value = *a.Value
+	}
+	return nil
+}
+
+// DefaultRules are the paper's headline SLOs with lenient defaults:
+// availability ≥ 95%, deficit-slot ratio ≤ 10%, p99 repair ≤ 200 ms.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: SLOAvailability, Kind: SLOAvailability, Op: ">=", Threshold: 0.95},
+		{Name: SLODeficitRatio, Kind: SLODeficitRatio, Op: "<=", Threshold: 0.10},
+		{Name: SLORepairP99, Kind: SLORepairP99, Op: "<=", Threshold: 0.2},
+	}
+}
+
+// ParseRules parses a comma-separated SLO spec, e.g.
+//
+//	availability>=0.99,deficit_ratio<=0.05,repair_p99<=0.1,tinyleo_mpc_compile_total>=3
+//
+// Known indicator names map to the built-in kinds; any other name is
+// treated as a raw metric series (SLOMetric).
+func ParseRules(spec string) ([]Rule, error) {
+	var out []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op := ">="
+		i := strings.Index(part, op)
+		if i < 0 {
+			op = "<="
+			i = strings.Index(part, op)
+		}
+		if i < 0 {
+			return nil, fmt.Errorf("flightrec: SLO rule %q: want name>=x or name<=x", part)
+		}
+		name := strings.TrimSpace(part[:i])
+		thr, err := strconv.ParseFloat(strings.TrimSpace(part[i+len(op):]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("flightrec: SLO rule %q: bad threshold: %v", part, err)
+		}
+		r := Rule{Name: name, Op: op, Threshold: thr}
+		switch name {
+		case SLOAvailability, SLODeficitSlots, SLODeficitRatio,
+			SLORepairP99, SLOCompileP99, SLOAckRTTP99, SLODropRatio, SLOFailureEvents:
+			r.Kind = name
+		default:
+			r.Kind = SLOMetric
+			r.Metric = name
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Engine evaluates SLO rules against rolling registry metrics and the
+// event log, emits slo_breach/slo_recovered events on transitions, and
+// serves /slo. All methods are safe for concurrent use.
+type Engine struct {
+	log *Log
+
+	mu     sync.Mutex
+	regs   []RegistrySource
+	status []RuleStatus
+	start  time.Time
+}
+
+// NewEngine builds an engine over the given event log and rules (empty
+// rules = DefaultRules). Registries default to obs.Default(); add more
+// with AddRegistries.
+func NewEngine(log *Log, rules ...Rule) *Engine {
+	if len(rules) == 0 {
+		rules = DefaultRules()
+	}
+	e := &Engine{log: log, regs: []RegistrySource{obs.Default()}, start: time.Now()}
+	e.status = make([]RuleStatus, len(rules))
+	for i, r := range rules {
+		e.status[i] = RuleStatus{Rule: r, Value: math.NaN()}
+	}
+	return e
+}
+
+// SetRegistries replaces the metric sources (empty = obs.Default()).
+func (e *Engine) SetRegistries(regs ...RegistrySource) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(regs) == 0 {
+		regs = []RegistrySource{obs.Default()}
+	}
+	e.regs = append([]RegistrySource(nil), regs...)
+}
+
+// AddRegistries appends metric sources.
+func (e *Engine) AddRegistries(regs ...RegistrySource) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.regs = append(e.regs, regs...)
+}
+
+// Eval evaluates every rule against the current metric and event state,
+// records transitions, and returns the statuses.
+func (e *Engine) Eval() []RuleStatus {
+	e.mu.Lock()
+	regs := append([]RegistrySource(nil), e.regs...)
+	e.mu.Unlock()
+	samples := obs.Snapshot(regs...)
+	now := time.Since(e.start).Microseconds()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.status {
+		st := &e.status[i]
+		v := e.indicator(st.Rule, samples)
+		wasBreached := st.Breached
+		breached := false
+		if !math.IsNaN(v) {
+			switch st.Op {
+			case ">=":
+				breached = v < st.Threshold
+			default: // "<="
+				breached = v > st.Threshold
+			}
+		}
+		st.Value, st.Breached, st.EvalUS = v, breached, now
+		if breached && !wasBreached {
+			st.Breaches++
+			obs.Default().Counter("tinyleo_slo_breaches_total", "rule", st.Name).Inc()
+			if e.log != nil {
+				e.log.Emit(CompSLO, "slo_breach",
+					"rule", st.Name,
+					"expr", st.Rule.Expr(),
+					"value", strconv.FormatFloat(v, 'g', 6, 64))
+			}
+		} else if !breached && wasBreached {
+			if e.log != nil {
+				e.log.Emit(CompSLO, "slo_recovered",
+					"rule", st.Name,
+					"value", strconv.FormatFloat(v, 'g', 6, 64))
+			}
+		}
+	}
+	return append([]RuleStatus(nil), e.status...)
+}
+
+// Status returns the latest evaluation without re-evaluating.
+func (e *Engine) Status() []RuleStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]RuleStatus(nil), e.status...)
+}
+
+// indicator computes one rule's current value from the metric samples
+// (and, for event-window kinds, the event log). NaN means "not yet
+// observable".
+func (e *Engine) indicator(r Rule, samples []obs.Sample) float64 {
+	switch r.Kind {
+	case SLOAvailability:
+		return gaugeValue(samples, "tinyleo_mpc_enforcement_ratio")
+	case SLODeficitSlots:
+		return gaugeValue(samples, "tinyleo_mpc_gateway_deficit_slots")
+	case SLODeficitRatio:
+		def := gaugeValue(samples, "tinyleo_mpc_gateway_deficit_slots")
+		inter := gaugeValue(samples, "tinyleo_mpc_inter_links")
+		if math.IsNaN(def) || math.IsNaN(inter) || def+inter == 0 {
+			return math.NaN()
+		}
+		return def / (def + inter)
+	case SLORepairP99:
+		return histQuantile(samples, "tinyleo_mpc_repair_stage_seconds",
+			map[string]string{"stage": "total"}, 0.99)
+	case SLOCompileP99:
+		return histQuantile(samples, "tinyleo_mpc_compile_seconds", nil, 0.99)
+	case SLOAckRTTP99:
+		return histQuantile(samples, "tinyleo_southbound_ack_rtt_seconds", nil, 0.99)
+	case SLODropRatio:
+		dropped := counterSum(samples, "tinyleo_dataplane_dropped_total")
+		ok := counterSum(samples, "tinyleo_dataplane_forwarded_total") +
+			counterSum(samples, "tinyleo_dataplane_delivered_total")
+		if dropped+ok == 0 {
+			return math.NaN()
+		}
+		return dropped / (dropped + ok)
+	case SLOFailureEvents:
+		window := r.WindowSeconds
+		if window <= 0 {
+			window = 60
+		}
+		if e.log == nil {
+			return math.NaN()
+		}
+		events := e.log.Events()
+		if len(events) == 0 {
+			return 0
+		}
+		cutoff := events[len(events)-1].TimeUS - int64(window*1e6)
+		n := 0
+		for _, ev := range events {
+			if ev.TimeUS < cutoff {
+				continue
+			}
+			switch ev.Type {
+			case "isl_fail", "sat_fail", "failure_report":
+				n++
+			}
+		}
+		return float64(n)
+	default: // SLOMetric
+		for _, s := range samples {
+			if s.Name != r.Metric {
+				continue
+			}
+			switch s.Kind {
+			case obs.KindGauge:
+				return s.Value
+			case obs.KindCounter:
+				return counterSum(samples, r.Metric)
+			case obs.KindHistogram:
+				return histQuantile(samples, r.Metric, nil, 0.99)
+			}
+		}
+		return math.NaN()
+	}
+}
+
+func gaugeValue(samples []obs.Sample, name string) float64 {
+	for _, s := range samples {
+		if s.Name == name && s.Kind == obs.KindGauge {
+			return s.Value
+		}
+	}
+	return math.NaN()
+}
+
+func counterSum(samples []obs.Sample, name string) float64 {
+	total, seen := 0.0, false
+	for _, s := range samples {
+		if s.Name == name && s.Kind == obs.KindCounter {
+			total += s.Value
+			seen = true
+		}
+	}
+	if !seen {
+		return math.NaN()
+	}
+	return total
+}
+
+// histQuantile estimates quantile q from a fixed-bucket histogram sample
+// matched by name and label subset, interpolating linearly within the
+// containing bucket (the +Inf bucket yields its lower bound).
+func histQuantile(samples []obs.Sample, name string, labels map[string]string, q float64) float64 {
+	for _, s := range samples {
+		if s.Name != name || s.Kind != obs.KindHistogram || !labelsMatch(s.Labels, labels) {
+			continue
+		}
+		if s.Count == 0 {
+			return math.NaN()
+		}
+		rank := q * float64(s.Count)
+		cum := int64(0)
+		for i, c := range s.Buckets {
+			cum += c
+			if float64(cum) < rank {
+				continue
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			if i >= len(s.Bounds) {
+				return lo // +Inf bucket: no finite upper bound
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		return math.NaN()
+	}
+	return math.NaN()
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ServeHTTP evaluates the rules and writes the /slo JSON document:
+//
+//	{"evaluated_at_us":..., "rules":[{name, expr, value, threshold, ...}]}
+func (e *Engine) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	statuses := e.Eval()
+	breached := 0
+	for _, s := range statuses {
+		if s.Breached {
+			breached++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Breached int          `json:"breached"`
+		Rules    []RuleStatus `json:"rules"`
+	}{breached, statuses})
+}
+
+var httpOnce sync.Once
+
+// registerHTTP mounts /slo and /events on the obs telemetry surface. The
+// handlers resolve the default engine/log at request time, so re-Enable
+// swaps recordings without re-registration.
+func registerHTTP() {
+	httpOnce.Do(func() {
+		obs.RegisterHandler("/slo", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			eng := DefaultSLOEngine()
+			if eng == nil {
+				http.Error(w, "flight recorder disabled", http.StatusServiceUnavailable)
+				return
+			}
+			eng.ServeHTTP(w, r)
+		}))
+		obs.RegisterHandler("/events", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/jsonl")
+			_ = DefaultLog().WriteJSONL(w)
+		}))
+	})
+}

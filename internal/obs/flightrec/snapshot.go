@@ -1,0 +1,187 @@
+package flightrec
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// SlotState is one captured control-slot topology: what the MPC compiled
+// (or repaired) and what the cells looked like at that instant. It is a
+// plain-data mirror of mpc.Snapshot so the recorder stays free of
+// control-plane imports.
+type SlotState struct {
+	// Slot is the recorder-assigned sequence number (set by RecordSlot).
+	Slot int `json:"slot"`
+	// Time is the orbital time of the slot in seconds.
+	Time float64 `json:"t"`
+	// Kind distinguishes regular compilations from failure repairs
+	// ("compile" | "repair").
+	Kind string `json:"kind,omitempty"`
+	// InterLinks / RingLinks are the compiled inter-cell and intra-cell
+	// ISLs as sorted satellite index pairs.
+	InterLinks [][2]int `json:"inter_links,omitempty"`
+	RingLinks  [][2]int `json:"ring_links,omitempty"`
+	// CellSats maps intent cell → satellites covering it (the coverage
+	// map; a cell present with an empty list has lost all coverage).
+	CellSats map[int][]int `json:"cell_sats,omitempty"`
+	// Gateways maps a directed intent edge "u->v" to the satellites of u
+	// serving it.
+	Gateways map[string][]int `json:"gateways,omitempty"`
+	// Deficits maps "u->v" to unfilled gateway slots.
+	Deficits map[string]int `json:"deficits,omitempty"`
+	// Routes holds installed routing intents (cell routes), if any.
+	Routes [][]int `json:"routes,omitempty"`
+	// Enforcement is the intent enforcement ratio after this slot, when
+	// known (NaN-free: omitted as 0 when unknown).
+	Enforcement float64 `json:"enforcement,omitempty"`
+}
+
+// EdgeKey renders a directed intent edge as the "u->v" map key used by
+// Gateways and Deficits.
+func EdgeKey(u, v int) string { return fmt.Sprintf("%d->%d", u, v) }
+
+// ParseEdgeKey inverts EdgeKey; ok is false on malformed keys.
+func ParseEdgeKey(key string) (u, v int, ok bool) {
+	a, b, found := strings.Cut(key, "->")
+	if !found {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(a, "%d", &u); err != nil {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(b, "%d", &v); err != nil {
+		return 0, 0, false
+	}
+	return u, v, true
+}
+
+// DeficitTotal sums the slot's unfilled gateway slots.
+func (s *SlotState) DeficitTotal() int {
+	total := 0
+	for _, d := range s.Deficits {
+		total += d
+	}
+	return total
+}
+
+// DefaultSlotCapacity is the snapshot ring size used by Enable when
+// Options.SlotCapacity is zero.
+const DefaultSlotCapacity = 256
+
+// Snapshotter keeps a bounded ring of per-slot states with optional
+// JSONL file spill (gzip'd when the path ends in .gz). RecordSlot
+// allocates O(snapshot) per control slot; nothing here is on a
+// per-packet path.
+type Snapshotter struct {
+	mu       sync.Mutex
+	buf      []SlotState
+	next     int
+	wrapped  bool
+	seq      int
+	spill    *os.File
+	spillGz  *gzip.Writer
+	spillEnc *json.Encoder
+	spillErr error
+}
+
+func (s *Snapshotter) enable(capacity int, spillPath string) error {
+	if capacity <= 0 {
+		capacity = DefaultSlotCapacity
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.closeSpillLocked(); err != nil {
+		return err
+	}
+	s.buf = make([]SlotState, capacity)
+	s.next, s.wrapped, s.seq, s.spillErr = 0, false, 0, nil
+	if spillPath != "" {
+		f, err := os.Create(spillPath)
+		if err != nil {
+			return fmt.Errorf("flightrec: spill: %w", err)
+		}
+		s.spill = f
+		if strings.HasSuffix(spillPath, ".gz") {
+			s.spillGz = gzip.NewWriter(f)
+			s.spillEnc = json.NewEncoder(s.spillGz)
+		} else {
+			s.spillEnc = json.NewEncoder(f)
+		}
+	}
+	return nil
+}
+
+func (s *Snapshotter) disable() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeSpillLocked()
+}
+
+func (s *Snapshotter) closeSpillLocked() error {
+	var err error
+	if s.spillGz != nil {
+		err = s.spillGz.Close()
+		s.spillGz = nil
+	}
+	if s.spill != nil {
+		if cerr := s.spill.Close(); err == nil {
+			err = cerr
+		}
+		s.spill = nil
+	}
+	s.spillEnc = nil
+	return err
+}
+
+// RecordSlot appends one slot state, assigning its Slot sequence number,
+// and spills it to the configured file.
+func (s *Snapshotter) RecordSlot(st SlotState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) == 0 {
+		return
+	}
+	st.Slot = s.seq
+	s.seq++
+	s.buf[s.next] = st
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.wrapped = true
+	}
+	if s.spillEnc != nil && s.spillErr == nil {
+		s.spillErr = s.spillEnc.Encode(st)
+	}
+}
+
+// Slots returns the ring contents oldest-first.
+func (s *Snapshotter) Slots() []SlotState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.wrapped {
+		return append([]SlotState(nil), s.buf[:s.next]...)
+	}
+	out := make([]SlotState, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Recorded returns how many slots were ever recorded (including any
+// overwritten by ring wrap-around).
+func (s *Snapshotter) Recorded() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// SpillErr reports the first error hit while spilling snapshots, if any.
+func (s *Snapshotter) SpillErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spillErr
+}

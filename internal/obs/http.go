@@ -5,10 +5,29 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
 var processStart = time.Now()
+
+// Extension handlers registered by sibling subsystems (e.g.
+// internal/obs/flightrec mounts /slo and /events). They are resolved at
+// request time, so registration order relative to NewHandler does not
+// matter.
+var (
+	extMu       sync.RWMutex
+	extHandlers = map[string]http.Handler{}
+)
+
+// RegisterHandler mounts h at path on every telemetry HTTP surface built
+// by NewHandler/Serve (existing servers included). Re-registering a path
+// replaces the handler.
+func RegisterHandler(path string, h http.Handler) {
+	extMu.Lock()
+	extHandlers[path] = h
+	extMu.Unlock()
+}
 
 // NewHandler builds the telemetry HTTP surface over the given registries
 // (merged in order) and the default tracer:
@@ -18,6 +37,9 @@ var processStart = time.Now()
 //	/healthz       liveness: {"status":"ok","uptime_s":...}
 //	/trace         span ring as JSONL
 //	/trace.chrome  span ring as a Chrome trace_event array
+//
+// plus any extension paths mounted via RegisterHandler (the flight
+// recorder adds /slo and /events when enabled).
 func NewHandler(regs ...*Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -42,6 +64,16 @@ func NewHandler(regs ...*Registry) http.Handler {
 	mux.HandleFunc("/trace.chrome", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = Trace().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		extMu.RLock()
+		h := extHandlers[r.URL.Path]
+		extMu.RUnlock()
+		if h == nil {
+			http.NotFound(w, r)
+			return
+		}
+		h.ServeHTTP(w, r)
 	})
 	return mux
 }

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 )
 
 // Telemetry series names exported by a Controller's registry.
@@ -21,22 +23,31 @@ const (
 	MetricConnectedAgents = "tinyleo_southbound_connected_agents"
 	// MetricAckRTT is the command→ack round-trip histogram (seconds).
 	MetricAckRTT = "tinyleo_southbound_ack_rtt_seconds"
+	// MetricAckTimeouts counts commands unacknowledged past ackTimeout.
+	MetricAckTimeouts = "tinyleo_southbound_ack_timeouts_total"
 )
 
 // maxPendingAcks bounds the seq→send-time map used for ack RTT
 // measurement; beyond it new sends are simply not RTT-tracked.
 const maxPendingAcks = 4096
 
+// ackTimeout is how long a command may sit unacknowledged before the
+// controller flags it: an ack_timeout flight-recorder event plus the
+// tinyleo_southbound_ack_timeouts_total counter. Pending entries are
+// swept lazily on Send.
+const ackTimeout = 5 * time.Second
+
 // Controller is the terrestrial MPC endpoint of the southbound API: it
 // accepts agent registrations and pushes topology commands.
 type Controller struct {
 	ln net.Listener
 
-	mu      sync.Mutex
-	agents  map[uint32]net.Conn
-	seq     uint32
-	closed  bool
-	pending map[uint32]time.Time // command seq → send time (ack RTT)
+	mu        sync.Mutex
+	agents    map[uint32]net.Conn
+	seq       uint32
+	closed    bool
+	pending   map[uint32]time.Time // command seq → send time (ack RTT)
+	lastSweep time.Time            // last ack-timeout sweep
 
 	// OnFailure, if set, is invoked when an agent reports a failure and
 	// returns the repair commands to push (addressed by Message.SatID).
@@ -48,12 +59,13 @@ type Controller struct {
 	// Figure 17 signaling accounting, plus wire bytes, the connected-agent
 	// gauge, and the ack RTT histogram). Read it via Count/TotalMessages/
 	// Metrics; serve it via obs.Serve.
-	reg       *obs.Registry
-	rx, tx    [MsgAck + 1]*obs.Counter // indexed by MsgType
-	rxBytes   *obs.Counter
-	txBytes   *obs.Counter
-	connected *obs.Gauge
-	ackRTT    *obs.Histogram
+	reg         *obs.Registry
+	rx, tx      [MsgAck + 1]*obs.Counter // indexed by MsgType
+	rxBytes     *obs.Counter
+	txBytes     *obs.Counter
+	connected   *obs.Gauge
+	ackRTT      *obs.Histogram
+	ackTimeouts *obs.Counter
 
 	wg sync.WaitGroup
 }
@@ -66,14 +78,15 @@ func ListenController(addr string) (*Controller, error) {
 	}
 	reg := obs.NewRegistry(true)
 	c := &Controller{
-		ln:        ln,
-		agents:    map[uint32]net.Conn{},
-		pending:   map[uint32]time.Time{},
-		reg:       reg,
-		rxBytes:   reg.Counter(MetricBytes, "dir", "rx"),
-		txBytes:   reg.Counter(MetricBytes, "dir", "tx"),
-		connected: reg.Gauge(MetricConnectedAgents),
-		ackRTT:    reg.Histogram(MetricAckRTT, obs.DefBuckets),
+		ln:          ln,
+		agents:      map[uint32]net.Conn{},
+		pending:     map[uint32]time.Time{},
+		reg:         reg,
+		rxBytes:     reg.Counter(MetricBytes, "dir", "rx"),
+		txBytes:     reg.Counter(MetricBytes, "dir", "tx"),
+		connected:   reg.Gauge(MetricConnectedAgents),
+		ackRTT:      reg.Histogram(MetricAckRTT, obs.DefBuckets),
+		ackTimeouts: reg.Counter(MetricAckTimeouts),
 	}
 	for t := MsgHello; t <= MsgAck; t++ {
 		c.rx[t] = reg.Counter(MetricMessages, "dir", "rx", "type", t.String())
@@ -114,6 +127,10 @@ func (c *Controller) serve(conn net.Conn) {
 			if c.agents[satID] == conn {
 				delete(c.agents, satID)
 				c.connected.Set(float64(len(c.agents)))
+				if flightrec.Enabled() {
+					flightrec.Emit(flightrec.CompSouthbound, "agent_disconnect",
+						"sat", strconv.FormatUint(uint64(satID), 10))
+				}
 			}
 			c.mu.Unlock()
 		}
@@ -132,12 +149,22 @@ func (c *Controller) serve(conn net.Conn) {
 			c.connected.Set(float64(len(c.agents)))
 			c.mu.Unlock()
 			registered = true
+			if flightrec.Enabled() {
+				flightrec.Emit(flightrec.CompSouthbound, "agent_connect",
+					"sat", strconv.FormatUint(uint64(satID), 10),
+					"addr", conn.RemoteAddr().String())
+			}
 			ack := &Message{Type: MsgHelloAck, SatID: satID, Seq: m.Seq}
 			if err := WriteMessage(conn, ack); err != nil {
 				return
 			}
 			c.countTx(ack)
 		case MsgFailureReport:
+			if flightrec.Enabled() {
+				flightrec.Emit(flightrec.CompSouthbound, "failure_report",
+					"sat", strconv.FormatUint(uint64(m.SatID), 10),
+					"peer", strconv.FormatUint(uint64(m.Peer), 10))
+			}
 			var cmds []*Message
 			if c.OnFailure != nil {
 				cmds = c.OnFailure(m)
@@ -202,6 +229,7 @@ var ErrUnknownAgent = errors.New("southbound: unknown agent")
 // sequence number if unset.
 func (c *Controller) Send(m *Message) error {
 	c.mu.Lock()
+	c.sweepAckTimeoutsLocked(time.Now())
 	conn, ok := c.agents[m.SatID]
 	if ok {
 		if m.Seq == 0 {
@@ -221,6 +249,27 @@ func (c *Controller) Send(m *Message) error {
 	}
 	c.countTx(m)
 	return nil
+}
+
+// sweepAckTimeoutsLocked drops pending-ack entries older than ackTimeout,
+// counting each as a lost command. Called with c.mu held; rate-limited to
+// one scan per ackTimeout/2 so Send stays O(1) amortized.
+func (c *Controller) sweepAckTimeoutsLocked(now time.Time) {
+	if len(c.pending) == 0 || now.Sub(c.lastSweep) < ackTimeout/2 {
+		return
+	}
+	c.lastSweep = now
+	for seq, sentAt := range c.pending {
+		if age := now.Sub(sentAt); age > ackTimeout {
+			delete(c.pending, seq)
+			c.ackTimeouts.Inc()
+			if flightrec.Enabled() {
+				flightrec.Emit(flightrec.CompSouthbound, "ack_timeout",
+					"seq", strconv.FormatUint(uint64(seq), 10),
+					"age_ms", strconv.FormatInt(age.Milliseconds(), 10))
+			}
+		}
+	}
 }
 
 // AgentCount returns the number of registered agents.

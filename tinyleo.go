@@ -31,6 +31,7 @@ import (
 	"repro/internal/intent"
 	"repro/internal/mpc"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/orbit"
 	"repro/internal/southbound"
 	"repro/internal/texture"
@@ -64,6 +65,59 @@ func EnableTraceSpans(capacity int) { obs.EnableTracing(capacity) }
 func ServeTelemetry(addr string, regs ...*TelemetryRegistry) (*TelemetryServer, error) {
 	return obs.Serve(addr, regs...)
 }
+
+// ---- Flight recorder and SLOs (internal/obs/flightrec) ----
+
+// FlightRecorderOptions configures the constellation flight recorder:
+// event-log and slot-snapshot ring capacities, an optional spill file for
+// evicted snapshots, SLO rules, and extra registries for SLO evaluation.
+type FlightRecorderOptions = flightrec.Options
+
+// FlightRecording is a loaded or captured recording: per-slot topology
+// states, the structured event log, and final SLO status.
+type FlightRecording = flightrec.Recording
+
+// FlightEvent is one structured event (component, type, attributes).
+type FlightEvent = flightrec.Event
+
+// SLORule is one declarative service-level objective over registry
+// metrics or event windows, e.g. availability ≥ 0.95.
+type SLORule = flightrec.Rule
+
+// SLOStatus is the latest evaluation of one rule.
+type SLOStatus = flightrec.RuleStatus
+
+// EnableFlightRecorder turns on the process-wide flight recorder. Once
+// enabled, the MPC, southbound, data-plane, and sparsifier emit typed
+// events and per-slot snapshots; obs.Serve endpoints gain /slo and
+// /events routes.
+func EnableFlightRecorder(o FlightRecorderOptions) error { return flightrec.Enable(o) }
+
+// DisableFlightRecorder stops recording and closes any spill file.
+func DisableFlightRecorder() error { return flightrec.Disable() }
+
+// SaveFlightRecording writes the current recording (gzip JSONL when path
+// ends in .gz) and returns a human-readable summary.
+func SaveFlightRecording(path, binary string) (string, error) {
+	return flightrec.SaveRecording(path, binary)
+}
+
+// ReadFlightRecording loads a recording written by SaveFlightRecording,
+// sniffing gzip automatically.
+func ReadFlightRecording(path string) (*FlightRecording, error) {
+	return flightrec.ReadRecordingFile(path)
+}
+
+// ParseSLORules parses a comma-separated rule spec such as
+// "availability>=0.95,deficit_ratio<=0.1,repair_p99<=0.2".
+func ParseSLORules(spec string) ([]SLORule, error) { return flightrec.ParseRules(spec) }
+
+// DefaultSLORules returns the paper-derived default objectives.
+func DefaultSLORules() []SLORule { return flightrec.DefaultRules() }
+
+// AddSLORegistries points the SLO engine at additional metric registries
+// (e.g. a SouthboundController's Metrics()).
+func AddSLORegistries(regs ...*TelemetryRegistry) { flightrec.AddSLORegistries(regs...) }
 
 // ---- Geography ----
 
