@@ -5,7 +5,8 @@
 // Usage:
 //
 //	tinyleo-bench [-scale small|paper] [-run all|table1|fig3|fig4|fig9|fig13|
-//	               fig14|fig15|fig15d|fig15e|fig16|fig17|fig17d|fig18|fig19a|fig19bcd]
+//	               fig14|fig15|fig15d|fig15e|fig16|fig17|fig17d|fig18|fig19a|
+//	               fig19bcd|horizon] [-horizon N] [-workers N]
 //	               [-csv] [-bench-json out.json] [-metrics-addr host:port]
 //	               [-trace-out file.jsonl] [-record-out flight.jsonl.gz]
 //
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -38,7 +40,9 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
-	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, ablations, discussion)")
+	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, horizon, ablations, discussion)")
+	horizonSlots := flag.Int("horizon", 0, "control slots per horizon window for -run horizon (0 = the scale's ControlSlots)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel horizon compile")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address while experiments run (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file when done")
@@ -242,6 +246,13 @@ func main() {
 			fail("fig19bcd", err)
 		}
 		emit(tabs...)
+	}
+	if want("horizon") {
+		tab, err := experiments.HorizonThroughput(scale, *horizonSlots, *workers)
+		if err != nil {
+			fail("horizon", err)
+		}
+		emit(tab)
 	}
 	if want("ablations") {
 		tab, err := experiments.AblationSolver(scale, library)

@@ -3,9 +3,13 @@
 // orbital MPC every control slot, pushes ISL/ring configuration to the
 // connected satellite agents, and repairs reported failures (§4.2, §5).
 //
+// Slots are compiled by the horizon planner: -workers goroutines compile
+// future slots ahead of enforcement (the plan is identical to sequential
+// compilation, only earlier).
+//
 // Run one tinyleo-ctl and any number of tinyleo-sat agents against it:
 //
-//	tinyleo-ctl -listen 127.0.0.1:7601 -agents 8 -slots 4 -dt 300
+//	tinyleo-ctl -listen 127.0.0.1:7601 -agents 8 -slots 4 -dt 300 -workers 4
 //
 // Telemetry: -metrics-addr serves live Prometheus text on /metrics —
 // merging the process-wide registry (MPC compile/repair series) with the
@@ -32,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/baseline"
@@ -84,6 +89,7 @@ func runController() {
 	agents := flag.Int("agents", 4, "number of satellite agents to wait for")
 	slots := flag.Int("slots", 4, "control slots to run")
 	dt := flag.Float64("dt", 300, "control slot duration (seconds of orbital time)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines compiling future slots ahead of enforcement")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for agents")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace, /slo on this address (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
@@ -190,10 +196,12 @@ func runController() {
 		}
 	}
 
+	// The horizon planner compiles future slots across a worker pool while
+	// the delivery callback (this goroutine) enforces the current one, so
+	// southbound pushes overlap compilation of later slots.
 	var prev *mpc.Snapshot
-	for s := 0; s < *slots; s++ {
-		t := float64(s) * *dt
-		snap := compiler.Compile(t)
+	compiler.HorizonStream(0, *dt, *slots, *workers, func(s int, snap *mpc.Snapshot) {
+		t := snap.Time
 		added, removed := mpc.DiffLinks(prev, snap)
 		prev = snap
 		fmt.Printf("slot %d (t=%.0fs): %d inter-cell ISLs, %d ring ISLs, %d changes, enforcement %.2f\n",
@@ -226,6 +234,6 @@ func runController() {
 		}
 		fmt.Printf("  pushed %d commands to connected agents\n", pushed)
 		time.Sleep(200 * time.Millisecond)
-	}
+	})
 	fmt.Printf("totals: %d southbound messages\n", ctl.TotalMessages())
 }

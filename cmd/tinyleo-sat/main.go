@@ -1,7 +1,9 @@
 // Command tinyleo-sat is a satellite agent: it registers with tinyleo-ctl
 // over the southbound API, prints and acknowledges every topology command,
 // and can inject a synthetic ISL failure report to exercise the repair
-// loop (§4.2's "repairing unpredictable failures").
+// loop (§4.2's "repairing unpredictable failures"). Commands arrive per
+// control slot, in slot order — the controller's horizon planner compiles
+// ahead across workers but always delivers sequentially.
 //
 //	tinyleo-sat -controller 127.0.0.1:7601 -id 3 -fail-peer 7 -fail-after 2s
 //

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mpc"
+	"repro/internal/orbit"
+)
+
+// HorizonThroughput measures the horizon planner (§4.2): it compiles the
+// same window of control slots sequentially and across a worker pool on
+// fresh controllers (cold propagation caches both times, so the
+// comparison isolates parallelism), verifies the two plans are
+// identical, and reports throughput, speedup, and cache effectiveness.
+// horizon ≤ 0 defaults to scale.ControlSlots; workers ≤ 0 defaults to
+// runtime.NumCPU().
+func HorizonThroughput(scale Scale, horizon, workers int) (*metrics.Table, error) {
+	if horizon <= 0 {
+		horizon = scale.ControlSlots
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sats := controlConstellation(scale)
+	topo, err := controlIntent(scale, sats)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mpc.Config{
+		Topo: topo, Sats: sats, Coverage: controlCoverage(),
+		LifetimeHorizon: 2 * scale.ControlDt, LifetimeStep: scale.ControlDt / 5,
+	}
+
+	run := func(w int) ([]*mpc.Snapshot, float64, orbit.CacheStats, error) {
+		ctl, err := mpc.New(cfg)
+		if err != nil {
+			return nil, 0, orbit.CacheStats{}, err
+		}
+		start := time.Now()
+		snaps := ctl.HorizonCompile(0, scale.ControlDt, horizon, w)
+		return snaps, time.Since(start).Seconds(), ctl.CacheStats(), nil
+	}
+
+	seqSnaps, seqWall, seqStats, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	parSnaps, parWall, parStats, err := run(workers)
+	if err != nil {
+		return nil, err
+	}
+	// The planner's correctness contract: worker count must never change
+	// the compiled plan.
+	for s := range seqSnaps {
+		sl, pl := seqSnaps[s].Links(), parSnaps[s].Links()
+		if len(sl) != len(pl) {
+			return nil, fmt.Errorf("horizon: slot %d diverged: %d vs %d links", s, len(sl), len(pl))
+		}
+		for i := range sl {
+			if sl[i] != pl[i] {
+				return nil, fmt.Errorf("horizon: slot %d link %d diverged: %v vs %v", s, i, sl[i], pl[i])
+			}
+		}
+	}
+
+	tab := metrics.NewTable("Horizon: parallel MPC compile",
+		"run", "satellites", "slots", "workers", "wall (s)", "throughput (slots/s)",
+		"speedup (x)", "cache hit ratio", "pruned pairs")
+	rate := func(wall float64) float64 {
+		if wall <= 0 {
+			return 0
+		}
+		return float64(horizon) / wall
+	}
+	speedup := 0.0
+	if parWall > 0 {
+		speedup = seqWall / parWall
+	}
+	tab.AddRow("sequential", len(sats), horizon, 1, fmt.Sprintf("%.3f", seqWall),
+		fmt.Sprintf("%.2f", rate(seqWall)), fmt.Sprintf("%.2f", 1.0),
+		fmt.Sprintf("%.3f", seqStats.HitRatio()), seqStats.PrunedPairs)
+	tab.AddRow("parallel", len(sats), horizon, workers, fmt.Sprintf("%.3f", parWall),
+		fmt.Sprintf("%.2f", rate(parWall)), fmt.Sprintf("%.2f", speedup),
+		fmt.Sprintf("%.3f", parStats.HitRatio()), parStats.PrunedPairs)
+	return tab, nil
+}

@@ -74,6 +74,13 @@ func (v Vec3) Unit() Vec3 {
 // Dist returns |v - w|.
 func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
 
+// DistSq returns |v - w|² without the square root, for range comparisons
+// on hot paths (compare against the squared threshold).
+func (v Vec3) DistSq(w Vec3) float64 {
+	d := v.Sub(w)
+	return d.Dot(d)
+}
+
 // AngleTo returns the angle between v and w in radians, in [0, π].
 // It is numerically stable near 0 and π (atan2 formulation).
 func (v Vec3) AngleTo(w Vec3) float64 {

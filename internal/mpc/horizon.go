@@ -1,0 +1,126 @@
+package mpc
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The horizon planner compiles a window of future control slots across a
+// bounded worker pool. Slots are independent — Compile(t) is a pure
+// function of the config and t — so the planner fans one goroutine out
+// per slot and lets the shared propagation cache amortize the orbit
+// geometry that adjacent slots have in common (§4.2's "precompute
+// offline, assemble online" split). Results are delivered strictly in
+// slot order, and the parallel output is byte-identical to running the
+// same Compile calls sequentially (horizon_test.go holds this golden).
+
+// Planner telemetry on the process-wide registry: horizon throughput,
+// worker-pool utilization, and propagation-cache effectiveness.
+var (
+	obsHorizonSeconds  = obs.Default().Histogram("tinyleo_mpc_horizon_seconds", obs.DefBuckets)
+	obsHorizonSlots    = obs.Default().Counter("tinyleo_mpc_horizon_slots_total")
+	obsHorizonRate     = obs.Default().Gauge("tinyleo_mpc_horizon_slots_per_sec")
+	obsHorizonWorkers  = obs.Default().Gauge("tinyleo_mpc_horizon_workers")
+	obsHorizonUtil     = obs.Default().Gauge("tinyleo_mpc_horizon_worker_utilization")
+	obsCacheHitRatio   = obs.Default().Gauge("tinyleo_orbit_cache_hit_ratio")
+	obsCachePosHits    = obs.Default().Gauge("tinyleo_orbit_cache_lookups", "kind", "pos_hit")
+	obsCachePosMisses  = obs.Default().Gauge("tinyleo_orbit_cache_lookups", "kind", "pos_miss")
+	obsCacheLifeHits   = obs.Default().Gauge("tinyleo_orbit_cache_lookups", "kind", "lifetime_hit")
+	obsCacheLifeMisses = obs.Default().Gauge("tinyleo_orbit_cache_lookups", "kind", "lifetime_miss")
+	obsCachePruned     = obs.Default().Gauge("tinyleo_orbit_cache_pruned_pairs")
+)
+
+// HorizonCompile compiles `slots` consecutive control slots — times
+// t0, t0+dt, …, t0+(slots−1)·dt — across a pool of `workers` goroutines
+// and returns the snapshots in slot order. workers ≤ 1 degenerates to a
+// sequential compile; the output is identical either way.
+func (c *Controller) HorizonCompile(t0, dt float64, slots, workers int) []*Snapshot {
+	if slots <= 0 {
+		return nil
+	}
+	out := make([]*Snapshot, slots)
+	c.HorizonStream(t0, dt, slots, workers, func(slot int, snap *Snapshot) {
+		out[slot] = snap
+	})
+	return out
+}
+
+// HorizonStream is HorizonCompile with pipelined delivery: deliver is
+// called on the caller's goroutine, strictly in slot order, as soon as
+// each slot's snapshot (and all earlier ones) is ready — so southbound
+// enforcement of slot k can overlap compilation of slots k+1… . deliver
+// must not be nil.
+func (c *Controller) HorizonStream(t0, dt float64, slots, workers int, deliver func(slot int, snap *Snapshot)) {
+	if slots <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > slots {
+		workers = slots
+	}
+	span := obs.StartSpan("mpc.horizon",
+		"t0", strconv.FormatFloat(t0, 'f', 0, 64),
+		"slots", strconv.Itoa(slots),
+		"workers", strconv.Itoa(workers))
+	defer span.End()
+	start := time.Now()
+
+	// One buffered result slot per control slot: workers never block on
+	// a slow consumer, and the delivery loop below imposes slot order.
+	results := make([]chan *Snapshot, slots)
+	for i := range results {
+		results[i] = make(chan *Snapshot, 1)
+	}
+	jobs := make(chan int)
+	var busy atomic.Int64 // summed worker compute time, ns
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := range jobs {
+				s := time.Now()
+				results[slot] <- c.Compile(t0 + float64(slot)*dt)
+				busy.Add(int64(time.Since(s)))
+			}
+		}()
+	}
+	go func() {
+		for slot := 0; slot < slots; slot++ {
+			jobs <- slot
+		}
+		close(jobs)
+	}()
+	for slot := 0; slot < slots; slot++ {
+		deliver(slot, <-results[slot])
+	}
+	wg.Wait()
+
+	wall := time.Since(start)
+	obsHorizonSeconds.ObserveDuration(wall)
+	obsHorizonSlots.Add(int64(slots))
+	obsHorizonWorkers.Set(float64(workers))
+	if s := wall.Seconds(); s > 0 {
+		obsHorizonRate.Set(float64(slots) / s)
+		obsHorizonUtil.Set(float64(busy.Load()) / (s * 1e9 * float64(workers)))
+	}
+	c.publishCacheStats()
+}
+
+// publishCacheStats mirrors the propagation cache's cumulative counters
+// onto the registry (exposed as gauges holding monotonic totals).
+func (c *Controller) publishCacheStats() {
+	st := c.geo.Stats()
+	obsCacheHitRatio.Set(st.HitRatio())
+	obsCachePosHits.Set(float64(st.PosHits))
+	obsCachePosMisses.Set(float64(st.PosMisses))
+	obsCacheLifeHits.Set(float64(st.LifeHits))
+	obsCacheLifeMisses.Set(float64(st.LifeMisses))
+	obsCachePruned.Set(float64(st.PrunedPairs))
+}

@@ -1,0 +1,141 @@
+package mpc
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHorizonCompileGolden is the planner's acceptance gate: the parallel
+// horizon compile must be byte-identical to running the same Compile
+// calls sequentially on an independent controller.
+func TestHorizonCompileGolden(t *testing.T) {
+	const (
+		slots = 6
+		dt    = 300.0
+	)
+	seq, _ := newController(t)
+	par, _ := newController(t)
+
+	want := make([]*Snapshot, slots)
+	for i := 0; i < slots; i++ {
+		want[i] = seq.Compile(float64(i) * dt)
+	}
+	got := par.HorizonCompile(0, dt, slots, 8)
+
+	if len(got) != slots {
+		t.Fatalf("got %d snapshots, want %d", len(got), slots)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("slot %d: parallel snapshot differs from sequential\npar: %v\nseq: %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHorizonCompileWorkerInvariance: the worker count is a throughput
+// knob, never an output knob.
+func TestHorizonCompileWorkerInvariance(t *testing.T) {
+	const slots = 4
+	var base []*Snapshot
+	for _, workers := range []int{1, 3, 16} {
+		c, _ := newController(t)
+		out := c.HorizonCompile(100, 250, slots, workers)
+		if base == nil {
+			base = out
+			continue
+		}
+		if !reflect.DeepEqual(out, base) {
+			t.Errorf("workers=%d produced a different plan", workers)
+		}
+	}
+}
+
+// TestHorizonStreamOrder: deliveries arrive strictly in slot order with
+// the slot times the sequential path would use.
+func TestHorizonStreamOrder(t *testing.T) {
+	c, _ := newController(t)
+	const (
+		t0    = 50.0
+		dt    = 300.0
+		slots = 5
+	)
+	next := 0
+	c.HorizonStream(t0, dt, slots, 4, func(slot int, snap *Snapshot) {
+		if slot != next {
+			t.Fatalf("delivered slot %d, want %d", slot, next)
+		}
+		if want := t0 + float64(slot)*dt; snap.Time != want {
+			t.Errorf("slot %d compiled at t=%v, want %v", slot, snap.Time, want)
+		}
+		next++
+	})
+	if next != slots {
+		t.Fatalf("delivered %d slots, want %d", next, slots)
+	}
+}
+
+// TestHorizonCompileDegenerate covers the edge parameters: zero/negative
+// slot counts return empty plans and out-of-range worker counts clamp.
+func TestHorizonCompileDegenerate(t *testing.T) {
+	c, _ := newController(t)
+	if out := c.HorizonCompile(0, 300, 0, 4); len(out) != 0 {
+		t.Errorf("slots=0 returned %d snapshots", len(out))
+	}
+	if out := c.HorizonCompile(0, 300, -3, 4); len(out) != 0 {
+		t.Errorf("slots=-3 returned %d snapshots", len(out))
+	}
+	if out := c.HorizonCompile(0, 300, 1, 0); len(out) != 1 || out[0] == nil {
+		t.Error("workers=0 should clamp to 1 and still compile")
+	}
+	if out := c.HorizonCompile(0, 300, 2, 100); len(out) != 2 {
+		t.Error("workers>slots should clamp to slots")
+	}
+}
+
+// TestHorizonCompileConcurrentRepair exercises the planner and the
+// incremental Repair path on the same controller (and thus the same
+// propagation cache) concurrently; run under -race in CI it is the
+// ISSUE's data-race regression test.
+func TestHorizonCompileConcurrentRepair(t *testing.T) {
+	c, _ := newController(t)
+	base := c.Compile(0)
+	if len(base.InterLinks) == 0 {
+		t.Fatal("no inter-links to fail over")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.HorizonCompile(0, 300, 4, 4)
+	}()
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 3; k++ {
+			fail := base.InterLinks[k%len(base.InterLinks)]
+			repaired, _ := c.Repair(base, []Link{fail}, nil, 2*time.Millisecond)
+			if repaired.LinkSet()[fail] {
+				t.Errorf("repair %d kept the failed link %v", k, fail)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestHorizonCompileReusesCache: a horizon window re-visiting a slot time
+// must serve its geometry from the propagation cache (hits strictly grow).
+func TestHorizonCompileReusesCache(t *testing.T) {
+	c, _ := newController(t)
+	c.HorizonCompile(0, 300, 3, 2)
+	first := c.CacheStats()
+	c.HorizonCompile(0, 300, 3, 2)
+	second := c.CacheStats()
+	if second.PosHits+second.LifeHits <= first.PosHits+first.LifeHits {
+		t.Errorf("second pass did not hit the cache: first %+v second %+v", first, second)
+	}
+	if second.PosMisses != first.PosMisses {
+		t.Errorf("second pass re-propagated: %d -> %d misses", first.PosMisses, second.PosMisses)
+	}
+}

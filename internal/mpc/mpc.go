@@ -155,9 +155,18 @@ func (s *Snapshot) LinkSet() map[Link]bool {
 	return set
 }
 
-// Controller compiles intents slot by slot.
+// Controller compiles intents slot by slot. Compile and Repair are safe
+// for concurrent use (HorizonCompile runs one goroutine per slot): the
+// config is read-only after New and all slot geometry flows through a
+// concurrency-safe propagation cache.
 type Controller struct {
 	cfg Config
+	// geo memoizes orbit propagation, pairwise ISL lifetimes, and
+	// per-slot geometry across slots (and across Compile/Repair).
+	geo *orbit.PropCache
+	// footprint[s] is satellite s's coverage angular radius, constant
+	// over time for circular orbits.
+	footprint []float64
 }
 
 // New validates the config and creates a controller.
@@ -165,8 +174,20 @@ func New(cfg Config) (*Controller, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Controller{cfg: cfg}, nil
+	c := &Controller{
+		cfg:       cfg,
+		geo:       orbit.NewPropCache(cfg.Sats, cfg.ISL, cfg.LifetimeHorizon, cfg.LifetimeStep),
+		footprint: make([]float64, len(cfg.Sats)),
+	}
+	for i, e := range cfg.Sats {
+		c.footprint[i] = cfg.Coverage.FootprintRadius(e.Altitude())
+	}
+	return c, nil
 }
+
+// CacheStats reports the propagation cache's cumulative hit/miss/prune
+// counters (the planner's cache-effectiveness telemetry reads this).
+func (c *Controller) CacheStats() orbit.CacheStats { return c.geo.Stats() }
 
 // Compile produces the satellite topology snapshot enforcing the intent at
 // time t.
@@ -185,11 +206,15 @@ func (c *Controller) Compile(t float64) *Snapshot {
 	// which satellites cover it"). A satellite belongs to every declared
 	// cell whose center its footprint covers; the gateway matching below
 	// enforces the terminal budget by assigning each satellite to at most
-	// one cell's gateway duty.
+	// one cell's gateway duty. Slot geometry (positions, sub-satellite
+	// points, the ISL-range pruning grid) comes from the propagation
+	// cache and is shared with every other slot of a horizon compile and
+	// with Repair at the same slot time.
+	sg := c.geo.Slot(t)
 	cells := cfg.Topo.Cells()
-	for si, e := range cfg.Sats {
-		sub := e.SubSatellitePoint(t)
-		lam := cfg.Coverage.FootprintRadius(e.Altitude())
+	for si := range cfg.Sats {
+		sub := sg.SubPoint(si)
+		lam := c.footprint[si]
 		for _, u := range cells {
 			if geom.CentralAngle(sub, cfg.Topo.Grid.Center(u)) <= lam {
 				snap.CellSats[u] = append(snap.CellSats[u], si)
@@ -241,7 +266,7 @@ func (c *Controller) Compile(t float64) *Snapshot {
 		for i, s := range sats {
 			w[i] = make([]float64, len(neighbors))
 			for j, v := range neighbors {
-				w[i][j] = c.meanLifetime(s, snap.CellSats[v], t)
+				w[i][j] = c.meanLifetime(sg, s, snap.CellSats[v])
 			}
 		}
 		satPrefs := stablematch.PrefsFromWeights(w, 0)
@@ -290,7 +315,7 @@ func (c *Controller) Compile(t float64) *Snapshot {
 		for i, s := range gu {
 			w[i] = make([]float64, len(gv))
 			for j, s2 := range gv {
-				w[i][j] = c.lifetime(s, s2, t)
+				w[i][j] = c.pairLifetime(sg, s, s2)
 			}
 		}
 		pPrefs := stablematch.PrefsFromWeights(w, 0)
@@ -329,8 +354,8 @@ func (c *Controller) Compile(t float64) *Snapshot {
 		}
 		// Order by sub-satellite longitude then latitude for a short ring.
 		sort.Slice(members, func(a, b int) bool {
-			pa := cfg.Sats[members[a]].SubSatellitePoint(t)
-			pb := cfg.Sats[members[b]].SubSatellitePoint(t)
+			pa := sg.SubPoint(members[a])
+			pb := sg.SubPoint(members[b])
 			if pa.Lon != pb.Lon {
 				return pa.Lon < pb.Lon
 			}
@@ -421,35 +446,31 @@ func lessLink(a, b Link) bool {
 	return a[1] < b[1]
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // lifetime predicts τ_{s,s'}: how long an ISL between satellites s and s'
-// established at t would last.
+// established at t would last. Served from the propagation cache.
 func (c *Controller) lifetime(s, s2 int, t float64) float64 {
-	return orbit.ISLLifetime(c.cfg.Sats[s], c.cfg.Sats[s2], t,
-		c.cfg.LifetimeHorizon, c.cfg.LifetimeStep, c.cfg.ISL)
+	return c.geo.Lifetime(s, s2, t)
 }
 
-// meanLifetime is τ_{s,v} = (1/n_v)·Σ_{s'∈v} τ_{s,s'}.
-func (c *Controller) meanLifetime(s int, vSats []int, t float64) float64 {
+// pairLifetime is lifetime with the slot's spatial-grid prune in front:
+// a pair the grid rejects is out of ISL range at the slot time, so its τ
+// is exactly 0 and no propagation is spent on it.
+func (c *Controller) pairLifetime(sg *orbit.SlotGeom, s, s2 int) float64 {
+	if !sg.InRange(s, s2) {
+		return 0
+	}
+	return c.geo.Lifetime(s, s2, sg.Time)
+}
+
+// meanLifetime is τ_{s,v} = (1/n_v)·Σ_{s'∈v} τ_{s,s'}, with out-of-range
+// pairs pruned by the slot's spatial grid (they contribute exactly 0).
+func (c *Controller) meanLifetime(sg *orbit.SlotGeom, s int, vSats []int) float64 {
 	if len(vSats) == 0 {
 		return 0
 	}
 	sum := 0.0
 	for _, s2 := range vSats {
-		sum += c.lifetime(s, s2, t)
+		sum += c.pairLifetime(sg, s, s2)
 	}
 	return sum / float64(len(vSats))
 }
@@ -631,10 +652,14 @@ func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, r
 		}
 		return n
 	}
+	// Reuse the compiled slot's cached geometry: Repair runs at the same
+	// slot time as the Compile that produced s, so the spatial grid and
+	// every pair lifetime it consults are already memoized.
+	sg := c.geo.Slot(s.Time)
 	for e, n := range c.cfg.Topo.Edges {
 		have := countEdgeLinks(e)
 		for have < n {
-			a, b, ok := c.bestReplacement(out, e, busy, failSet)
+			a, b, ok := c.bestReplacement(sg, out, e, busy, failSet)
 			if !ok {
 				stats.Unrepaired += n - have
 				break
@@ -723,8 +748,9 @@ func (c *Controller) linkServesEdge(s *Snapshot, l Link, e [2]int) bool {
 
 // bestReplacement finds the longest-lived available satellite pair across
 // edge e whose link is not itself failed. Returned as (satellite in e[0],
-// satellite in e[1]).
-func (c *Controller) bestReplacement(s *Snapshot, e [2]int, busy map[int]bool, failSet map[Link]bool) (int, int, bool) {
+// satellite in e[1]). Candidate pairs out of ISL range are pruned by the
+// slot's spatial grid before any lifetime prediction runs.
+func (c *Controller) bestReplacement(sg *orbit.SlotGeom, s *Snapshot, e [2]int, busy map[int]bool, failSet map[Link]bool) (int, int, bool) {
 	bestTau := 0.0
 	var bestA, bestB int
 	found := false
@@ -739,7 +765,7 @@ func (c *Controller) bestReplacement(s *Snapshot, e [2]int, busy map[int]bool, f
 			if failSet[MakeLink(a, b)] {
 				continue
 			}
-			if tau := c.lifetime(a, b, s.Time); tau > bestTau {
+			if tau := c.pairLifetime(sg, a, b); tau > bestTau {
 				bestTau, bestA, bestB, found = tau, a, b, true
 			}
 		}

@@ -1,0 +1,326 @@
+package orbit
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// This file implements the propagation cache behind TinyLEO's horizon
+// compile (paper §4.2: the MPC "precomputes each satellite's serving
+// cells" offline and only assembles topologies online). Orbit propagation
+// and pairwise ISL-lifetime prediction dominate the compile cost; both
+// are pure functions of (satellite, time), so a constellation-wide
+// memo — shared by every control slot of a planning horizon and by
+// incremental Repair — removes the redundant geometry work without
+// changing a single output bit.
+
+// cacheShards spreads the memo maps over independently locked shards so
+// the horizon planner's worker pool does not serialize on one mutex.
+const cacheShards = 64
+
+// maxShardEntries bounds each shard; a shard that grows past the bound is
+// reset wholesale (memoization is a pure cache, so dropping entries only
+// costs recomputation).
+const maxShardEntries = 1 << 14
+
+// posKey identifies a memoized propagation: satellite index and the exact
+// time quantized to its float64 bit pattern. Keying on the bit pattern
+// makes cached positions bit-identical to direct propagation — equal
+// times share an entry, near-equal times do not alias.
+type posKey struct {
+	sat   int32
+	tbits uint64
+}
+
+// pairKey identifies a memoized ISL lifetime: a normalized satellite pair
+// (a < b) and the establishment time's bit pattern.
+type pairKey struct {
+	a, b  int32
+	tbits uint64
+}
+
+type posShard struct {
+	mu sync.RWMutex
+	m  map[posKey]geom.Vec3
+}
+
+type lifeShard struct {
+	mu sync.RWMutex
+	m  map[pairKey]float64
+}
+
+// PropCache memoizes orbit propagation for a fixed satellite set: ECI
+// positions keyed by (satellite, quantized time), predicted ISL lifetimes
+// keyed by (pair, quantized time), and per-slot geometry (sub-satellite
+// points plus a spatial pruning grid) keyed by slot time.
+//
+// The ISL parameters and the lifetime prediction window (horizon, step)
+// are fixed at construction, matching their lifecycle in mpc.Config; a
+// controller that changes them needs a new cache.
+//
+// All methods are safe for concurrent use; cached values are
+// bit-identical to calling the underlying Elements/ISLParams methods
+// directly, so a cached compile path produces byte-identical topologies.
+type PropCache struct {
+	sats    []Elements
+	isl     ISLParams
+	horizon float64 // lifetime prediction horizon (s)
+	step    float64 // lifetime prediction step (s)
+
+	pos  [cacheShards]posShard
+	life [cacheShards]lifeShard
+
+	slotMu sync.Mutex
+	slots  map[uint64]*slotEntry
+
+	posHits    atomic.Uint64
+	posMisses  atomic.Uint64
+	lifeHits   atomic.Uint64
+	lifeMisses atomic.Uint64
+	pruned     atomic.Uint64
+}
+
+type slotEntry struct {
+	once sync.Once
+	g    *SlotGeom
+}
+
+// NewPropCache creates a propagation cache over sats with the given ISL
+// visibility constraints and lifetime prediction window (horizon and step
+// in seconds, as in mpc.Config).
+func NewPropCache(sats []Elements, isl ISLParams, lifetimeHorizon, lifetimeStep float64) *PropCache {
+	pc := &PropCache{
+		sats:    sats,
+		isl:     isl,
+		horizon: lifetimeHorizon,
+		step:    lifetimeStep,
+		slots:   map[uint64]*slotEntry{},
+	}
+	for i := range pc.pos {
+		pc.pos[i].m = map[posKey]geom.Vec3{}
+	}
+	for i := range pc.life {
+		pc.life[i].m = map[pairKey]float64{}
+	}
+	return pc
+}
+
+// NumSats returns the size of the cached satellite set.
+func (pc *PropCache) NumSats() int { return len(pc.sats) }
+
+// shardIndex mixes a key into a shard slot (Fibonacci hashing on the
+// time bits, offset by the satellite index so same-time lookups of
+// different satellites spread too).
+func shardIndex(a, b int32, tbits uint64) int {
+	h := tbits*0x9e3779b97f4a7c15 + uint64(a)*0x85ebca6b + uint64(b)*0xc2b2ae35
+	return int((h >> 32) % cacheShards)
+}
+
+// PositionECI returns satellite i's ECI position at time t, memoized.
+// The value is bit-identical to pc's Elements[i].PositionECI(t).
+func (pc *PropCache) PositionECI(i int, t float64) geom.Vec3 {
+	k := posKey{sat: int32(i), tbits: math.Float64bits(t)}
+	sh := &pc.pos[shardIndex(k.sat, 0, k.tbits)]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		pc.posHits.Add(1)
+		return v
+	}
+	pc.posMisses.Add(1)
+	v = pc.sats[i].PositionECI(t)
+	sh.mu.Lock()
+	if len(sh.m) >= maxShardEntries {
+		sh.m = make(map[posKey]geom.Vec3, maxShardEntries/4)
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// Lifetime returns the predicted ISL lifetime τ between satellites i and
+// j established at time t0, memoized per (pair, time). It equals
+// ISLLifetime(sats[i], sats[j], t0, horizon, step, isl) bit for bit: the
+// stepping loop below mirrors ISLLifetime's accumulation exactly, only
+// sourcing positions from the memo.
+func (pc *PropCache) Lifetime(i, j int, t0 float64) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	k := pairKey{a: int32(i), b: int32(j), tbits: math.Float64bits(t0)}
+	sh := &pc.life[shardIndex(k.a, k.b, k.tbits)]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		pc.lifeHits.Add(1)
+		return v
+	}
+	pc.lifeMisses.Add(1)
+	v = pc.computeLifetime(i, j, t0)
+	sh.mu.Lock()
+	if len(sh.m) >= maxShardEntries {
+		sh.m = make(map[pairKey]float64, maxShardEntries/4)
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// computeLifetime is ISLLifetime with memoized propagation. The loop
+// structure (t += dt accumulation, <= horizon bound) must stay identical
+// to ISLLifetime so both paths evaluate the same float64 times.
+func (pc *PropCache) computeLifetime(i, j int, t0 float64) float64 {
+	if !pc.isl.Visible(pc.PositionECI(i, t0), pc.PositionECI(j, t0)) {
+		return 0
+	}
+	for t := pc.step; t <= pc.horizon; t += pc.step {
+		if !pc.isl.Visible(pc.PositionECI(i, t0+t), pc.PositionECI(j, t0+t)) {
+			return t
+		}
+	}
+	return pc.horizon
+}
+
+// Slot returns the memoized per-slot geometry at time t, building it on
+// first use. Concurrent callers for the same t share one build.
+func (pc *PropCache) Slot(t float64) *SlotGeom {
+	key := math.Float64bits(t)
+	pc.slotMu.Lock()
+	e, ok := pc.slots[key]
+	if !ok {
+		e = &slotEntry{}
+		pc.slots[key] = e
+	}
+	pc.slotMu.Unlock()
+	e.once.Do(func() { e.g = pc.buildSlot(t) })
+	return e.g
+}
+
+// DropSlotsBefore evicts slot geometries older than t (long-running
+// controllers compile an unbounded slot sequence; position/lifetime memos
+// are already bounded by per-shard resets).
+func (pc *PropCache) DropSlotsBefore(t float64) {
+	pc.slotMu.Lock()
+	defer pc.slotMu.Unlock()
+	for key, e := range pc.slots {
+		if math.Float64frombits(key) < t && e.g != nil {
+			delete(pc.slots, key)
+		}
+	}
+}
+
+func (pc *PropCache) buildSlot(t float64) *SlotGeom {
+	g := &SlotGeom{
+		cache:    pc,
+		Time:     t,
+		pos:      make([]geom.Vec3, len(pc.sats)),
+		sub:      make([]geom.LatLon, len(pc.sats)),
+		maxRange: pc.isl.MaxRange,
+	}
+	rot := -GMST(t)
+	for i := range pc.sats {
+		p := pc.PositionECI(i, t)
+		g.pos[i] = p
+		// Identical to Elements.SubSatellitePoint: ECEF = ECI·RotZ(−GMST).
+		g.sub[i] = geom.FromUnit(p.RotZ(rot))
+	}
+	if g.maxRange > 0 {
+		g.bucket = make([][3]int32, len(pc.sats))
+		inv := 1 / g.maxRange
+		for i, p := range g.pos {
+			g.bucket[i] = [3]int32{
+				int32(math.Floor(p.X * inv)),
+				int32(math.Floor(p.Y * inv)),
+				int32(math.Floor(p.Z * inv)),
+			}
+		}
+	}
+	return g
+}
+
+// Stats returns cumulative cache counters (monotonic since construction).
+func (pc *PropCache) Stats() CacheStats {
+	return CacheStats{
+		PosHits:     pc.posHits.Load(),
+		PosMisses:   pc.posMisses.Load(),
+		LifeHits:    pc.lifeHits.Load(),
+		LifeMisses:  pc.lifeMisses.Load(),
+		PrunedPairs: pc.pruned.Load(),
+	}
+}
+
+// CacheStats reports PropCache effectiveness: memo hits and misses for
+// positions and pair lifetimes, plus candidate pairs the spatial grid
+// pruned without any propagation.
+type CacheStats struct {
+	PosHits, PosMisses   uint64
+	LifeHits, LifeMisses uint64
+	PrunedPairs          uint64
+}
+
+// HitRatio returns the fraction of all memo lookups served from cache,
+// in [0, 1]; zero lookups yield 0.
+func (s CacheStats) HitRatio() float64 {
+	hits := s.PosHits + s.LifeHits
+	total := hits + s.PosMisses + s.LifeMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// SlotGeom is the geometry of one control slot: every satellite's ECI
+// position and sub-satellite point at the slot time, plus a uniform
+// spatial grid (cell edge = ISL max range) that prunes out-of-range ISL
+// candidate pairs before any lifetime prediction runs. Instances are
+// built by PropCache.Slot and are immutable afterwards, so they are safe
+// to share across goroutines.
+type SlotGeom struct {
+	cache *PropCache
+	// Time is the slot time (seconds since epoch) the geometry was
+	// propagated at.
+	Time     float64
+	pos      []geom.Vec3
+	sub      []geom.LatLon
+	bucket   [][3]int32
+	maxRange float64
+}
+
+// Position returns satellite i's ECI position at the slot time.
+func (g *SlotGeom) Position(i int) geom.Vec3 { return g.pos[i] }
+
+// SubPoint returns satellite i's sub-satellite point at the slot time,
+// bit-identical to Elements.SubSatellitePoint.
+func (g *SlotGeom) SubPoint(i int) geom.LatLon { return g.sub[i] }
+
+// InRange reports whether satellites i and j are within ISL range at the
+// slot time. A false result is exact — the pair's distance exceeds
+// MaxRange, so its ISL lifetime at this time is exactly 0 and the
+// matching stage can skip it without changing any output. With an
+// unlimited-range ISL configuration every pair is in range.
+//
+// The check is grid-first: any pair within MaxRange occupies the same or
+// adjacent grid cells on every axis, so differing by two or more cells
+// rejects without computing a distance.
+func (g *SlotGeom) InRange(i, j int) bool {
+	if g.maxRange <= 0 {
+		return true
+	}
+	bi, bj := g.bucket[i], g.bucket[j]
+	if bi[0]-bj[0] > 1 || bj[0]-bi[0] > 1 ||
+		bi[1]-bj[1] > 1 || bj[1]-bi[1] > 1 ||
+		bi[2]-bj[2] > 1 || bj[2]-bi[2] > 1 {
+		g.cache.pruned.Add(1)
+		return false
+	}
+	if g.pos[i].DistSq(g.pos[j]) > g.maxRange*g.maxRange {
+		g.cache.pruned.Add(1)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package orbit
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// cacheTestConstellation builds a small Walker-like shell directly from
+// Elements (the baseline package depends on orbit, so tests here cannot
+// use its generator).
+func cacheTestConstellation(planes, perPlane int) []Elements {
+	sats := make([]Elements, 0, planes*perPlane)
+	for p := 0; p < planes; p++ {
+		for s := 0; s < perPlane; s++ {
+			sats = append(sats, Elements{
+				SemiMajor:   geom.EarthRadius + 1200e3,
+				Inclination: geom.Deg2Rad(53),
+				RAAN:        2 * math.Pi * float64(p) / float64(planes),
+				Phase:       2*math.Pi*float64(s)/float64(perPlane) + math.Pi*float64(p)/float64(planes*perPlane),
+			})
+		}
+	}
+	return sats
+}
+
+func newTestCache(planes, perPlane int) *PropCache {
+	return NewPropCache(cacheTestConstellation(planes, perPlane), DefaultISLParams, 1800, 60)
+}
+
+// TestPropCachePositionsMatchDirect is the cache's core contract: a
+// memoized position matches direct propagation within 1e-9 m (in fact
+// bit-exactly, since keys quantize time to its float64 bit pattern).
+func TestPropCachePositionsMatchDirect(t *testing.T) {
+	pc := newTestCache(6, 6)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		i := rng.Intn(pc.NumSats())
+		tt := rng.Float64() * 86400
+		got := pc.PositionECI(i, tt)
+		want := pc.sats[i].PositionECI(tt)
+		if math.Abs(got.X-want.X) > 1e-9 || math.Abs(got.Y-want.Y) > 1e-9 || math.Abs(got.Z-want.Z) > 1e-9 {
+			t.Fatalf("sat %d t=%v: cached %v != direct %v", i, tt, got, want)
+		}
+		// Second lookup must come from the memo and stay identical.
+		if again := pc.PositionECI(i, tt); again != got {
+			t.Fatalf("sat %d t=%v: repeat lookup changed: %v != %v", i, tt, again, got)
+		}
+	}
+	st := pc.Stats()
+	if st.PosHits == 0 || st.PosMisses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+}
+
+// TestPropCacheLifetimeMatchesDirect: the memoized pair lifetime equals
+// ISLLifetime bit for bit (same stepping loop, memoized positions).
+func TestPropCacheLifetimeMatchesDirect(t *testing.T) {
+	pc := newTestCache(5, 5)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		i, j := rng.Intn(pc.NumSats()), rng.Intn(pc.NumSats())
+		if i == j {
+			continue
+		}
+		t0 := float64(rng.Intn(20)) * 150
+		got := pc.Lifetime(i, j, t0)
+		want := ISLLifetime(pc.sats[i], pc.sats[j], t0, pc.horizon, pc.step, pc.isl)
+		if got != want {
+			t.Fatalf("pair (%d,%d) t0=%v: cached %v != direct %v", i, j, t0, got, want)
+		}
+		if sym := pc.Lifetime(j, i, t0); sym != got {
+			t.Fatalf("pair (%d,%d): asymmetric lifetimes %v vs %v", i, j, got, sym)
+		}
+	}
+	if st := pc.Stats(); st.LifeHits == 0 {
+		t.Errorf("symmetric re-lookups should hit, got %+v", st)
+	}
+}
+
+// TestSlotGeomMatchesDirect: slot geometry reproduces the direct
+// per-satellite propagation and ground-track math exactly.
+func TestSlotGeomMatchesDirect(t *testing.T) {
+	pc := newTestCache(4, 4)
+	for _, tt := range []float64{0, 97, 300, 5400.5} {
+		sg := pc.Slot(tt)
+		if sg.Time != tt {
+			t.Fatalf("slot time %v != %v", sg.Time, tt)
+		}
+		for i := range pc.sats {
+			if got, want := sg.Position(i), pc.sats[i].PositionECI(tt); got != want {
+				t.Fatalf("t=%v sat %d: position %v != %v", tt, i, got, want)
+			}
+			if got, want := sg.SubPoint(i), pc.sats[i].SubSatellitePoint(tt); got != want {
+				t.Fatalf("t=%v sat %d: subpoint %v != %v", tt, i, got, want)
+			}
+		}
+		if again := pc.Slot(tt); again != sg {
+			t.Fatalf("t=%v: slot geometry not memoized", tt)
+		}
+	}
+}
+
+// TestSlotGeomInRangeConservative: the spatial grid may only reject
+// pairs that are truly out of ISL range — a visible pair must never be
+// pruned, and every rejected pair must have zero lifetime.
+func TestSlotGeomInRangeConservative(t *testing.T) {
+	pc := newTestCache(6, 6)
+	sg := pc.Slot(0)
+	pruned, kept := 0, 0
+	for i := 0; i < pc.NumSats(); i++ {
+		for j := i + 1; j < pc.NumSats(); j++ {
+			in := sg.InRange(i, j)
+			vis := pc.isl.Visible(sg.Position(i), sg.Position(j))
+			if vis && !in {
+				t.Fatalf("pair (%d,%d) visible but pruned", i, j)
+			}
+			if !in {
+				pruned++
+				if tau := pc.Lifetime(i, j, 0); tau != 0 {
+					t.Fatalf("pruned pair (%d,%d) has lifetime %v", i, j, tau)
+				}
+			} else {
+				kept++
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Error("grid pruned nothing on a full shell; expected out-of-range pairs")
+	}
+	if kept == 0 {
+		t.Error("grid kept nothing; expected in-range pairs")
+	}
+	if st := pc.Stats(); st.PrunedPairs != uint64(pruned) {
+		t.Errorf("pruned counter %d != observed %d", st.PrunedPairs, pruned)
+	}
+}
+
+// TestSlotGeomUnlimitedRange: with MaxRange 0 the grid must keep every
+// pair (no basis to prune).
+func TestSlotGeomUnlimitedRange(t *testing.T) {
+	sats := cacheTestConstellation(3, 3)
+	pc := NewPropCache(sats, ISLParams{GrazingMargin: 80e3}, 1800, 60)
+	sg := pc.Slot(0)
+	for i := range sats {
+		for j := range sats {
+			if !sg.InRange(i, j) {
+				t.Fatalf("pair (%d,%d) pruned under unlimited range", i, j)
+			}
+		}
+	}
+}
+
+// TestPropCacheConcurrent hammers the cache from many goroutines (run
+// under -race in CI) and checks every answer against direct propagation.
+func TestPropCacheConcurrent(t *testing.T) {
+	pc := newTestCache(5, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 300; trial++ {
+				i, j := rng.Intn(pc.NumSats()), rng.Intn(pc.NumSats())
+				tt := float64(rng.Intn(10)) * 97
+				if got, want := pc.PositionECI(i, tt), pc.sats[i].PositionECI(tt); got != want {
+					t.Errorf("concurrent position mismatch sat %d t=%v", i, tt)
+					return
+				}
+				if i != j {
+					want := ISLLifetime(pc.sats[i], pc.sats[j], tt, pc.horizon, pc.step, pc.isl)
+					if got := pc.Lifetime(i, j, tt); got != want {
+						t.Errorf("concurrent lifetime mismatch (%d,%d) t=%v", i, j, tt)
+						return
+					}
+				}
+				sg := pc.Slot(tt)
+				if sg.SubPoint(i) != pc.sats[i].SubSatellitePoint(tt) {
+					t.Errorf("concurrent subpoint mismatch sat %d t=%v", i, tt)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestDropSlotsBefore evicts old slot geometries and keeps newer ones.
+func TestDropSlotsBefore(t *testing.T) {
+	pc := newTestCache(3, 3)
+	old := pc.Slot(0)
+	kept := pc.Slot(600)
+	pc.DropSlotsBefore(300)
+	if pc.Slot(600) != kept {
+		t.Error("slot at t=600 should have survived eviction")
+	}
+	if pc.Slot(0) == old {
+		t.Error("slot at t=0 should have been evicted and rebuilt")
+	}
+}
+
+// TestCacheStatsHitRatio covers the ratio arithmetic and its zero guard.
+func TestCacheStatsHitRatio(t *testing.T) {
+	if r := (CacheStats{}).HitRatio(); r != 0 {
+		t.Errorf("empty stats ratio = %v", r)
+	}
+	s := CacheStats{PosHits: 3, PosMisses: 1, LifeHits: 2, LifeMisses: 2}
+	if r := s.HitRatio(); math.Abs(r-5.0/8.0) > 1e-15 {
+		t.Errorf("ratio = %v, want 0.625", r)
+	}
+}
+
+// TestPropCacheShardReset: overflowing a shard resets it without
+// corrupting results (memoization is transparent).
+func TestPropCacheShardReset(t *testing.T) {
+	pc := newTestCache(2, 2)
+	// Far more distinct times than maxShardEntries across 64 shards.
+	n := maxShardEntries/8 + 1024
+	for k := 0; k < n; k++ {
+		tt := float64(k) * 0.5
+		if got, want := pc.PositionECI(0, tt), pc.sats[0].PositionECI(tt); got != want {
+			t.Fatalf("t=%v: mismatch after heavy fill", tt)
+		}
+	}
+}

@@ -260,7 +260,14 @@ type Snapshot = mpc.Snapshot
 // ISL is an undirected satellite link.
 type ISL = mpc.Link
 
-// NewController validates the config and creates an orbital MPC.
+// OrbitCacheStats reports the controller's propagation-cache
+// effectiveness (MPCController.CacheStats).
+type OrbitCacheStats = orbit.CacheStats
+
+// NewController validates the config and creates an orbital MPC. The
+// controller's HorizonCompile/HorizonStream methods compile windows of
+// future slots across a worker pool with output identical to sequential
+// Compile calls.
 func NewController(cfg MPCConfig) (*MPCController, error) { return mpc.New(cfg) }
 
 // ---- Data plane (§4.3) ----
