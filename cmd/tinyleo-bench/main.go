@@ -6,9 +6,16 @@
 //
 //	tinyleo-bench [-scale small|paper] [-run all|table1|fig3|fig4|fig9|fig13|
 //	               fig14|fig15|fig15d|fig15e|fig16|fig17|fig17d|fig18|fig19a|
-//	               fig19bcd|horizon] [-horizon N] [-workers N]
+//	               fig19bcd|horizon|chaos] [-horizon N] [-workers N]
+//	               [-chaos-scenario all|NAME] [-chaos-seed N]
 //	               [-csv] [-bench-json out.json] [-metrics-addr host:port]
 //	               [-trace-out file.jsonl] [-record-out flight.jsonl.gz]
+//
+// -run chaos executes the seeded fault-injection campaigns (internal/chaos):
+// ISL failures, loss storms, agent crashes, southbound connection drops,
+// and demand surges driven through MPC repair, southbound enforcement, and
+// data-plane failover, scored against the flight recorder's SLO rules.
+// Same -chaos-seed → byte-identical results.
 //
 // Telemetry: -metrics-addr serves live Prometheus text on /metrics (plus
 // /metrics.json, /healthz, /trace, /trace.chrome) while the experiments
@@ -40,9 +47,11 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
-	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, horizon, ablations, discussion)")
+	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, horizon, chaos, ablations, discussion)")
 	horizonSlots := flag.Int("horizon", 0, "control slots per horizon window for -run horizon (0 = the scale's ControlSlots)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel horizon compile")
+	chaosScenario := flag.String("chaos-scenario", "all", "chaos scenario for -run chaos (all, baseline, isl-storm, agent-crash, conn-flap, surge, mixed)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "campaign seed for -run chaos (same seed => identical results)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address while experiments run (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file when done")
@@ -253,6 +262,13 @@ func main() {
 			fail("horizon", err)
 		}
 		emit(tab)
+	}
+	if want("chaos") {
+		tabs, err := experiments.ChaosCampaign(scale, *chaosScenario, *chaosSeed)
+		if err != nil {
+			fail("chaos", err)
+		}
+		emit(tabs...)
 	}
 	if want("ablations") {
 		tab, err := experiments.AblationSolver(scale, library)

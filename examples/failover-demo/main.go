@@ -11,7 +11,12 @@
 //  3. The orbital MPC compiles a chain intent over a Walker
 //     constellation and repairs a synthetic ISL failure (§4.2).
 //
-//  4. The same failure report travels over a real TCP southbound session
+//  4. The reliable southbound session rides out trouble: a slow agent
+//     forces at-least-once retransmission (applied once thanks to the
+//     agent's dedup window), and a severed transport heals through the
+//     agent's exponential-backoff reconnect.
+//
+//  5. The same failure report travels over a real TCP southbound session
 //     to a controller that answers with repair commands.
 //
 //     go run ./examples/failover-demo
@@ -38,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	tinyleo "repro"
@@ -82,6 +88,7 @@ func main() {
 	}
 	emulatedFailover()
 	mpcCompileRepair()
+	southboundReliability()
 	ctlMetrics := southboundRepair()
 	tinyleo.AddSLORegistries(ctlMetrics)
 	if *recordOut != "" {
@@ -224,6 +231,88 @@ func emulatedFailover() {
 	}
 	run("TinyLEO geo anycast:", false)
 	run("legacy routing tables:", true)
+}
+
+// southboundReliability exercises the reliable southbound session: a slow
+// agent forces at-least-once retransmission (with duplicate suppression on
+// the agent side), and a severed transport heals through the agent's
+// backoff reconnect with the command flow resuming afterwards.
+func southboundReliability() {
+	fmt.Println("== reliable southbound session ==")
+	ctl, err := tinyleo.ListenSouthbound("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.RetransmitInterval = 25 * time.Millisecond
+	acked := make(chan uint32, 8)
+	ctl.OnAck = func(m *tinyleo.SouthboundMessage) { acked <- m.Seq }
+
+	var applied atomic.Int64
+	agent, err := tinyleo.DialSouthboundReliable(ctl.Addr(), 9, 2*time.Second,
+		tinyleo.SouthboundAgentOptions{
+			Reconnect:   true,
+			BackoffBase: 10 * time.Millisecond,
+			BackoffMax:  200 * time.Millisecond,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+	agent.OnCommand = func(m *tinyleo.SouthboundMessage) {
+		if applied.Add(1) == 1 {
+			// The first command applies slowly, so its ack misses several
+			// retransmit deadlines: the controller resends, the agent's
+			// dedup window re-acks the copies without re-applying.
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// Duplicate commands are re-acked by the agent, so acks for an older
+	// sequence number can trail in; wait for the one we sent.
+	waitAck := func(stage string, want uint32) {
+		deadline := time.After(2 * time.Second)
+		for {
+			select {
+			case seq := <-acked:
+				if seq == want {
+					return
+				}
+			case <-deadline:
+				log.Fatalf("%s: command never acked", stage)
+			case <-time.After(5 * time.Millisecond):
+				ctl.SweepPending() // drive retransmission while waiting
+			}
+		}
+	}
+
+	up := &tinyleo.SouthboundMessage{Type: southbound.MsgSetISL, SatID: 9, Peer: 17, Up: true}
+	if err := ctl.Send(up); err != nil {
+		log.Fatal(err)
+	}
+	waitAck("slow apply", up.Seq)
+	rtx := ctl.Metrics().Counter(southbound.MetricRetransmits).Value()
+	fmt.Printf("slow agent: command acked after %d retransmissions, applied %d time(s)\n",
+		rtx, applied.Load())
+
+	// Sever the transport; the agent re-dials with exponential backoff and
+	// re-registers, after which commands flow again.
+	regs := ctl.Registrations(9)
+	agent.DropConn()
+	deadline := time.Now().Add(2 * time.Second)
+	for ctl.Registrations(9) == regs {
+		if time.Now().After(deadline) {
+			log.Fatal("agent never re-registered after DropConn")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	down := &tinyleo.SouthboundMessage{Type: southbound.MsgSetISL, SatID: 9, Peer: 17, Up: false}
+	if err := ctl.Send(down); err != nil {
+		log.Fatal(err)
+	}
+	waitAck("post-reconnect", down.Seq)
+	fmt.Printf("transport drop: healed after %d reconnect(s), post-reconnect command acked (applied %d total)\n",
+		agent.Reconnects(), applied.Load())
 }
 
 // southboundRepair runs the failure-report → repair-command loop over a

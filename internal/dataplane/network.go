@@ -57,6 +57,20 @@ func (n *Network) Connect(a, b int, delay float64) *netem.Link {
 	return l
 }
 
+// EnsureLink returns the ISL between a and b, creating it (with the given
+// propagation delay) if absent and re-raising it if administratively down.
+// Control-plane repair uses it to apply topology diffs onto a live network
+// without rebuilding it (which would reset link statistics).
+func (n *Network) EnsureLink(a, b int, delay float64) *netem.Link {
+	if l := n.Link(a, b); l != nil {
+		if !l.IsUp() {
+			l.Up()
+		}
+		return l
+	}
+	return n.Connect(a, b, delay)
+}
+
 // Link returns the ISL between a and b, or nil.
 func (n *Network) Link(a, b int) *netem.Link {
 	if sa := n.Sats[a]; sa != nil {

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/metrics"
+)
+
+// ChaosCampaign runs the seeded fault-injection campaigns (tinyleo-bench
+// -run chaos): every built-in scenario (or a single named one) against a
+// Scale-sized testbed, reporting recovery time, delivery ratio, southbound
+// reliability counters, and the flight recorder's SLO verdicts. Same seed
+// → identical rows (the campaign engine is deterministic; see
+// internal/chaos).
+func ChaosCampaign(scale Scale, scenarioName string, seed int64) ([]*metrics.Table, error) {
+	names := chaos.ScenarioNames()
+	if scenarioName != "" && scenarioName != "all" {
+		names = []string{scenarioName}
+	}
+	cfg := chaos.TestbedConfig{
+		Sats:        scale.ControlSats,
+		CellDeg:     scale.CellDeg,
+		Slots:       scale.ControlSlots,
+		SlotSeconds: scale.ControlDt,
+	}
+	summary := metrics.NewTable(
+		fmt.Sprintf("Chaos campaigns (seed %d, %s scale)", seed, scale.Name),
+		"scenario", "rounds", "faults", "delivery ratio", "recovery p50 (ms)",
+		"recovery p99 (ms)", "unrecovered", "retransmits", "ack timeouts",
+		"reconnects", "enforcement", "SLO")
+	verdicts := metrics.NewTable("Chaos SLO verdicts (flight-recorder rules)",
+		"scenario", "rule", "value", "verdict")
+	for _, name := range names {
+		s, err := chaos.ScenarioByName(name)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := chaos.Run(chaos.Campaign{Scenario: s, Seed: seed, Testbed: cfg})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos %s: %w", name, err)
+		}
+		faults := 0
+		for _, rr := range rep.Rounds {
+			faults += len(rr.Faults)
+		}
+		slo := "ok"
+		if rep.SLOBreached > 0 {
+			slo = fmt.Sprintf("%d breached", rep.SLOBreached)
+		}
+		summary.AddRow(name, len(rep.Rounds), faults,
+			fmt.Sprintf("%.3f", rep.DeliveryRatio),
+			fmt.Sprintf("%.1f", rep.RecoveryMsP50),
+			fmt.Sprintf("%.1f", rep.RecoveryMsP99),
+			rep.Unrecovered, rep.Retransmits, rep.AckTimeouts, rep.Reconnects,
+			fmt.Sprintf("%.3f", rep.EnforcementRatio), slo)
+		for _, st := range rep.SLO {
+			v := "ok"
+			if st.Breached {
+				v = "BREACH"
+			}
+			verdicts.AddRow(name, st.Expr(), fmt.Sprintf("%.3f", st.Value), v)
+		}
+	}
+	return []*metrics.Table{summary, verdicts}, nil
+}

@@ -656,7 +656,22 @@ func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, r
 	// slot time as the Compile that produced s, so the spatial grid and
 	// every pair lifetime it consults are already memoized.
 	sg := c.geo.Slot(s.Time)
-	for e, n := range c.cfg.Topo.Edges {
+	// Iterate intent edges in a fixed order: replacement satellites are a
+	// shared resource (the busy map), so map-order iteration would let the
+	// runtime's randomized order decide which edge wins a scarce satellite
+	// and produce different repaired topologies for identical inputs.
+	edges := make([][2]int, 0, len(c.cfg.Topo.Edges))
+	for e := range c.cfg.Topo.Edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		n := c.cfg.Topo.Edges[e]
 		have := countEdgeLinks(e)
 		for have < n {
 			a, b, ok := c.bestReplacement(sg, out, e, busy, failSet)
@@ -672,6 +687,14 @@ func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, r
 			stats.NewLinks = append(stats.NewLinks, l)
 			stats.Messages += 2
 			have++
+			if flightrec.Enabled() {
+				// Counterpart of the isl_fail emission above: the inspector
+				// pairs them to render per-link repair timelines.
+				flightrec.Emit(flightrec.CompMPC, "isl_add",
+					"a", strconv.Itoa(l[0]), "b", strconv.Itoa(l[1]),
+					"edge", fmt.Sprintf("%d-%d", e[0], e[1]),
+					"t", strconv.FormatFloat(s.Time, 'f', 0, 64))
+			}
 		}
 	}
 	sort.Slice(out.InterLinks, func(a, b int) bool { return lessLink(out.InterLinks[a], out.InterLinks[b]) })

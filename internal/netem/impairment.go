@@ -9,10 +9,19 @@ type Impairment struct {
 	// LossRate drops each delivered packet independently with this
 	// probability (0 disables).
 	LossRate float64
+	// LossUntil, when positive, bounds stochastic loss to sim times before
+	// it (a "storm window"); zero means loss applies for the whole run.
+	LossUntil float64
 	// FlapRate is the per-second hazard of the link going down; FlapDown
 	// is how long it stays down. Zero disables flapping.
 	FlapRate float64
 	FlapDown float64
+
+	// Losses counts packets dropped by the stochastic loss model. It is
+	// deliberately separate from Link.Drops, which counts queue-overflow
+	// and link-down drops: conflating channel loss with congestion drops
+	// would skew any congestion analysis built on Link stats.
+	Losses int64
 
 	rng *rand.Rand
 }
@@ -28,9 +37,11 @@ func (im *Impairment) Attach(sim *Sim, l *Link, horizon float64) {
 	if im.LossRate > 0 {
 		inner := l.deliver
 		l.deliver = func(at, from int, payload any) {
-			if im.rng.Float64() < im.LossRate {
-				l.Drops++
-				return
+			if im.LossUntil <= 0 || sim.Now() < im.LossUntil {
+				if im.rng.Float64() < im.LossRate {
+					im.Losses++
+					return
+				}
 			}
 			if inner != nil {
 				inner(at, from, payload)

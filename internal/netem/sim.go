@@ -103,11 +103,17 @@ type Link struct {
 
 	up      bool
 	deliver func(at, from int, payload any)
+	// downEpoch counts Down() transitions; packets capture it at send time
+	// so a flap entirely within a packet's flight still loses the packet.
+	downEpoch int64
 
 	dir [2]*direction
 	// Stats
 	TxPackets, RxPackets, Drops int64
 	TxBytes                     int64
+	// LostInFlight counts packets lost because the link went down while
+	// they were in flight (also included in Drops).
+	LostInFlight int64
 }
 
 type direction struct {
@@ -127,9 +133,15 @@ func NewLink(sim *Sim, a, b int, rateBps, delay float64, queueLimit int, deliver
 }
 
 // Up / Down toggle link state; packets in flight when the link goes down
-// are lost.
-func (l *Link) Up()   { l.up = true }
-func (l *Link) Down() { l.up = false }
+// are lost, even if the link is back up by the time they would arrive.
+func (l *Link) Up() { l.up = true }
+
+// Down takes the link down and advances its down-epoch, dooming every
+// packet currently in flight (checked at delivery time).
+func (l *Link) Down() {
+	l.up = false
+	l.downEpoch++
+}
 
 // IsUp reports the administrative link state.
 func (l *Link) IsUp() bool { return l.up }
@@ -173,11 +185,16 @@ func (l *Link) Send(from int, sizeBytes int, payload any) bool {
 	l.TxPackets++
 	l.TxBytes += int64(sizeBytes)
 	arrive := d.busyUntil + l.Delay
+	epoch := l.downEpoch
 	l.sim.Schedule(arrive-l.sim.now, func() {
 		d.queued--
-		if !l.up {
+		if !l.up || l.downEpoch != epoch {
+			// The link went down at some point during this packet's
+			// flight (possibly flapping back up before arrival): the
+			// packet is lost per the Up/Down contract.
 			l.Drops++
-			return // lost in flight
+			l.LostInFlight++
+			return
 		}
 		l.RxPackets++
 		if l.deliver != nil {

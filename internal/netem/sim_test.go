@@ -168,6 +168,41 @@ func TestLinkDown(t *testing.T) {
 	if l.Drops != 2 {
 		t.Errorf("drops = %d", l.Drops)
 	}
+	if l.LostInFlight != 1 {
+		t.Errorf("lost in flight = %d, want 1", l.LostInFlight)
+	}
+}
+
+func TestLinkDownMidFlightThenUp(t *testing.T) {
+	// Regression: the Up/Down contract says packets in flight when the
+	// link goes down are lost. A flap that completes before the arrival
+	// time (down at 10 ms, up at 20 ms, arrival at 50 ms) used to deliver
+	// the packet because only the delivery-time administrative state was
+	// checked.
+	s := NewSim()
+	delivered := 0
+	l := NewLink(s, 1, 2, 0, 0.05, 0, func(at, from int, payload any) { delivered++ })
+	if !l.Send(1, 100, nil) {
+		t.Fatal("send failed")
+	}
+	s.Schedule(0.01, func() { l.Down() })
+	s.Schedule(0.02, func() { l.Up() })
+	s.Run(1)
+	if delivered != 0 {
+		t.Error("packet in flight during a flap was delivered")
+	}
+	if l.Drops != 1 || l.LostInFlight != 1 {
+		t.Errorf("drops = %d lostInFlight = %d, want 1/1", l.Drops, l.LostInFlight)
+	}
+	if !l.IsUp() {
+		t.Error("link should be administratively up again")
+	}
+	// A packet sent after the flap completes is unaffected.
+	l.Send(1, 100, nil)
+	s.Run(2)
+	if delivered != 1 {
+		t.Errorf("post-flap delivery = %d, want 1", delivered)
+	}
 }
 
 func TestUtilization(t *testing.T) {
@@ -220,8 +255,37 @@ func TestImpairmentLoss(t *testing.T) {
 	if frac < 0.4 || frac > 0.6 {
 		t.Errorf("delivery fraction %v, want ≈0.5", frac)
 	}
-	if l.Drops < int64(n)/3 {
-		t.Errorf("drops = %d", l.Drops)
+	// Regression: stochastic channel loss must NOT pollute Link.Drops
+	// (the queue-overflow / link-down counter); it has its own counter.
+	if l.Drops != 0 {
+		t.Errorf("impairment loss leaked into Link.Drops: %d", l.Drops)
+	}
+	if im.Losses != int64(n-delivered) {
+		t.Errorf("impairment losses = %d, want %d", im.Losses, n-delivered)
+	}
+}
+
+func TestImpairmentLossWindow(t *testing.T) {
+	// LossUntil bounds the storm: packets delivered after the window pass
+	// untouched.
+	s := NewSim()
+	delivered := 0
+	l := NewLink(s, 1, 2, 0, 0.001, 0, func(at, from int, payload any) { delivered++ })
+	im := NewImpairment(3, 1.0) // lose everything...
+	im.LossUntil = 1.0          // ...but only during the first second
+	im.Attach(s, l, 100)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(float64(i)*0.3, func() { l.Send(1, 10, nil) })
+	}
+	s.Run(10)
+	// Sends at t=0.0,0.3,0.6,0.9 arrive inside the window and are lost;
+	// the remaining 6 arrive after t=1.0 and survive.
+	if delivered != 6 {
+		t.Errorf("delivered = %d, want 6", delivered)
+	}
+	if im.Losses != 4 {
+		t.Errorf("losses = %d, want 4", im.Losses)
 	}
 }
 

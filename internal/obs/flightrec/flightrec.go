@@ -41,6 +41,7 @@ const (
 	CompDataplane  = "dataplane"
 	CompCore       = "core"
 	CompSLO        = "slo"
+	CompChaos      = "chaos"
 )
 
 // Event is one typed entry in the flight-recorder log.

@@ -2,11 +2,14 @@ package southbound
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 )
 
 // Agent-side telemetry on the process-wide default registry (disabled —
@@ -14,7 +17,9 @@ import (
 // tinyleo-sat -metrics-addr flag). Counters are cached per message type so
 // the read loop never takes the registry lock.
 var agentMetrics = struct {
-	rx, tx [MsgAck + 1]*obs.Counter
+	rx, tx     [MsgAck + 1]*obs.Counter
+	reconnects *obs.Counter
+	duplicates *obs.Counter
 }{}
 
 func init() {
@@ -24,72 +29,253 @@ func init() {
 		agentMetrics.tx[t] = obs.Default().Counter(
 			"tinyleo_southbound_agent_messages_total", "dir", "tx", "type", t.String())
 	}
+	agentMetrics.reconnects = obs.Default().Counter("tinyleo_southbound_agent_reconnects_total")
+	agentMetrics.duplicates = obs.Default().Counter("tinyleo_southbound_agent_duplicates_total")
+}
+
+// Dedup and backoff defaults for AgentOptions zero values.
+const (
+	// DefaultDedupWindow is how many recent command sequence numbers an
+	// agent remembers for duplicate suppression.
+	DefaultDedupWindow = 4096
+	// DefaultBackoffBase / DefaultBackoffMax bound the reconnect backoff.
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffMax  = 2 * time.Second
+)
+
+// AgentOptions tunes the agent's reliability behaviour.
+type AgentOptions struct {
+	// Reconnect enables automatic re-dial (with exponential backoff and
+	// jitter) when the controller connection drops. Off by default: a
+	// plain DialAgent session ends when its connection does.
+	Reconnect bool
+	// BackoffBase and BackoffMax bound the reconnect backoff (zero = the
+	// Default* constants). The delay before attempt n is
+	// min(BackoffBase·2ⁿ, BackoffMax) · (1 + Jitter·U[0,1)).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Jitter is the uniform random fraction added on top of the backoff
+	// (default 0.5; negative disables).
+	Jitter float64
+	// Seed seeds the jitter RNG (0 = a fixed default, keeping campaigns
+	// deterministic).
+	Seed int64
+	// DedupWindow sizes the duplicate-suppression ring (0 = the default).
+	DedupWindow int
+	// OnReconnect observes successful reconnections (attempt = dials
+	// needed, starting at 1).
+	OnReconnect func(attempt int)
 }
 
 // Agent is the per-satellite southbound endpoint: it registers with the
 // controller, receives topology commands, acknowledges them, and reports
 // failures (§5's "gRPC-based southbound API agent per satellite").
+//
+// Duplicate commands (the controller retransmits until acked) are
+// acknowledged but not re-applied: OnCommand runs at most once per
+// sequence number within the dedup window.
 type Agent struct {
 	SatID uint32
+
+	addr    string
+	timeout time.Duration
+	opts    AgentOptions
 
 	conn net.Conn
 	mu   sync.Mutex
 	wg   sync.WaitGroup
+	stop chan struct{}
+
+	// rng drives backoff jitter; only the read loop touches it.
+	rng *rand.Rand
+	// seen / seenQ implement the bounded dedup window; only the read loop
+	// touches them.
+	seen  map[uint32]struct{}
+	seenQ []uint32
 
 	// OnCommand is invoked for every controller command (SetISL, SetRing,
 	// InstallRoute). The agent auto-acks after the callback returns.
 	OnCommand func(m *Message)
 
 	helloAck chan struct{}
+	acked    bool // helloAck already closed (read loop only)
 	closed   bool
+
+	reconnects int64 // successful reconnections (mu)
 }
 
-// DialAgent connects and registers an agent.
+// DialAgent connects and registers an agent with default options (no
+// automatic reconnect).
 func DialAgent(addr string, satID uint32, timeout time.Duration) (*Agent, error) {
+	return DialAgentOptions(addr, satID, timeout, AgentOptions{})
+}
+
+// DialAgentOptions connects and registers an agent with explicit
+// reliability options.
+func DialAgentOptions(addr string, satID uint32, timeout time.Duration, opts AgentOptions) (*Agent, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	a := &Agent{SatID: satID, conn: conn, helloAck: make(chan struct{})}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = int64(satID) + 1
+	}
+	a := &Agent{
+		SatID: satID, addr: addr, timeout: timeout, opts: opts,
+		conn: conn, stop: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(seed)),
+		seen: map[uint32]struct{}{},
+
+		helloAck: make(chan struct{}),
+	}
 	a.wg.Add(1)
 	go a.readLoop()
 	if err := a.write(&Message{Type: MsgHello, SatID: satID, Seq: 1}); err != nil {
-		conn.Close()
+		a.Close()
 		return nil, err
 	}
 	select {
 	case <-a.helloAck:
 	case <-time.After(timeout):
-		conn.Close()
+		a.Close()
 		return nil, fmt.Errorf("southbound: hello ack timeout for sat %d", satID)
 	}
 	return a, nil
 }
 
+func (a *Agent) dedupWindow() int {
+	if a.opts.DedupWindow > 0 {
+		return a.opts.DedupWindow
+	}
+	return DefaultDedupWindow
+}
+
+// isDuplicate records seq in the dedup window and reports whether it was
+// already there. Read loop only.
+func (a *Agent) isDuplicate(seq uint32) bool {
+	if _, ok := a.seen[seq]; ok {
+		return true
+	}
+	a.seen[seq] = struct{}{}
+	a.seenQ = append(a.seenQ, seq)
+	if len(a.seenQ) > a.dedupWindow() {
+		delete(a.seen, a.seenQ[0])
+		a.seenQ = a.seenQ[1:]
+	}
+	return false
+}
+
 func (a *Agent) readLoop() {
 	defer a.wg.Done()
-	acked := false
 	for {
-		m, err := ReadMessage(a.conn)
+		a.mu.Lock()
+		conn := a.conn
+		a.mu.Unlock()
+		m, err := ReadMessage(conn)
 		if err != nil {
-			return
+			if !a.reconnect() {
+				return
+			}
+			continue
 		}
 		if int(m.Type) < len(agentMetrics.rx) && agentMetrics.rx[m.Type] != nil {
 			agentMetrics.rx[m.Type].Inc()
 		}
 		switch m.Type {
 		case MsgHelloAck:
-			if !acked {
-				acked = true
+			if !a.acked {
+				a.acked = true
 				close(a.helloAck)
 			}
 		case MsgSetISL, MsgSetRing, MsgInstallRoute:
+			if a.isDuplicate(m.Seq) {
+				// Retransmission of a command already applied: re-ack so
+				// the controller stops resending, but do not re-apply.
+				agentMetrics.duplicates.Inc()
+				if flightrec.Enabled() {
+					flightrec.Emit(flightrec.CompSouthbound, "duplicate_command",
+						"sat", strconv.FormatUint(uint64(a.SatID), 10),
+						"seq", strconv.FormatUint(uint64(m.Seq), 10))
+				}
+				_ = a.write(&Message{Type: MsgAck, SatID: a.SatID, Seq: m.Seq})
+				continue
+			}
 			if a.OnCommand != nil {
 				a.OnCommand(m)
 			}
 			_ = a.write(&Message{Type: MsgAck, SatID: a.SatID, Seq: m.Seq})
 		}
 	}
+}
+
+// reconnect re-dials the controller with exponential backoff and jitter
+// until it succeeds or the agent is closed. Returns false when the read
+// loop should exit (reconnect disabled or agent closed).
+func (a *Agent) reconnect() bool {
+	if !a.opts.Reconnect {
+		return false
+	}
+	base := a.opts.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := a.opts.BackoffMax
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	jitter := a.opts.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	for attempt := 0; ; attempt++ {
+		delay := base << uint(attempt)
+		if delay > max || delay <= 0 {
+			delay = max
+		}
+		if jitter > 0 {
+			delay = time.Duration(float64(delay) * (1 + jitter*a.rng.Float64()))
+		}
+		select {
+		case <-a.stop:
+			return false
+		case <-time.After(delay):
+		}
+		conn, err := net.DialTimeout("tcp", a.addr, a.timeout)
+		if err != nil {
+			continue
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			conn.Close()
+			return false
+		}
+		a.conn = conn
+		a.reconnects++
+		a.mu.Unlock()
+		if err := a.write(&Message{Type: MsgHello, SatID: a.SatID, Seq: 1}); err != nil {
+			continue
+		}
+		agentMetrics.reconnects.Inc()
+		if flightrec.Enabled() {
+			flightrec.Emit(flightrec.CompSouthbound, "agent_reconnect",
+				"sat", strconv.FormatUint(uint64(a.SatID), 10),
+				"attempt", strconv.Itoa(attempt+1))
+		}
+		if a.opts.OnReconnect != nil {
+			a.opts.OnReconnect(attempt + 1)
+		}
+		return true
+	}
+}
+
+// Reconnects returns how many times the agent re-established its
+// controller session.
+func (a *Agent) Reconnects() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reconnects
 }
 
 func (a *Agent) write(m *Message) error {
@@ -112,6 +298,16 @@ func (a *Agent) ReportFailure(peer uint32) error {
 	return a.write(&Message{Type: MsgFailureReport, SatID: a.SatID, Peer: peer})
 }
 
+// DropConn severs the agent's transport without closing the agent — a
+// chaos/test hook for southbound connection failures. With Reconnect
+// enabled the agent re-dials with backoff; without it the read loop ends.
+func (a *Agent) DropConn() {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	conn.Close()
+}
+
 // Close disconnects the agent.
 func (a *Agent) Close() error {
 	a.mu.Lock()
@@ -120,8 +316,10 @@ func (a *Agent) Close() error {
 		return nil
 	}
 	a.closed = true
+	close(a.stop)
+	conn := a.conn
 	a.mu.Unlock()
-	err := a.conn.Close()
+	err := conn.Close()
 	a.wg.Wait()
 	return err
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,37 +24,98 @@ const (
 	MetricConnectedAgents = "tinyleo_southbound_connected_agents"
 	// MetricAckRTT is the command→ack round-trip histogram (seconds).
 	MetricAckRTT = "tinyleo_southbound_ack_rtt_seconds"
-	// MetricAckTimeouts counts commands unacknowledged past ackTimeout.
+	// MetricAckTimeouts counts commands abandoned unacknowledged after
+	// AckTimeout (retransmissions included).
 	MetricAckTimeouts = "tinyleo_southbound_ack_timeouts_total"
+	// MetricRetransmits counts command retransmissions.
+	MetricRetransmits = "tinyleo_southbound_retransmits_total"
+	// MetricUntracked counts commands sent while the pending-ack table was
+	// full: they are written to the wire but get no timeout, retransmit,
+	// or RTT accounting.
+	MetricUntracked = "tinyleo_southbound_untracked_total"
 )
 
-// maxPendingAcks bounds the seq→send-time map used for ack RTT
-// measurement; beyond it new sends are simply not RTT-tracked.
+// maxPendingAcks bounds the seq→pending-command map used for ack RTT
+// measurement and retransmission; beyond it new sends are written but not
+// tracked (counted by MetricUntracked and an untracked_command event).
 const maxPendingAcks = 4096
 
-// ackTimeout is how long a command may sit unacknowledged before the
-// controller flags it: an ack_timeout flight-recorder event plus the
-// tinyleo_southbound_ack_timeouts_total counter. Pending entries are
-// swept lazily on Send.
-const ackTimeout = 5 * time.Second
+// Reliability defaults, used when the corresponding Controller field is
+// zero.
+const (
+	// DefaultAckTimeout is how long a command may sit unacknowledged
+	// (across retransmissions) before the controller abandons it and marks
+	// the satellite unreachable.
+	DefaultAckTimeout = 5 * time.Second
+	// DefaultRetransmitInterval is the at-least-once resend cadence for
+	// unacknowledged commands.
+	DefaultRetransmitInterval = time.Second
+	// DefaultMaxRetransmits bounds resends per command (beyond the
+	// original transmission).
+	DefaultMaxRetransmits = 3
+)
+
+// pendingCmd tracks one unacknowledged command for RTT measurement and
+// at-least-once retransmission.
+type pendingCmd struct {
+	msg       *Message
+	firstSent time.Time // original transmission (ack RTT epoch)
+	lastSent  time.Time // latest (re)transmission
+	attempts  int       // transmissions so far (1 = original send)
+}
+
+// resend is a retransmission decided under c.mu, written after unlock.
+type resend struct {
+	conn net.Conn
+	msg  *Message
+}
 
 // Controller is the terrestrial MPC endpoint of the southbound API: it
 // accepts agent registrations and pushes topology commands.
+//
+// Reliability: commands are tracked until acknowledged. Unacked commands
+// are retransmitted every RetransmitInterval up to MaxRetransmits times
+// (the agent deduplicates by Seq, so delivery is at-least-once with
+// idempotent application), then abandoned after AckTimeout with the
+// satellite marked unreachable (TakeUnreachable / OnCommandFailed) so the
+// control loop can keep compiling and route around it instead of erroring.
+// Pending commands for a satellite are also resent immediately when it
+// re-registers after a connection drop.
 type Controller struct {
 	ln net.Listener
 
-	mu        sync.Mutex
-	agents    map[uint32]net.Conn
-	seq       uint32
-	closed    bool
-	pending   map[uint32]time.Time // command seq → send time (ack RTT)
-	lastSweep time.Time            // last ack-timeout sweep
+	// AckTimeout, RetransmitInterval, and MaxRetransmits tune the
+	// reliability layer (zero = the Default* constants). Set before the
+	// first Send.
+	AckTimeout         time.Duration
+	RetransmitInterval time.Duration
+	MaxRetransmits     int
+	// Clock, when non-nil, replaces time.Now for all pending-ack
+	// accounting (tests and the chaos engine drive retransmission
+	// deterministically through it). Set before any agent connects.
+	Clock func() time.Time
+
+	mu          sync.Mutex
+	agents      map[uint32]net.Conn
+	hellos      map[uint32]uint64 // satID → registration count
+	unreachable map[uint32]bool   // satIDs with abandoned commands
+	seq         uint32
+	closed      bool
+	pending     map[uint32]*pendingCmd // command seq → pending state
+	lastSweep   time.Time              // last ack-timeout sweep
+
+	// wmu serializes frame writes so a retransmission and a Send to the
+	// same agent cannot interleave bytes on the connection.
+	wmu sync.Mutex
 
 	// OnFailure, if set, is invoked when an agent reports a failure and
 	// returns the repair commands to push (addressed by Message.SatID).
 	OnFailure func(report *Message) []*Message
 	// OnAck observes acknowledgements.
 	OnAck func(m *Message)
+	// OnCommandFailed observes commands abandoned after AckTimeout (called
+	// without internal locks held).
+	OnCommandFailed func(m *Message)
 
 	// reg is the controller's always-enabled telemetry registry (the
 	// Figure 17 signaling accounting, plus wire bytes, the connected-agent
@@ -66,6 +128,8 @@ type Controller struct {
 	connected   *obs.Gauge
 	ackRTT      *obs.Histogram
 	ackTimeouts *obs.Counter
+	retransmits *obs.Counter
+	untracked   *obs.Counter
 
 	wg sync.WaitGroup
 }
@@ -80,13 +144,17 @@ func ListenController(addr string) (*Controller, error) {
 	c := &Controller{
 		ln:          ln,
 		agents:      map[uint32]net.Conn{},
-		pending:     map[uint32]time.Time{},
+		hellos:      map[uint32]uint64{},
+		unreachable: map[uint32]bool{},
+		pending:     map[uint32]*pendingCmd{},
 		reg:         reg,
 		rxBytes:     reg.Counter(MetricBytes, "dir", "rx"),
 		txBytes:     reg.Counter(MetricBytes, "dir", "tx"),
 		connected:   reg.Gauge(MetricConnectedAgents),
 		ackRTT:      reg.Histogram(MetricAckRTT, obs.DefBuckets),
 		ackTimeouts: reg.Counter(MetricAckTimeouts),
+		retransmits: reg.Counter(MetricRetransmits),
+		untracked:   reg.Counter(MetricUntracked),
 	}
 	for t := MsgHello; t <= MsgAck; t++ {
 		c.rx[t] = reg.Counter(MetricMessages, "dir", "rx", "type", t.String())
@@ -103,6 +171,34 @@ func (c *Controller) Addr() string { return c.ln.Addr().String() }
 // Metrics returns the controller's telemetry registry, suitable for
 // merging into an obs.Serve endpoint.
 func (c *Controller) Metrics() *obs.Registry { return c.reg }
+
+func (c *Controller) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
+
+func (c *Controller) ackTimeout() time.Duration {
+	if c.AckTimeout > 0 {
+		return c.AckTimeout
+	}
+	return DefaultAckTimeout
+}
+
+func (c *Controller) retransmitInterval() time.Duration {
+	if c.RetransmitInterval > 0 {
+		return c.RetransmitInterval
+	}
+	return DefaultRetransmitInterval
+}
+
+func (c *Controller) maxRetransmits() int {
+	if c.MaxRetransmits > 0 {
+		return c.MaxRetransmits
+	}
+	return DefaultMaxRetransmits
+}
 
 func (c *Controller) acceptLoop() {
 	defer c.wg.Done()
@@ -146,7 +242,22 @@ func (c *Controller) serve(conn net.Conn) {
 			satID = m.SatID
 			c.mu.Lock()
 			c.agents[satID] = conn
+			c.hellos[satID]++
+			delete(c.unreachable, satID)
 			c.connected.Set(float64(len(c.agents)))
+			// At-least-once across reconnects: everything still pending
+			// for this satellite goes out again on the fresh connection.
+			var resends []resend
+			now := c.now()
+			for _, p := range c.pending {
+				if p.msg.SatID != satID {
+					continue
+				}
+				p.attempts++
+				p.lastSent = now
+				c.retransmits.Inc()
+				resends = append(resends, resend{conn, p.msg})
+			}
 			c.mu.Unlock()
 			registered = true
 			if flightrec.Enabled() {
@@ -155,10 +266,11 @@ func (c *Controller) serve(conn net.Conn) {
 					"addr", conn.RemoteAddr().String())
 			}
 			ack := &Message{Type: MsgHelloAck, SatID: satID, Seq: m.Seq}
-			if err := WriteMessage(conn, ack); err != nil {
+			if err := c.writeTo(conn, ack); err != nil {
 				return
 			}
 			c.countTx(ack)
+			c.deliverResends(resends)
 		case MsgFailureReport:
 			if flightrec.Enabled() {
 				flightrec.Emit(flightrec.CompSouthbound, "failure_report",
@@ -176,15 +288,53 @@ func (c *Controller) serve(conn net.Conn) {
 			}
 		case MsgAck:
 			c.mu.Lock()
-			if sentAt, ok := c.pending[m.Seq]; ok {
+			if p, ok := c.pending[m.Seq]; ok {
 				delete(c.pending, m.Seq)
-				c.ackRTT.ObserveDuration(time.Since(sentAt))
+				c.ackRTT.ObserveDuration(c.now().Sub(p.firstSent))
 			}
+			delete(c.unreachable, m.SatID)
 			c.mu.Unlock()
 			if c.OnAck != nil {
 				c.OnAck(m)
 			}
 		}
+	}
+}
+
+// writeTo writes one frame under the controller-wide write lock, so
+// concurrent Sends and retransmissions never interleave bytes.
+func (c *Controller) writeTo(conn net.Conn, m *Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteMessage(conn, m)
+}
+
+// deliverResends writes retransmissions decided during a sweep (or a
+// re-registration) and counts them as tx traffic. Write errors are
+// ignored: the pending entry stays tracked and either a later sweep or
+// the agent's next reconnect retries it, or AckTimeout abandons it.
+func (c *Controller) deliverResends(resends []resend) {
+	for _, r := range resends {
+		if err := c.writeTo(r.conn, r.msg); err != nil {
+			continue
+		}
+		c.countTx(r.msg)
+		if flightrec.Enabled() {
+			flightrec.Emit(flightrec.CompSouthbound, "retransmit",
+				"sat", strconv.FormatUint(uint64(r.msg.SatID), 10),
+				"seq", strconv.FormatUint(uint64(r.msg.Seq), 10))
+		}
+	}
+}
+
+// notifyFailed reports abandoned commands to OnCommandFailed outside any
+// lock.
+func (c *Controller) notifyFailed(failed []*Message) {
+	if c.OnCommandFailed == nil {
+		return
+	}
+	for _, m := range failed {
+		c.OnCommandFailed(m)
 	}
 }
 
@@ -226,50 +376,138 @@ func (c *Controller) TotalMessages() int64 {
 var ErrUnknownAgent = errors.New("southbound: unknown agent")
 
 // Send pushes a command to the agent identified by m.SatID, assigning a
-// sequence number if unset.
+// sequence number if unset. The command is tracked for acknowledgement:
+// if no ack arrives it is retransmitted (see the Controller doc) and
+// eventually abandoned. A synchronous write error is returned once and
+// the command is NOT left in the pending table (it would otherwise be
+// double-reported as an ack timeout later).
 func (c *Controller) Send(m *Message) error {
+	now := c.now()
 	c.mu.Lock()
-	c.sweepAckTimeoutsLocked(time.Now())
+	resends, failed := c.sweepAckTimeoutsLocked(now)
 	conn, ok := c.agents[m.SatID]
+	tracked := false
 	if ok {
 		if m.Seq == 0 {
 			c.seq++
 			m.Seq = c.seq
 		}
 		if len(c.pending) < maxPendingAcks {
-			c.pending[m.Seq] = time.Now()
+			c.pending[m.Seq] = &pendingCmd{msg: m, firstSent: now, lastSent: now, attempts: 1}
+			tracked = true
+		} else {
+			c.untracked.Inc()
+			if flightrec.Enabled() {
+				flightrec.Emit(flightrec.CompSouthbound, "untracked_command",
+					"sat", strconv.FormatUint(uint64(m.SatID), 10),
+					"seq", strconv.FormatUint(uint64(m.Seq), 10),
+					"pending", strconv.Itoa(maxPendingAcks))
+			}
 		}
 	}
 	c.mu.Unlock()
+	c.deliverResends(resends)
+	c.notifyFailed(failed)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownAgent, m.SatID)
 	}
-	if err := WriteMessage(conn, m); err != nil {
+	if err := c.writeTo(conn, m); err != nil {
+		if tracked {
+			c.mu.Lock()
+			delete(c.pending, m.Seq)
+			c.mu.Unlock()
+		}
 		return err
 	}
 	c.countTx(m)
 	return nil
 }
 
-// sweepAckTimeoutsLocked drops pending-ack entries older than ackTimeout,
-// counting each as a lost command. Called with c.mu held; rate-limited to
-// one scan per ackTimeout/2 so Send stays O(1) amortized.
-func (c *Controller) sweepAckTimeoutsLocked(now time.Time) {
-	if len(c.pending) == 0 || now.Sub(c.lastSweep) < ackTimeout/2 {
-		return
+// SweepPending runs one pending-ack sweep immediately (subject to the
+// rate limit): retransmitting overdue commands and abandoning those past
+// AckTimeout. Send sweeps lazily; callers with long idle gaps (or a
+// virtual clock) use this to drive the reliability layer explicitly.
+func (c *Controller) SweepPending() {
+	now := c.now()
+	c.mu.Lock()
+	resends, failed := c.sweepAckTimeoutsLocked(now)
+	c.mu.Unlock()
+	c.deliverResends(resends)
+	c.notifyFailed(failed)
+}
+
+// sweepAckTimeoutsLocked scans the pending table: commands unacked past
+// RetransmitInterval are scheduled for retransmission (returned for the
+// caller to write after unlock), and commands older than AckTimeout are
+// abandoned — counted as ack timeouts, flagged in the unreachable set,
+// and returned for OnCommandFailed. Called with c.mu held; rate-limited
+// to one scan per RetransmitInterval/2 so Send stays O(1) amortized.
+func (c *Controller) sweepAckTimeoutsLocked(now time.Time) ([]resend, []*Message) {
+	if len(c.pending) == 0 || now.Sub(c.lastSweep) < c.retransmitInterval()/2 {
+		return nil, nil
 	}
 	c.lastSweep = now
-	for seq, sentAt := range c.pending {
-		if age := now.Sub(sentAt); age > ackTimeout {
+	var resends []resend
+	var failed []*Message
+	for seq, p := range c.pending {
+		if age := now.Sub(p.firstSent); age > c.ackTimeout() {
 			delete(c.pending, seq)
 			c.ackTimeouts.Inc()
+			c.unreachable[p.msg.SatID] = true
+			failed = append(failed, p.msg)
 			if flightrec.Enabled() {
 				flightrec.Emit(flightrec.CompSouthbound, "ack_timeout",
+					"sat", strconv.FormatUint(uint64(p.msg.SatID), 10),
 					"seq", strconv.FormatUint(uint64(seq), 10),
+					"attempts", strconv.Itoa(p.attempts),
 					"age_ms", strconv.FormatInt(age.Milliseconds(), 10))
 			}
+			continue
 		}
+		if now.Sub(p.lastSent) < c.retransmitInterval() || p.attempts > c.maxRetransmits() {
+			continue
+		}
+		conn, ok := c.agents[p.msg.SatID]
+		if !ok {
+			continue // disconnected; re-registration resends
+		}
+		p.attempts++
+		p.lastSent = now
+		c.retransmits.Inc()
+		resends = append(resends, resend{conn, p.msg})
 	}
+	return resends, failed
+}
+
+// PendingAcks returns the number of commands awaiting acknowledgement.
+func (c *Controller) PendingAcks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Registrations returns how many times satID has registered (hello
+// count), distinguishing a reconnect from the original session.
+func (c *Controller) Registrations(satID uint32) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hellos[satID]
+}
+
+// TakeUnreachable drains and returns (sorted) the satellites whose
+// commands were abandoned since the last call and that have not
+// re-registered or acked since: the set the control loop should mark as
+// failed toward the MPC instead of erroring.
+func (c *Controller) TakeUnreachable() []uint32 {
+	c.mu.Lock()
+	out := make([]uint32, 0, len(c.unreachable))
+	for id := range c.unreachable {
+		out = append(out, id)
+	}
+	c.unreachable = map[uint32]bool{}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // AgentCount returns the number of registered agents.

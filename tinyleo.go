@@ -310,3 +310,17 @@ func ListenSouthbound(addr string) (*SouthboundController, error) {
 func DialSouthbound(addr string, satID uint32, timeout time.Duration) (*SouthboundAgent, error) {
 	return southbound.DialAgent(addr, satID, timeout)
 }
+
+// SouthboundAgentOptions tunes an agent's reliability behaviour:
+// automatic reconnect with exponential backoff and jitter, and the
+// duplicate-command suppression window.
+type SouthboundAgentOptions = southbound.AgentOptions
+
+// DialSouthboundReliable connects and registers an agent with explicit
+// reliability options. With Reconnect set the session survives transport
+// loss: the agent re-dials with backoff, the controller resends pending
+// commands on the new connection, and the dedup window keeps redelivered
+// commands idempotent.
+func DialSouthboundReliable(addr string, satID uint32, timeout time.Duration, opts SouthboundAgentOptions) (*SouthboundAgent, error) {
+	return southbound.DialAgentOptions(addr, satID, timeout, opts)
+}
