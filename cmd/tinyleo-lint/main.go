@@ -1,0 +1,145 @@
+// Command tinyleo-lint runs TinyLEO's determinism and hot-path analyzers
+// over the module and exits nonzero on any finding. CI runs it blocking:
+//
+//	go run ./cmd/tinyleo-lint ./...
+//
+// Flags:
+//
+//	-analyzers maporder,walltime   run a subset (default: all)
+//	-list                          print the suite and exit
+//
+// Patterns use the go tool's "./..." syntax relative to the module root;
+// with no patterns, ./... is assumed. Suppress individual findings with
+// a "//lint:tinyleo-ignore <reason>" comment on or above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/walltime"
+)
+
+var suite = []*analysis.Analyzer{
+	globalrand.Analyzer,
+	hotpathalloc.Analyzer,
+	maporder.Analyzer,
+	walltime.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("tinyleo-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	dir := fs.String("C", ".", "module root to analyze")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, "tinyleo-lint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(stderr, "tinyleo-lint:", err)
+		return 2
+	}
+	modPath := modulePathOf(pkgs)
+	var selected []*analysis.Package
+	for _, pkg := range pkgs {
+		if analysis.Match(pkg, modPath, patterns) {
+			selected = append(selected, pkg)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(stderr, "tinyleo-lint: no packages match %v\n", patterns)
+		return 2
+	}
+
+	findings, err := analysis.Run(analyzers, selected)
+	if err != nil {
+		fmt.Fprintln(stderr, "tinyleo-lint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "tinyleo-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -analyzers flag against the suite.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return suite, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// modulePathOf recovers the module path from the loaded packages: the
+// shortest package path is the module root (Load returns them sorted).
+func modulePathOf(pkgs []*analysis.Package) string {
+	if len(pkgs) == 0 {
+		return ""
+	}
+	mod := pkgs[0].Path
+	for _, p := range pkgs[1:] {
+		if len(p.Path) < len(mod) {
+			mod = p.Path
+		}
+	}
+	// A module with no root package still shares the first path segment
+	// prefix; trim known subtrees.
+	for _, seg := range []string{"/internal/", "/cmd/"} {
+		if i := strings.Index(mod, seg); i >= 0 {
+			mod = mod[:i]
+		}
+	}
+	return mod
+}

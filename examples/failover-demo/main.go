@@ -161,7 +161,7 @@ func emulatedFailover() {
 	build := func() *tinyleo.Network {
 		n := tinyleo.NewNetwork()
 		// cells: 10 (sats 0,1) -> 20 (sats 2,3) -> 30 (sats 4,5)
-		for id, cell := range map[int]int{0: 10, 1: 10, 2: 20, 3: 20, 4: 30, 5: 30} {
+		for id, cell := range []int{10, 10, 20, 20, 30, 30} {
 			n.AddSatellite(id, cell)
 		}
 		n.Connect(0, 2, 0.005)

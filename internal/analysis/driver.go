@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// IgnoreDirective is the suppression escape hatch: a comment of the form
+//
+//	//lint:tinyleo-ignore <reason>
+//
+// on the flagged line, or alone on the line above it, silences every
+// analyzer diagnostic anchored there. The reason is mandatory and should
+// say why the contract does not apply (e.g. "wall-clock telemetry only,
+// excluded from canonical output"); a reasonless directive is reported
+// by the pseudo-analyzer "ignoredirective".
+const IgnoreDirective = "lint:tinyleo-ignore"
+
+// Run executes every analyzer over every package and returns the
+// surviving findings sorted by position. Suppressed diagnostics are
+// dropped; malformed (reasonless) directives are themselves findings.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ig := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ig.suppressed(pos.Filename, pos.Line) {
+					return
+				}
+				findings = append(findings, Finding{
+					Position: pos, Analyzer: a.Name, Message: d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		findings = append(findings, ig.malformed...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignores records, per file, the lines on which diagnostics are
+// suppressed, plus findings for directives missing their reason.
+type ignores struct {
+	lines     map[string]map[int]bool
+	malformed []Finding
+}
+
+func (ig *ignores) suppressed(file string, line int) bool {
+	return ig.lines[file][line]
+}
+
+// collectIgnores scans a package's comments for ignore directives. A
+// directive suppresses its own line and the line below it, covering both
+// the end-of-line form and the annotation-above-the-statement form.
+func collectIgnores(pkg *Package) *ignores {
+	ig := &ignores{lines: map[string]map[int]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				// A nested comment ("//lint:tinyleo-ignore // note") is
+				// not a reason.
+				reason, _, _ := strings.Cut(rest, "//")
+				reason = strings.TrimSpace(reason)
+				if reason == "" {
+					ig.malformed = append(ig.malformed, Finding{
+						Position: pos,
+						Analyzer: "ignoredirective",
+						Message:  "tinyleo-ignore directive is missing its mandatory reason",
+					})
+					continue
+				}
+				m := ig.lines[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					ig.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return ig
+}
+
+// Inspect walks every top-level declaration of every file in the pass,
+// calling fn for each node; fn returning false prunes the subtree. A
+// minimal stand-in for x/tools' inspect pass.
+func Inspect(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,52 @@
+// Package globalrand flags draws from math/rand's global source inside
+// deterministic packages.
+//
+// The global source is seeded per-process and shared across goroutines,
+// so rand.Intn in a compile or chaos campaign makes results irreproducible
+// and racy. Deterministic packages must draw from an explicit
+// *rand.Rand constructed from a caller-supplied seed
+// (rand.New(rand.NewSource(seed))) — constructors are therefore allowed;
+// every package-level draw function is not.
+package globalrand
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the globalrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "flags global math/rand source draws inside deterministic packages",
+	Run:  run,
+}
+
+// constructors build explicit sources/generators and are the sanctioned
+// route to randomness in deterministic code.
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministicPkg(pass.PkgPath) {
+		return nil
+	}
+	analysis.Inspect(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pass.CalleePkgFunc(call)
+		if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") || constructors[name] {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the global math/rand source in deterministic package %s: "+
+				"use an explicit *rand.Rand built from a caller-supplied seed",
+			name, pass.PkgPath)
+		return true
+	})
+	return nil
+}

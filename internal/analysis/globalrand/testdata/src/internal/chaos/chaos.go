@@ -1,0 +1,19 @@
+// Package chaos is globalrand analyzer testdata standing in for the
+// deterministic chaos engine.
+package chaos
+
+import "math/rand"
+
+func draw() int {
+	return rand.Intn(6) // want `rand.Intn draws from the global math/rand source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are allowed
+	return r.Intn(6)                    // draws on an explicit source are allowed
+}
+
+func shuffle(xs []int) {
+	//lint:tinyleo-ignore demonstration of the suppression escape hatch
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,8 @@
+// Package util is globalrand testdata outside the determinism contract:
+// the global source is fine here.
+package util
+
+import "math/rand"
+
+// Jitter draws from the global source.
+func Jitter() int { return rand.Intn(10) }

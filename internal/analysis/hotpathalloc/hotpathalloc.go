@@ -1,0 +1,174 @@
+// Package hotpathalloc polices telemetry cost on per-packet code.
+//
+// Functions marked with a "//tinyleo:hotpath" doc-comment line run per
+// packet or per message. The obs instruments themselves no-op when a
+// registry is disabled, but *looking one up* — Registry.Counter / Gauge /
+// Histogram — takes the registry mutex and allocates the label-pair
+// slice on every call, and flightrec.Emit / obs.StartSpan allocate their
+// variadic attributes at the call site before any enabled check runs.
+// On a hot path that cost is paid per packet whether or not telemetry is
+// on.
+//
+// The sanctioned idiom keeps the lookup behind the cheap atomic enabled
+// check:
+//
+//	if flightrec.Enabled() {
+//		flightrec.Emit(...)
+//	}
+//	if s.reg.Enabled() {
+//		s.reg.Counter("tinyleo_x_total", "reason", r).Inc()
+//	}
+//
+// The analyzer flags registry lookups, flightrec emissions, and span
+// starts inside hotpath functions unless the call sits inside an if
+// whose condition calls something named Enabled. Pre-resolved
+// instruments (fields captured at construction time) cost nothing and
+// are not flagged — resolving instruments up front is the preferred fix.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Marker is the doc-comment line that declares a function hot.
+const Marker = "//tinyleo:hotpath"
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flags unguarded telemetry lookups inside //tinyleo:hotpath functions",
+	Run:  run,
+}
+
+// registryLookups allocate label pairs regardless of the enabled flag.
+var registryLookups = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// flightrecEmits serialize an event (or at least build its attributes).
+var flightrecEmits = map[string]bool{
+	"Emit": true, "RecordSlot": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				return true
+			}
+			scan(pass, fn.Body, false, func(call *ast.CallExpr, guarded bool) {
+				if !guarded {
+					checkCall(pass, fn, call)
+				}
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// isHotpath reports whether the function carries the hotpath marker.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == Marker {
+			return true
+		}
+	}
+	return false
+}
+
+// scan walks n tracking guardedness: entering the body of an if whose
+// condition calls something named Enabled marks the subtree guarded.
+// Else branches and init/cond expressions keep the enclosing state.
+func scan(pass *analysis.Pass, n ast.Node, guarded bool, visit func(*ast.CallExpr, bool)) {
+	if n == nil {
+		return
+	}
+	if ifs, ok := n.(*ast.IfStmt); ok {
+		scan(pass, ifs.Init, guarded, visit)
+		scan(pass, ifs.Cond, guarded, visit)
+		scan(pass, ifs.Body, guarded || condHasEnabled(ifs.Cond), visit)
+		scan(pass, ifs.Else, guarded, visit)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		if _, ok := m.(*ast.IfStmt); ok {
+			scan(pass, m, guarded, visit)
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			visit(call, guarded)
+		}
+		return true
+	})
+}
+
+// condHasEnabled reports whether the condition contains a call to a
+// function or method named Enabled (flightrec.Enabled, reg.Enabled, …).
+func condHasEnabled(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Enabled" {
+				found = true
+			}
+		case *ast.Ident:
+			if fun.Name == "Enabled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	// Package-level telemetry: flightrec.Emit/RecordSlot, obs.StartSpan.
+	if pkg, name, ok := pass.CalleePkgFunc(call); ok {
+		switch {
+		case strings.HasSuffix(pkg, "internal/obs/flightrec") && flightrecEmits[name]:
+			pass.Reportf(call.Pos(),
+				"flightrec.%s on hot path %s without an Enabled() guard: "+
+					"wrap in `if flightrec.Enabled() { ... }`",
+				name, fn.Name.Name)
+		case strings.HasSuffix(pkg, "internal/obs") && name == "StartSpan":
+			pass.Reportf(call.Pos(),
+				"obs.StartSpan on hot path %s without an Enabled() guard: "+
+					"span attributes allocate before the disabled check",
+				fn.Name.Name)
+		}
+		return
+	}
+	// Method telemetry: Registry.Counter/Gauge/Histogram lookups.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryLookups[sel.Sel.Name] {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Obj() == nil || selection.Obj().Pkg() == nil {
+		return
+	}
+	if !strings.HasSuffix(selection.Obj().Pkg().Path(), "internal/obs") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"Registry.%s lookup on hot path %s without an Enabled() guard: "+
+			"the lookup locks and allocates label pairs even when telemetry is off; "+
+			"pre-resolve the instrument or guard with Enabled()",
+		sel.Sel.Name, fn.Name.Name)
+}

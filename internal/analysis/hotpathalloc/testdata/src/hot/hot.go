@@ -1,0 +1,46 @@
+// Package hot is hotpathalloc analyzer testdata.
+package hot
+
+import (
+	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
+)
+
+type node struct {
+	reg *obs.Registry
+}
+
+// process handles one packet.
+//
+//tinyleo:hotpath
+func (n *node) process(reason string) {
+	n.reg.Counter("drops", "reason", reason).Inc() // want `Registry.Counter lookup on hot path process`
+	flightrec.Emit("dataplane", "drop")            // want `flightrec.Emit on hot path process`
+	if n.reg.Enabled() {
+		n.reg.Counter("drops", "reason", reason).Inc() // guarded: allowed
+	}
+	if flightrec.Enabled() {
+		flightrec.Emit("dataplane", "drop") // guarded: allowed
+	}
+}
+
+// trace opens a span per call: attributes allocate before any check.
+//
+//tinyleo:hotpath
+func (n *node) trace() {
+	span := obs.StartSpan("hot.trace") // want `obs.StartSpan on hot path trace`
+	span.End()
+}
+
+// cold is not marked, so unguarded lookups are fine here.
+func (n *node) cold(reason string) {
+	n.reg.Counter("drops", "reason", reason).Inc()
+}
+
+// ignored demonstrates the suppression escape hatch.
+//
+//tinyleo:hotpath
+func (n *node) ignored() {
+	//lint:tinyleo-ignore boot-time counter resolved once despite the marker
+	n.reg.Counter("boot").Inc()
+}

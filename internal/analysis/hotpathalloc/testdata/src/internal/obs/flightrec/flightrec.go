@@ -1,0 +1,12 @@
+// Package flightrec is a test stub mirroring the real flight recorder's
+// call surface for analyzer golden tests.
+package flightrec
+
+// Emit records one event.
+func Emit(args ...any) {}
+
+// RecordSlot records one slot snapshot.
+func RecordSlot(args ...any) {}
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return false }

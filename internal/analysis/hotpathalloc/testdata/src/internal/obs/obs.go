@@ -1,0 +1,48 @@
+// Package obs is a test stub mirroring the real telemetry registry's
+// call surface for analyzer golden tests.
+package obs
+
+// Registry is the stub metrics registry.
+type Registry struct{}
+
+// Default returns the process-wide registry.
+func Default() *Registry { return &Registry{} }
+
+// Enabled reports whether the registry records.
+func (r *Registry) Enabled() bool { return false }
+
+// Counter returns a labeled counter.
+func (r *Registry) Counter(name string, kvs ...string) *Counter { return &Counter{} }
+
+// Gauge returns a labeled gauge.
+func (r *Registry) Gauge(name string, kvs ...string) *Gauge { return &Gauge{} }
+
+// Histogram returns a labeled histogram.
+func (r *Registry) Histogram(name string, kvs ...string) *Histogram { return &Histogram{} }
+
+// Counter is a stub counter.
+type Counter struct{}
+
+// Inc adds one.
+func (c *Counter) Inc() {}
+
+// Gauge is a stub gauge.
+type Gauge struct{}
+
+// Set sets the value.
+func (g *Gauge) Set(v float64) {}
+
+// Histogram is a stub histogram.
+type Histogram struct{}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {}
+
+// Span is a stub trace span.
+type Span struct{}
+
+// StartSpan opens a span.
+func StartSpan(name string, attrs ...string) *Span { return &Span{} }
+
+// End closes the span.
+func (s *Span) End() {}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the package's source directory on disk.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Fset is shared by every package of one Load.
+	Fset *token.FileSet
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info is the type-checking fact table for Files.
+	Info *types.Info
+
+	imports []string
+}
+
+// LoadConfig configures a Load.
+type LoadConfig struct {
+	// Dir is the module root (the directory holding go.mod, or any
+	// directory to treat as the root when ModulePath is set explicitly).
+	Dir string
+	// ModulePath overrides the module path read from Dir/go.mod. The
+	// analysistest harness uses this to give testdata packages real
+	// module-qualified import paths without a go.mod file.
+	ModulePath string
+}
+
+// Load parses and type-checks every package under the module root.
+// Test files (_test.go) are skipped: the determinism contract governs
+// production code, and tests legitimately use wall clocks and ad-hoc
+// ordering. Directories named testdata, vendor, or starting with "." or
+// "_" are skipped, matching the go tool's rules.
+//
+// Stdlib and other extra-module imports are satisfied by empty stub
+// packages: package-name resolution (the "time" in time.Now) still
+// works, member lookups silently fail, and the resulting type errors
+// are discarded. Intra-module imports are type-checked for real, in
+// dependency order, so cross-package member resolution (e.g. a call to
+// obs.Registry.Counter from southbound) is exact.
+func Load(cfg LoadConfig) ([]*Package, error) {
+	root, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath := cfg.ModulePath
+	if modPath == "" {
+		modPath, err = readModulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	byPath := map[string]*Package{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, perr := parseDir(fset, path)
+		if perr != nil {
+			return perr
+		}
+		if pkg == nil {
+			return nil // no buildable Go files here
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		if rel == "." {
+			pkg.Path = modPath
+		} else {
+			pkg.Path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg.Dir = path
+		byPath[pkg.Path] = pkg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	// Type-check in dependency order so intra-module imports resolve to
+	// fully-checked packages.
+	imp := &moduleImporter{module: byPath, stubs: map[string]*types.Package{}}
+	checked := map[string]bool{}
+	var checkErr error
+	var check func(path string)
+	check = func(path string) {
+		if checked[path] || checkErr != nil {
+			return
+		}
+		checked[path] = true
+		pkg := byPath[path]
+		for _, dep := range pkg.imports {
+			if _, ok := byPath[dep]; ok {
+				check(dep)
+			}
+		}
+		if err := typeCheck(fset, pkg, imp); err != nil {
+			checkErr = fmt.Errorf("type-checking %s: %w", path, err)
+		}
+	}
+	for _, p := range paths {
+		check(p)
+	}
+	if checkErr != nil {
+		return nil, checkErr
+	}
+
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, byPath[p])
+	}
+	return out, nil
+}
+
+// Match reports whether the package path matches any pattern, using the
+// go tool's "...": "./..." matches everything, "./a/..." matches a and
+// its subpackages, "./a" matches exactly. Paths are module-relative.
+func Match(pkg *Package, modulePath string, patterns []string) bool {
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, modulePath), "/")
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat || (pat == "" && rel == "") {
+			return true
+		}
+	}
+	return false
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: cannot determine module path: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// parseDir parses the non-test Go files of one directory into a Package
+// (nil if the directory has none). Mixed package names are an error.
+func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	importSet := map[string]bool{}
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("%s: mixed packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return fset.File(files[i].Pos()).Name() < fset.File(files[j].Pos()).Name()
+	})
+	pkg := &Package{Files: files, Fset: fset}
+	for imp := range importSet {
+		pkg.imports = append(pkg.imports, imp)
+	}
+	sort.Strings(pkg.imports)
+	return pkg, nil
+}
+
+// typeCheck runs go/types over one package, discarding errors caused by
+// stubbed extra-module imports (the analyzers only need facts the
+// checker can establish from module sources).
+func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		// Stubbed imports make undefined-member errors routine; collect
+		// nothing and keep checking.
+		Error: func(error) {},
+	}
+	tpkg, _ := conf.Check(pkg.Path, fset, pkg.Files, info)
+	if tpkg == nil {
+		return fmt.Errorf("checker produced no package")
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// moduleImporter resolves intra-module imports to their checked packages
+// and everything else to cached, empty stubs whose package name is the
+// final path element (correct for the entire stdlib).
+type moduleImporter struct {
+	module map[string]*Package
+	stubs  map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.module[path]; ok && pkg.Types != nil {
+		return pkg.Types, nil
+	}
+	if stub, ok := m.stubs[path]; ok {
+		return stub, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	stub := types.NewPackage(path, name)
+	stub.MarkComplete()
+	m.stubs[path] = stub
+	return stub, nil
+}

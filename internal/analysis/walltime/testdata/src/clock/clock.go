@@ -1,0 +1,8 @@
+// Package clock is walltime testdata outside the determinism contract:
+// wall-clock reads here are fine.
+package clock
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,20 @@
+// Package mpc is walltime analyzer testdata standing in for the
+// deterministic controller package.
+package mpc
+
+import "time"
+
+func compile() float64 {
+	start := time.Now() // want `time.Now in deterministic package`
+	_ = start
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic package`
+	d := 3 * time.Second         // pure arithmetic on explicit durations: allowed
+	return d.Seconds()
+}
+
+func telemetry() time.Duration {
+	//lint:tinyleo-ignore wall latency telemetry only, never part of outputs
+	start := time.Now()
+	//lint:tinyleo-ignore wall latency telemetry only, never part of outputs
+	return time.Since(start)
+}

@@ -1,0 +1,57 @@
+// Package walltime flags wall-clock reads inside deterministic packages.
+//
+// The control plane's guarantee — same snapshot, same seed, same output —
+// dies the moment a compile or campaign consults the machine clock:
+// time.Now threads the host's scheduling jitter into results, and
+// time.Sleep makes outcomes load-dependent. Deterministic packages must
+// take times as inputs (slot numbers, configured durations) and leave
+// measurement to the caller.
+//
+// Telemetry that genuinely wants wall time (e.g. recording how long a
+// compile took, without the duration feeding back into outputs) is
+// annotated //lint:tinyleo-ignore with a reason saying so.
+package walltime
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now/Since/Sleep and friends inside deterministic packages",
+	Run:  run,
+}
+
+// clockFuncs are the time package's ambient-clock entry points. Pure
+// constructors (time.Duration arithmetic, time.Unix, time.Date) are fine:
+// they compute from explicit inputs.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministicPkg(pass.PkgPath) {
+		return nil
+	}
+	analysis.Inspect(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pass.CalleePkgFunc(call)
+		if !ok || pkg != "time" || !clockFuncs[name] {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"time.%s in deterministic package %s: outputs must be a pure function "+
+				"of inputs; take times as parameters or move the measurement to the caller",
+			name, pass.PkgPath)
+		return true
+	})
+	return nil
+}

@@ -139,6 +139,7 @@ func Run(c Campaign) (*Report, error) {
 		return nil, err
 	}
 	r.installHooks()
+	//lint:tinyleo-ignore WallElapsedMs is wall telemetry excluded from the canonical (seed-keyed) report fields
 	wallStart := time.Now()
 	for round := 0; round < c.Scenario.Rounds; round++ {
 		if err := r.runRound(round); err != nil {
@@ -320,10 +321,11 @@ func (r *runner) runRound(round int) error {
 	// round are handed to the controller as failed instead of erroring.
 	failedSats := append(append([]int{}, crashedNow...), r.prevUnreachable...)
 	sort.Ints(failedSats)
+	//lint:tinyleo-ignore WallRepairMs is wall telemetry excluded from the canonical (seed-keyed) report fields
 	wall := time.Now()
 	newSnap, rstats := r.tb.Ctl.Repair(r.snap, failedLinks, failedSats, campaignRepairRTT)
-	r.report.WallRepairMs = append(r.report.WallRepairMs,
-		float64(time.Since(wall).Microseconds())/1000)
+	//lint:tinyleo-ignore WallRepairMs is wall telemetry excluded from the canonical (seed-keyed) report fields
+	r.report.WallRepairMs = append(r.report.WallRepairMs, float64(time.Since(wall).Microseconds())/1000)
 	added, removed := mpc.DiffLinks(r.snap, newSnap)
 	rr.LinksAdded, rr.LinksRemoved, rr.Unrepaired = len(added), len(removed), rstats.Unrepaired
 	r.event("repair",
@@ -641,6 +643,7 @@ func (r *runner) enforce(rr *RoundReport, added, removed []mpc.Link) error {
 		for i := 0; i <= campaignMaxRetrans; i++ {
 			r.vc.Advance(campaignRetransmit)
 			r.ctl.SweepPending()
+			//lint:tinyleo-ignore real-IO settling pause; logical outcomes are gated on waitCond, not on this sleep
 			time.Sleep(2 * time.Millisecond) // let retransmission writes land
 		}
 		r.vc.Advance(campaignAckTimeout)
@@ -787,6 +790,7 @@ func (r *runner) finish(wallStart time.Time) error {
 	if err := rep.score(r.c.Scenario.SLO); err != nil {
 		return err
 	}
+	//lint:tinyleo-ignore WallElapsedMs is wall telemetry excluded from the canonical (seed-keyed) report fields
 	rep.WallElapsedMs = float64(time.Since(wallStart).Microseconds()) / 1000
 	return nil
 }
@@ -795,11 +799,14 @@ func (r *runner) finish(wallStart time.Time) error {
 // expires. Only logical state is read inside cond, so the poll cadence
 // never leaks into the report.
 func (r *runner) waitCond(cond func() bool, what string) error {
+	//lint:tinyleo-ignore real-time settle poll over real sockets; cond reads logical state only, so cadence cannot leak into the report
 	deadline := time.Now().Add(settleTimeout)
+	//lint:tinyleo-ignore real-time settle poll over real sockets; cond reads logical state only, so cadence cannot leak into the report
 	for time.Now().Before(deadline) {
 		if cond() {
 			return nil
 		}
+		//lint:tinyleo-ignore real-time settle poll over real sockets; cond reads logical state only, so cadence cannot leak into the report
 		time.Sleep(time.Millisecond)
 	}
 	return fmt.Errorf("chaos: timed out waiting for %s", what)
@@ -813,9 +820,14 @@ func (r *runner) shutdown() {
 		close(gate)
 	}
 	r.gates = map[int]chan struct{}{}
-	agents := make([]*southbound.Agent, 0, len(r.agents))
-	for _, a := range r.agents {
-		agents = append(agents, a)
+	ids := make([]int, 0, len(r.agents))
+	for id := range r.agents {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	agents := make([]*southbound.Agent, 0, len(ids))
+	for _, id := range ids {
+		agents = append(agents, r.agents[id])
 	}
 	r.mu.Unlock()
 	for _, a := range agents {

@@ -160,8 +160,22 @@ func (tb *Testbed) buildNetwork(snap *mpc.Snapshot) *dataplane.Network {
 	n := dataplane.NewNetwork()
 	n.ISLRateBps = tb.Cfg.ISLRateBps
 	n.QueueLimit = tb.Cfg.QueueLimit
-	for key, gws := range snap.Gateways {
-		for _, s := range gws {
+	// Gateway keys sorted: a satellite can hold duty under more than one
+	// edge key (repair can double-book), and the first key seen decides
+	// its home cell — iterating the map here made the emulated network
+	// differ run to run.
+	gwKeys := make([][2]int, 0, len(snap.Gateways))
+	for key := range snap.Gateways {
+		gwKeys = append(gwKeys, key)
+	}
+	sort.Slice(gwKeys, func(i, j int) bool {
+		if gwKeys[i][0] != gwKeys[j][0] {
+			return gwKeys[i][0] < gwKeys[j][0]
+		}
+		return gwKeys[i][1] < gwKeys[j][1]
+	})
+	for _, key := range gwKeys {
+		for _, s := range snap.Gateways[key] {
 			if n.Sats[s] == nil {
 				n.AddSatellite(s, key[0])
 			}

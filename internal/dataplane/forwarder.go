@@ -61,6 +61,8 @@ type Satellite struct {
 }
 
 // Receive processes a packet arriving at (or injected into) the satellite.
+//
+//tinyleo:hotpath
 func (s *Satellite) Receive(p *Packet) {
 	p.HopTrace = append(p.HopTrace, s.ID)
 	if p.Geo != nil {
@@ -71,6 +73,8 @@ func (s *Satellite) Receive(p *Packet) {
 }
 
 // forwardGeo implements §4.3's geographic segment anycast.
+//
+//tinyleo:hotpath
 func (s *Satellite) forwardGeo(p *Packet) {
 	g := p.Geo
 	// Consume every segment this satellite's cell satisfies (a route may
@@ -161,6 +165,8 @@ func (s *Satellite) forwardGeo(p *Packet) {
 // forwardLegacy implements the routing-table baseline: no anycast, no
 // local failover — a down next-hop link means the packet waits for the
 // remote control plane (we buffer it, mirroring Figure 19d's comparison).
+//
+//tinyleo:hotpath
 func (s *Satellite) forwardLegacy(p *Packet) {
 	dstSat := p.Base.FlowID // legacy mode: FlowID carries the destination satellite
 	if uint32(s.ID) == dstSat {
@@ -193,6 +199,10 @@ func (s *Satellite) forwardLegacy(p *Packet) {
 	s.send(nh, p)
 }
 
+// send forwards p over the ISL toward peer, dropping on down links and
+// full queues.
+//
+//tinyleo:hotpath
 func (s *Satellite) send(peer int, p *Packet) {
 	l := s.links[peer]
 	if l == nil {
@@ -207,11 +217,16 @@ func (s *Satellite) send(peer int, p *Packet) {
 	dpForwarded.Inc()
 }
 
+// drop accounts a dropped packet and notifies hooks.
+//
+//tinyleo:hotpath
 func (s *Satellite) drop(p *Packet, reason string) {
 	s.Dropped++
 	if c, ok := dpDropped[reason]; ok {
 		c.Inc()
-	} else {
+	} else if obs.Default().Enabled() {
+		// Uncommon reason string: the label lookup allocates, so pay it
+		// only while telemetry is on.
 		obs.Default().Counter("tinyleo_dataplane_dropped_total", "reason", reason).Inc()
 	}
 	if flightrec.Enabled() {

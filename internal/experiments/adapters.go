@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -36,8 +37,22 @@ func NetworkFromSnapshot(snap *mpc.Snapshot, sats []orbit.Elements) *dataplane.N
 	// A satellite's forwarding identity is the cell whose gateway duty it
 	// holds (satellites cover many cells, but hold at most one gateway
 	// assignment; non-gateway satellites have no ISLs and are omitted).
-	for key, gws := range snap.Gateways {
-		for _, s := range gws {
+	// Gateway keys sorted: a satellite can hold duty under more than one
+	// edge key (repair can double-book), and the first key seen decides
+	// its home cell — iterating the map here made the emulated network
+	// differ run to run.
+	gwKeys := make([][2]int, 0, len(snap.Gateways))
+	for key := range snap.Gateways {
+		gwKeys = append(gwKeys, key)
+	}
+	sort.Slice(gwKeys, func(i, j int) bool {
+		if gwKeys[i][0] != gwKeys[j][0] {
+			return gwKeys[i][0] < gwKeys[j][0]
+		}
+		return gwKeys[i][1] < gwKeys[j][1]
+	})
+	for _, key := range gwKeys {
+		for _, s := range snap.Gateways[key] {
 			if n.Sats[s] == nil {
 				n.AddSatellite(s, key[0])
 			}
@@ -65,7 +80,12 @@ func NetworkFromSnapshot(snap *mpc.Snapshot, sats []orbit.Elements) *dataplane.N
 	for key := range snap.Gateways {
 		cellsSeen[key[0]] = true
 	}
+	cells := make([]int, 0, len(cellsSeen))
 	for cell := range cellsSeen {
+		cells = append(cells, cell)
+	}
+	sort.Ints(cells)
+	for _, cell := range cells {
 		ring := ringOrder(n, snap, cell)
 		if len(ring) >= 2 {
 			n.SetRing(ring)

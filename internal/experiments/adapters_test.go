@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/mpc"
+)
+
+func fingerprint(n *dataplane.Network) string {
+	ids := make([]int, 0, len(n.Sats))
+	for id := range n.Sats {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		s := n.Sats[id]
+		fmt.Fprintf(&b, "sat %d cell %d ring %d\n", id, s.Cell, s.RingNext)
+	}
+	return b.String()
+}
+
+// Regression for NetworkFromSnapshot assigning home cells in map
+// iteration order: satellite 5 below holds gateway duty under two edge
+// keys with different home cells, so the pre-fix code homed it to cell 1
+// or cell 3 depending on which key the runtime yielded first.
+func TestNetworkFromSnapshotIsDeterministic(t *testing.T) {
+	snap := &mpc.Snapshot{
+		Gateways: map[[2]int][]int{
+			{1, 2}: {5, 7},
+			{3, 4}: {5, 8},
+			{2, 1}: {6},
+		},
+	}
+	first := fingerprint(NetworkFromSnapshot(snap, nil))
+	if !strings.Contains(first, "sat 5 cell 1") {
+		t.Fatalf("satellite 5 not homed to the lowest edge key's cell:\n%s", first)
+	}
+	for run := 1; run < 10; run++ {
+		if got := fingerprint(NetworkFromSnapshot(snap, nil)); got != first {
+			t.Fatalf("run %d built a different network:\n--- first\n%s--- run %d\n%s", run, first, run, got)
+		}
+	}
+}

@@ -39,8 +39,10 @@ func HorizonThroughput(scale Scale, horizon, workers int) (*metrics.Table, error
 		if err != nil {
 			return nil, 0, orbit.CacheStats{}, err
 		}
+		//lint:tinyleo-ignore the measured wall speedup IS this experiment's result; snapshots are checked for equality separately
 		start := time.Now()
 		snaps := ctl.HorizonCompile(0, scale.ControlDt, horizon, w)
+		//lint:tinyleo-ignore the measured wall speedup IS this experiment's result; snapshots are checked for equality separately
 		return snaps, time.Since(start).Seconds(), ctl.CacheStats(), nil
 	}
 

@@ -16,12 +16,14 @@ func MeshIntent(g *geo.Grid, guaranteed map[int]int, minSats, islPerEdge int) *T
 	t := NewTopology(g)
 	for u, n := range guaranteed {
 		if n >= minSats {
+			//lint:tinyleo-ignore AddCell is keyed by cell id; each u appears once, so order cannot matter
 			t.AddCell(u, n)
 		}
 	}
 	for u := range t.MinSats {
 		for _, v := range g.Neighbors4(u) {
 			if _, ok := t.MinSats[v]; ok && u < v {
+				//lint:tinyleo-ignore Connect is keyed by the (u,v) edge; each pair is visited once
 				t.Connect(u, v, islPerEdge)
 			}
 		}
@@ -64,6 +66,7 @@ func BackboneIntent(g *geo.Grid, endpoints map[string]geom.LatLon, links [][2]st
 		id := g.CellOf(loc)
 		anchors[name] = id
 		if _, ok := t.MinSats[id]; !ok {
+			//lint:tinyleo-ignore endpoints sharing a cell all declare the same satsPerCell, so first-wins is value-identical
 			t.AddCell(id, satsPerCell)
 		}
 	}

@@ -78,6 +78,24 @@ func (t *Topology) Neighbors(u int) []int {
 	return out
 }
 
+// EdgeList returns the intent edges sorted lexicographically. Graph
+// construction and verification iterate this instead of the Edges map so
+// adjacency order — and with it equal-cost route tie-breaking and error
+// ordering — is identical across runs.
+func (t *Topology) EdgeList() [][2]int {
+	out := make([][2]int, 0, len(t.Edges))
+	for e := range t.Edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // CellGraph projects the intent onto a routing.Graph whose node IDs are
 // *grid cell IDs* compressed via the index map returned alongside; edge
 // weights are great-circle distances between cell centers.
@@ -88,7 +106,7 @@ func (t *Topology) CellGraph() (*routing.Graph, map[int]int, []int) {
 		idx[c] = i
 	}
 	g := routing.NewGraph(len(cells))
-	for e := range t.Edges {
+	for _, e := range t.EdgeList() {
 		g.AddBiEdge(idx[e[0]], idx[e[1]], t.Grid.CenterDistance(e[0], e[1]))
 	}
 	return g, idx, cells
@@ -114,7 +132,8 @@ var DefaultVerifyConfig = VerifyConfig{MaxISLRange: 5000e3, MaxISLsPerSat: 3}
 // shape errors. It returns all violations found.
 func (t *Topology) Verify(cfg VerifyConfig) []error {
 	var errs []error
-	for e, n := range t.Edges {
+	for _, e := range t.EdgeList() {
+		n := t.Edges[e]
 		if n <= 0 {
 			errs = append(errs, fmt.Errorf("intent: edge %v has non-positive ISL demand %d", e, n))
 		}
@@ -128,7 +147,8 @@ func (t *Topology) Verify(cfg VerifyConfig) []error {
 				e[0], e[1], d/1e3, cfg.MaxISLRange/1e3))
 		}
 	}
-	for u, n := range t.MinSats {
+	for _, u := range t.Cells() {
+		n := t.MinSats[u]
 		demand := 0
 		for _, v := range t.Neighbors(u) {
 			demand += t.EdgeDemand(u, v)

@@ -103,7 +103,7 @@ func (t *Topology) OceanicOffloadRoute(src, dst int, landPenalty float64) (Route
 
 func newWeightedCellGraph(t *Topology, cells []int, idx map[int]int, weight func(u, v int) float64) *routing.Graph {
 	g := routing.NewGraph(len(cells))
-	for e := range t.Edges {
+	for _, e := range t.EdgeList() {
 		g.AddBiEdge(idx[e[0]], idx[e[1]], weight(e[0], e[1]))
 	}
 	return g

@@ -145,8 +145,15 @@ func (c *CDF) Points(n int) [][2]float64 {
 	return out
 }
 
-// Counter is a monotonically growing event counter keyed by name, used for
-// signaling-message accounting (Figure 17). It is safe for concurrent use.
+// Counter is a monotonically growing event counter keyed by name,
+// originally used for signaling-message accounting (Figure 17). It is safe
+// for concurrent use.
+//
+// Deprecated: runtime event counting migrated to obs.Registry.Counter
+// (internal/obs), which adds /metrics exposition and the Enabled() gate
+// required on //tinyleo:hotpath functions. Counter remains only so old
+// analysis scripts keep compiling; the statistics helpers in this package
+// (Summarize, Table, CDF, BenchJSON) are current and widely used.
 type Counter struct {
 	mu     sync.Mutex
 	counts map[string]int64

@@ -1,0 +1,30 @@
+package mpc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Regression for the deficit flight-record events following map iteration
+// order: the emission keys must come out sorted, identically on every
+// call over the same map.
+func TestSortedDeficitKeysIsDeterministic(t *testing.T) {
+	m := map[[2]int]int{}
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			m[[2]int{u, v}] = u + v
+		}
+	}
+	first := sortedDeficitKeys(m)
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("keys not in sorted order: %v before %v", a, b)
+		}
+	}
+	for run := 0; run < 10; run++ {
+		if got := sortedDeficitKeys(m); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d returned different order:\n  %v\nvs\n  %v", run, got, first)
+		}
+	}
+}

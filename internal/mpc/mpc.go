@@ -193,6 +193,7 @@ func (c *Controller) CacheStats() orbit.CacheStats { return c.geo.Stats() }
 // time t.
 func (c *Controller) Compile(t float64) *Snapshot {
 	span := obs.StartSpan("mpc.compile", "t", strconv.FormatFloat(t, 'f', 0, 64))
+	//lint:tinyleo-ignore wall-clock compile latency feeds telemetry only, never the snapshot
 	start := time.Now()
 	defer func() { span.End() }()
 	cfg := &c.cfg
@@ -374,6 +375,7 @@ func (c *Controller) Compile(t float64) *Snapshot {
 	}
 	sort.Slice(snap.RingLinks, func(a, b int) bool { return lessLink(snap.RingLinks[a], snap.RingLinks[b]) })
 	obsCompiles.Inc()
+	//lint:tinyleo-ignore wall-clock compile latency feeds telemetry only, never the snapshot
 	obsCompileSeconds.ObserveDuration(time.Since(start))
 	obsInterLinks.Set(float64(len(snap.InterLinks)))
 	obsRingLinks.Set(float64(len(snap.RingLinks)))
@@ -388,8 +390,10 @@ func (c *Controller) Compile(t float64) *Snapshot {
 			"inter", strconv.Itoa(len(snap.InterLinks)),
 			"ring", strconv.Itoa(len(snap.RingLinks)),
 			"deficit_slots", strconv.Itoa(deficit))
-		for key, d := range snap.Deficits {
-			if d > 0 {
+		// Sorted edge order: the flight record is part of the canonical
+		// per-seed output, so deficit events must not follow map order.
+		for _, key := range sortedDeficitKeys(snap.Deficits) {
+			if d := snap.Deficits[key]; d > 0 {
 				flightrec.Emit(flightrec.CompMPC, "deficit",
 					"edge", flightrec.EdgeKey(key[0], key[1]),
 					"slots", strconv.Itoa(d))
@@ -403,6 +407,23 @@ func (c *Controller) Compile(t float64) *Snapshot {
 		flightrec.RecordSlot(st)
 	}
 	return snap
+}
+
+// sortedDeficitKeys returns the deficit edge keys in lexicographic
+// order: deficit events land in the flight record, which is diffed
+// byte-for-byte across runs, so emission must not follow map order.
+func sortedDeficitKeys(m map[[2]int]int) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	return keys
 }
 
 // flightState converts a compiled snapshot into the recorder's
@@ -585,6 +606,7 @@ func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, r
 				"t", strconv.FormatFloat(s.Time, 'f', 0, 64))
 		}
 	}
+	//lint:tinyleo-ignore RepairStats.ComputeTime reports measured wall latency; topology outputs do not depend on it
 	start := time.Now()
 	stats := RepairStats{ReportRTT: rtt / 2, InstructRTT: rtt / 2}
 	stats.Messages = len(failedLinks) + len(failedSats)
@@ -703,6 +725,7 @@ func (c *Controller) Repair(s *Snapshot, failedLinks []Link, failedSats []int, r
 	// Ring changes are also instructions.
 	_, ringAdded := DiffLinks(&Snapshot{InterLinks: s.RingLinks}, &Snapshot{InterLinks: out.RingLinks})
 	stats.Messages += 2 * len(ringAdded)
+	//lint:tinyleo-ignore RepairStats.ComputeTime reports measured wall latency; topology outputs do not depend on it
 	stats.ComputeTime = time.Since(start)
 	stats.observe()
 	if flightrec.Enabled() {

@@ -166,6 +166,9 @@ func (a *Agent) isDuplicate(seq uint32) bool {
 	return false
 }
 
+// readLoop is the agent's per-command receive loop.
+//
+//tinyleo:hotpath
 func (a *Agent) readLoop() {
 	defer a.wg.Done()
 	for {

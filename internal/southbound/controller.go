@@ -212,6 +212,9 @@ func (c *Controller) acceptLoop() {
 	}
 }
 
+// serve is the per-connection message loop.
+//
+//tinyleo:hotpath
 func (c *Controller) serve(conn net.Conn) {
 	defer c.wg.Done()
 	var satID uint32
@@ -249,7 +252,9 @@ func (c *Controller) serve(conn net.Conn) {
 			// for this satellite goes out again on the fresh connection.
 			var resends []resend
 			now := c.now()
-			for _, p := range c.pending {
+			// Sorted by seq: the agent sees retransmits in send order.
+			for _, seq := range c.pendingSeqsLocked() {
+				p := c.pending[seq]
 				if p.msg.SatID != satID {
 					continue
 				}
@@ -313,6 +318,8 @@ func (c *Controller) writeTo(conn net.Conn, m *Message) error {
 // re-registration) and counts them as tx traffic. Write errors are
 // ignored: the pending entry stays tracked and either a later sweep or
 // the agent's next reconnect retries it, or AckTimeout abandons it.
+//
+//tinyleo:hotpath
 func (c *Controller) deliverResends(resends []resend) {
 	for _, r := range resends {
 		if err := c.writeTo(r.conn, r.msg); err != nil {
@@ -338,19 +345,28 @@ func (c *Controller) notifyFailed(failed []*Message) {
 	}
 }
 
+// countRx accounts one received message on the pre-resolved per-type
+// counters; unknown types fall back to a label lookup.
+//
+//tinyleo:hotpath
 func (c *Controller) countRx(m *Message) {
 	if int(m.Type) < len(c.rx) && c.rx[m.Type] != nil {
 		c.rx[m.Type].Inc()
 	} else {
+		//lint:tinyleo-ignore fallback for unknown types only; every current MsgType hits the pre-resolved array above
 		c.reg.Counter(MetricMessages, "dir", "rx", "type", m.Type.String()).Inc()
 	}
 	c.rxBytes.Add(int64(m.WireSize()))
 }
 
+// countTx accounts one transmitted message; see countRx.
+//
+//tinyleo:hotpath
 func (c *Controller) countTx(m *Message) {
 	if int(m.Type) < len(c.tx) && c.tx[m.Type] != nil {
 		c.tx[m.Type].Inc()
 	} else {
+		//lint:tinyleo-ignore fallback for unknown types only; every current MsgType hits the pre-resolved array above
 		c.reg.Counter(MetricMessages, "dir", "tx", "type", m.Type.String()).Inc()
 	}
 	c.txBytes.Add(int64(m.WireSize()))
@@ -381,6 +397,8 @@ var ErrUnknownAgent = errors.New("southbound: unknown agent")
 // eventually abandoned. A synchronous write error is returned once and
 // the command is NOT left in the pending table (it would otherwise be
 // double-reported as an ack timeout later).
+//
+//tinyleo:hotpath
 func (c *Controller) Send(m *Message) error {
 	now := c.now()
 	c.mu.Lock()
@@ -442,6 +460,8 @@ func (c *Controller) SweepPending() {
 // abandoned — counted as ack timeouts, flagged in the unreachable set,
 // and returned for OnCommandFailed. Called with c.mu held; rate-limited
 // to one scan per RetransmitInterval/2 so Send stays O(1) amortized.
+//
+//tinyleo:hotpath
 func (c *Controller) sweepAckTimeoutsLocked(now time.Time) ([]resend, []*Message) {
 	if len(c.pending) == 0 || now.Sub(c.lastSweep) < c.retransmitInterval()/2 {
 		return nil, nil
@@ -449,7 +469,10 @@ func (c *Controller) sweepAckTimeoutsLocked(now time.Time) ([]resend, []*Message
 	c.lastSweep = now
 	var resends []resend
 	var failed []*Message
-	for seq, p := range c.pending {
+	// Sorted by seq so retransmit order, failure order, and the emitted
+	// ack_timeout events are reproducible run-to-run.
+	for _, seq := range c.pendingSeqsLocked() {
+		p := c.pending[seq]
 		if age := now.Sub(p.firstSent); age > c.ackTimeout() {
 			delete(c.pending, seq)
 			c.ackTimeouts.Inc()
@@ -477,6 +500,19 @@ func (c *Controller) sweepAckTimeoutsLocked(now time.Time) ([]resend, []*Message
 		resends = append(resends, resend{conn, p.msg})
 	}
 	return resends, failed
+}
+
+// pendingSeqsLocked returns the pending command sequence numbers in
+// ascending order. Retransmit paths iterate this instead of the pending
+// map directly: resend order is wire-visible, so map iteration order
+// would leak into agent-observed behavior. Called with c.mu held.
+func (c *Controller) pendingSeqsLocked() []uint32 {
+	seqs := make([]uint32, 0, len(c.pending))
+	for seq := range c.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
 }
 
 // PendingAcks returns the number of commands awaiting acknowledgement.
@@ -539,6 +575,7 @@ func (c *Controller) Close() error {
 	c.closed = true
 	conns := make([]net.Conn, 0, len(c.agents))
 	for _, conn := range c.agents {
+		//lint:tinyleo-ignore every connection is closed unconditionally; close order is not observable
 		conns = append(conns, conn)
 	}
 	c.mu.Unlock()
