@@ -6,16 +6,22 @@
 //
 //	tinyleo-bench [-scale small|paper] [-run all|table1|fig3|fig4|fig9|fig13|
 //	               fig14|fig15|fig15d|fig15e|fig16|fig17|fig17d|fig18|fig19a|
-//	               fig19bcd|horizon|chaos] [-horizon N] [-workers N]
+//	               fig19bcd|horizon|chaos|southbound] [-horizon N] [-workers N]
 //	               [-chaos-scenario all|NAME] [-chaos-seed N]
 //	               [-csv] [-bench-json out.json] [-metrics-addr host:port]
 //	               [-trace-out file.jsonl] [-record-out flight.jsonl.gz]
+//	               [-pprof]
 //
 // -run chaos executes the seeded fault-injection campaigns (internal/chaos):
 // ISL failures, loss storms, agent crashes, southbound connection drops,
 // and demand surges driven through MPC repair, southbound enforcement, and
 // data-plane failover, scored against the flight recorder's SLO rules.
 // Same -chaos-seed → byte-identical results.
+//
+// -run southbound benchmarks the real-TCP southbound command path twice
+// (tracing off, then on) and reports the tracing overhead ratio; its
+// rows feed the CI regression gate via -bench-json. -pprof serves
+// net/http/pprof under /debug/pprof/ on the -metrics-addr listener.
 //
 // Telemetry: -metrics-addr serves live Prometheus text on /metrics (plus
 // /metrics.json, /healthz, /trace, /trace.chrome) while the experiments
@@ -47,16 +53,19 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
-	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, horizon, chaos, ablations, discussion)")
+	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, horizon, chaos, southbound, ablations, discussion)")
 	horizonSlots := flag.Int("horizon", 0, "control slots per horizon window for -run horizon (0 = the scale's ControlSlots)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel horizon compile")
 	chaosScenario := flag.String("chaos-scenario", "all", "chaos scenario for -run chaos (all, baseline, isl-storm, agent-crash, conn-flap, surge, mixed)")
 	chaosSeed := flag.Int64("chaos-seed", 42, "campaign seed for -run chaos (same seed => identical results)")
+	sbAgents := flag.Int("sb-agents", 4, "in-process agents for -run southbound")
+	sbCmds := flag.Int("sb-cmds", 2000, "commands to push for -run southbound")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address while experiments run (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file when done")
 	recordOut := flag.String("record-out", "", "write a flight recording to this file when done (.gz = gzip)")
 	benchJSON := flag.String("bench-json", "", "write every emitted table as a flat [{name,value,unit}] JSON array to this file")
+	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on -metrics-addr")
 	flag.Parse()
 
 	defer cli.Flush()
@@ -65,6 +74,12 @@ func main() {
 	if *metricsAddr != "" || *traceOut != "" || *recordOut != "" {
 		obs.Enable()
 		obs.EnableTracing(0)
+	}
+	if *pprof {
+		if *metricsAddr == "" {
+			cli.Fatalf("tinyleo-bench: -pprof needs -metrics-addr to serve on\n")
+		}
+		obs.EnablePprof()
 	}
 	if *recordOut != "" {
 		if err := flightrec.Enable(flightrec.Options{}); err != nil {
@@ -269,6 +284,13 @@ func main() {
 			fail("chaos", err)
 		}
 		emit(tabs...)
+	}
+	if want("southbound") {
+		tab, err := experiments.SouthboundRoundtrip(*sbAgents, *sbCmds)
+		if err != nil {
+			fail("southbound", err)
+		}
+		emit(tab)
 	}
 	if want("ablations") {
 		tab, err := experiments.AblationSolver(scale, library)

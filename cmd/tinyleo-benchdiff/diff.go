@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Gate configures which metrics block and how much they may move.
+type Gate struct {
+	// MaxRegress is the allowed fractional regression (0.2 = 20%).
+	MaxRegress float64
+	// HigherBetter / LowerBetter are regexps over metric names selecting
+	// the gated direction. Empty matches nothing.
+	HigherBetter string
+	LowerBetter  string
+}
+
+// Row is one compared metric.
+type Row struct {
+	Name      string
+	Base      float64
+	Cur       float64
+	Unit      string
+	Delta     float64 // fractional change, (cur-base)/base
+	Gated     bool
+	Regressed bool
+}
+
+// Report is the outcome of a diff: every metric present in either file,
+// sorted by name.
+type Report struct {
+	Rows []Row
+	// MissingCurrent lists gated baseline metrics absent from the current
+	// file — these count as regressions (a gate that silently vanishes is
+	// not a pass).
+	MissingCurrent []string
+}
+
+// Regressions counts gated rows that moved beyond the allowance, plus
+// gated metrics missing from the current file.
+func (r *Report) Regressions() int {
+	n := len(r.MissingCurrent)
+	for _, row := range r.Rows {
+		if row.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Write renders the comparison, flagging gated and regressed rows.
+func (r *Report) Write(w io.Writer) {
+	for _, row := range r.Rows {
+		mark := " "
+		if row.Gated {
+			mark = "·"
+		}
+		if row.Regressed {
+			mark = "✗"
+		}
+		delta := "     —"
+		if !math.IsNaN(row.Delta) {
+			delta = fmt.Sprintf("%+5.1f%%", row.Delta*100)
+		}
+		fmt.Fprintf(w, "%s %-70s %12.4g -> %12.4g  %s %s\n",
+			mark, row.Name, row.Base, row.Cur, delta, row.Unit)
+	}
+	for _, name := range r.MissingCurrent {
+		fmt.Fprintf(w, "✗ %-70s missing from current file\n", name)
+	}
+}
+
+// readBench loads a -bench-json file into a name→entry map.
+func readBench(path string) (map[string]metrics.BenchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []metrics.BenchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]metrics.BenchEntry, len(entries))
+	for _, e := range entries {
+		m[e.Name] = e
+	}
+	return m, nil
+}
+
+// Diff compares two benchmark maps under the gate.
+func Diff(base, cur map[string]metrics.BenchEntry, g Gate) (*Report, error) {
+	matchHigher, err := compileOrNil(g.HigherBetter)
+	if err != nil {
+		return nil, fmt.Errorf("-higher: %w", err)
+	}
+	matchLower, err := compileOrNil(g.LowerBetter)
+	if err != nil {
+		return nil, fmt.Errorf("-lower: %w", err)
+	}
+	names := map[string]bool{}
+	for name := range base {
+		names[name] = true
+	}
+	for name := range cur {
+		names[name] = true
+	}
+	report := &Report{}
+	for name := range names {
+		b, inBase := base[name]
+		c, inCur := cur[name]
+		higher := matchHigher != nil && matchHigher.MatchString(name)
+		lower := matchLower != nil && matchLower.MatchString(name)
+		if !inCur {
+			if higher || lower {
+				report.MissingCurrent = append(report.MissingCurrent, name)
+			}
+			continue
+		}
+		row := Row{Name: name, Cur: c.Value, Unit: c.Unit, Delta: math.NaN()}
+		if inBase {
+			row.Base = b.Value
+			if b.Value != 0 {
+				row.Delta = (c.Value - b.Value) / b.Value
+			}
+			row.Gated = higher || lower
+			switch {
+			case higher:
+				row.Regressed = c.Value < b.Value*(1-g.MaxRegress)
+			case lower:
+				row.Regressed = c.Value > b.Value*(1+g.MaxRegress)
+			}
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	sort.Slice(report.Rows, func(i, j int) bool { return report.Rows[i].Name < report.Rows[j].Name })
+	sort.Strings(report.MissingCurrent)
+	return report, nil
+}
+
+// DiffFiles is Diff over two -bench-json files.
+func DiffFiles(basePath, curPath string, g Gate) (*Report, error) {
+	base, err := readBench(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := readBench(curPath)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(base, cur, g)
+}
+
+func compileOrNil(expr string) (*regexp.Regexp, error) {
+	if expr == "" {
+		return nil, nil
+	}
+	return regexp.Compile(expr)
+}

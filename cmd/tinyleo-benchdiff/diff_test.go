@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func entries(kv map[string]float64) map[string]metrics.BenchEntry {
+	m := map[string]metrics.BenchEntry{}
+	for name, v := range kv {
+		m[name] = metrics.BenchEntry{Name: name, Value: v}
+	}
+	return m
+}
+
+func TestDiffGatesByDirection(t *testing.T) {
+	base := entries(map[string]float64{
+		"horizon/parallel/speedup_x":    2.0,
+		"southbound/traced/overhead_x":  1.5,
+		"southbound/traced/wall_s":      0.5, // ungated: machine-dependent
+		"horizon/parallel/pruned_pairs": 100,
+	})
+	g := Gate{MaxRegress: 0.2, HigherBetter: `speedup_x$`, LowerBetter: `overhead_x$`}
+
+	// Within allowance in both directions: no regression.
+	cur := entries(map[string]float64{
+		"horizon/parallel/speedup_x":    1.7, // −15%, allowed
+		"southbound/traced/overhead_x":  1.7, // +13%, allowed
+		"southbound/traced/wall_s":      5.0, // 10× worse but ungated
+		"horizon/parallel/pruned_pairs": 100,
+	})
+	r, err := Diff(base, cur, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Regressions(); n != 0 {
+		t.Fatalf("regressions = %d, want 0", n)
+	}
+
+	// Beyond allowance: higher-better dropping and lower-better rising
+	// both gate.
+	cur = entries(map[string]float64{
+		"horizon/parallel/speedup_x":    1.5, // −25%
+		"southbound/traced/overhead_x":  1.9, // +27%
+		"southbound/traced/wall_s":      0.5,
+		"horizon/parallel/pruned_pairs": 100,
+	})
+	r, err = Diff(base, cur, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Regressions(); n != 2 {
+		t.Fatalf("regressions = %d, want 2", n)
+	}
+	var buf bytes.Buffer
+	r.Write(&buf)
+	if !strings.Contains(buf.String(), "✗ horizon/parallel/speedup_x") {
+		t.Errorf("report does not flag the speedup regression:\n%s", buf.String())
+	}
+}
+
+func TestDiffMissingGatedMetricFails(t *testing.T) {
+	base := entries(map[string]float64{
+		"horizon/parallel/speedup_x": 2.0,
+		"some/other/wall_s":          1.0,
+	})
+	cur := entries(map[string]float64{"some/other/wall_s": 1.0})
+	r, err := Diff(base, cur, Gate{MaxRegress: 0.2, HigherBetter: `speedup_x$`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gated metric vanished: that is a failure. The ungated one
+	// vanishing would not be.
+	if n := r.Regressions(); n != 1 {
+		t.Fatalf("regressions = %d, want 1", n)
+	}
+	if len(r.MissingCurrent) != 1 || r.MissingCurrent[0] != "horizon/parallel/speedup_x" {
+		t.Fatalf("missing = %v", r.MissingCurrent)
+	}
+}
+
+func TestDiffNewMetricIsInformational(t *testing.T) {
+	base := entries(map[string]float64{})
+	cur := entries(map[string]float64{"brand/new/speedup_x": 3.0})
+	r, err := Diff(base, cur, Gate{MaxRegress: 0.2, HigherBetter: `speedup_x$`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Regressions(); n != 0 {
+		t.Fatalf("regressions = %d, want 0 (no baseline to regress from)", n)
+	}
+}
+
+func TestDiffBadRegexp(t *testing.T) {
+	if _, err := Diff(nil, nil, Gate{HigherBetter: `(`}); err == nil {
+		t.Error("invalid -higher regexp accepted")
+	}
+}
+
+func TestDiffFilesEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "cur.json")
+	write := func(path, body string) {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(base, `[{"name":"a/b/speedup_x","value":2,"unit":""}]`)
+	write(cur, `[{"name":"a/b/speedup_x","value":1,"unit":""}]`)
+	r, err := DiffFiles(base, cur, Gate{MaxRegress: 0.2, HigherBetter: `speedup_x$`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Regressions() != 1 {
+		t.Fatalf("regressions = %d, want 1", r.Regressions())
+	}
+	write(cur, `not json`)
+	if _, err := DiffFiles(base, cur, Gate{}); err == nil {
+		t.Error("malformed current file accepted")
+	}
+	if _, err := DiffFiles(filepath.Join(dir, "nope.json"), cur, Gate{}); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}

@@ -1,0 +1,49 @@
+// Command tinyleo-benchdiff compares two -bench-json files (the
+// [{"name","value","unit"}] arrays tinyleo-bench emits) and fails when a
+// gated metric regresses beyond the allowed fraction. CI runs it against
+// the committed BENCH_baseline.json so performance changes to the
+// horizon compile and the southbound command path are explicit in the
+// diff that moves the baseline, not silent drift.
+//
+//	tinyleo-benchdiff -baseline BENCH_baseline.json -current BENCH.json \
+//	    -higher 'cache_hit_ratio$' -lower 'overhead_x$' -max-regress 0.2
+//
+// Metrics are gated by direction: names matching -higher regress when
+// the current value drops below baseline×(1−max-regress); names
+// matching -lower regress when it rises above baseline×(1+max-regress).
+// Metrics matching neither regexp (wall-clock numbers, throughputs that
+// depend on the machine) are printed for the trajectory but never gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline bench-json file (required)")
+	current := flag.String("current", "", "current bench-json file (required)")
+	maxRegress := flag.Float64("max-regress", 0.2, "allowed fractional regression before failing")
+	higher := flag.String("higher", "", "regexp of metric names where higher is better")
+	lower := flag.String("lower", "", "regexp of metric names where lower is better")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "tinyleo-benchdiff: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	report, err := DiffFiles(*baseline, *current, Gate{
+		MaxRegress: *maxRegress, HigherBetter: *higher, LowerBetter: *lower,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tinyleo-benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	report.Write(os.Stdout)
+	if n := report.Regressions(); n > 0 {
+		fmt.Fprintf(os.Stderr, "tinyleo-benchdiff: %d metric(s) regressed beyond %.0f%%\n",
+			n, *maxRegress*100)
+		os.Exit(1)
+	}
+}

@@ -30,6 +30,18 @@
 //
 //	tinyleo-ctl inspect -in flight.jsonl.gz
 //	tinyleo-ctl inspect -in flight.jsonl.gz -events -max-links 16
+//
+// Distributed tracing: with -trace-out on the controller and every agent,
+// the trace subcommand merges the per-process JSONL dumps into one
+// timeline — correcting clock skew from the send→ack brackets — and
+// renders it as a Chrome trace (chrome://tracing, Perfetto) or the
+// deterministic canonical text form:
+//
+//	tinyleo-ctl trace -o merged.json ctl.jsonl sat3.jsonl sat4.jsonl
+//	tinyleo-ctl trace -canonical ctl.jsonl sat3.jsonl sat4.jsonl
+//
+// -pprof additionally serves net/http/pprof profiles (CPU, heap, mutex,
+// block) under /debug/pprof/ on the -metrics-addr listener.
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/baseline"
@@ -47,15 +60,84 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/obs"
 	"repro/internal/obs/flightrec"
+	"repro/internal/obs/tracemerge"
 	"repro/internal/southbound"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "inspect" {
-		runInspect(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "inspect":
+			runInspect(os.Args[2:])
+			return
+		case "trace":
+			runTraceMerge(os.Args[2:])
+			return
+		}
 	}
 	runController()
+}
+
+// runTraceMerge implements `tinyleo-ctl trace`: merge per-process trace
+// dumps (controller + agents) into one skew-corrected timeline.
+func runTraceMerge(args []string) {
+	fs := flag.NewFlagSet("tinyleo-ctl trace", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	canonical := fs.Bool("canonical", false, "emit the deterministic canonical text form instead of a Chrome trace")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tinyleo-ctl trace [-o merged.json] [-canonical] dump.jsonl...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var dumps []*tracemerge.Dump
+	for _, path := range fs.Args() {
+		d, err := tracemerge.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tinyleo-ctl trace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		dumps = append(dumps, d)
+	}
+	m := tracemerge.Merge(dumps...)
+	anchor, offsets := m.Offsets()
+	fmt.Fprintf(os.Stderr, "merged %d dumps, %d spans; clock anchor %q\n", len(dumps), len(m.Spans), anchor)
+	procs := make([]string, 0, len(offsets))
+	for proc := range offsets {
+		if proc != anchor {
+			procs = append(procs, proc)
+		}
+	}
+	sort.Strings(procs)
+	for _, proc := range procs {
+		fmt.Fprintf(os.Stderr, "  %s: %+.3fms skew\n", proc, float64(offsets[proc])/1000)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tinyleo-ctl trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if *canonical {
+		err = m.WriteCanonical(w)
+	} else {
+		err = m.WriteChromeTrace(w)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tinyleo-ctl trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
 }
 
 // runInspect implements `tinyleo-ctl inspect`: load a recording, print
@@ -95,6 +177,7 @@ func runController() {
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
 	recordOut := flag.String("record-out", "", "write a flight recording to this file on exit (.gz = gzip)")
 	sloSpec := flag.String("slo", "", "SLO rule spec, e.g. 'availability>=0.95,repair_p99<=0.2' (empty = defaults)")
+	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on -metrics-addr")
 	flag.Parse()
 
 	defer cli.Flush()
@@ -105,6 +188,12 @@ func runController() {
 		// metrics (enforcement ratio, repair latency, ack RTT).
 		obs.Enable()
 		obs.EnableTracing(0)
+	}
+	if *pprof {
+		if *metricsAddr == "" {
+			cli.Fatalf("tinyleo-ctl: -pprof needs -metrics-addr to serve on\n")
+		}
+		obs.EnablePprof()
 	}
 	ctl, err := southbound.ListenController(*listen)
 	if err != nil {
@@ -208,30 +297,34 @@ func runController() {
 			s, t, len(snap.InterLinks), len(snap.RingLinks), len(added)+len(removed),
 			compiler.EnforcementRatio(snap))
 		// Push changes to the agents that are connected (agent IDs are
-		// satellite indices).
+		// satellite indices). Every command in this slot descends from one
+		// mpc.emit root span, so the merged cross-process trace shows the
+		// whole enforcement round as a single causal tree.
+		emit := obs.StartSpan("mpc.emit",
+			"slot", fmt.Sprint(s), "t", fmt.Sprintf("%.0f", t))
+		emitted := time.Now()
 		pushed := 0
+		push := func(end int, peer uint32, up bool) {
+			m := &southbound.Message{
+				Type: southbound.MsgSetISL, SatID: uint32(end),
+				Peer: peer, Up: up,
+				Trace: emit.Context(), Emitted: emitted,
+			}
+			if err := ctl.Send(m); err == nil {
+				pushed++
+			}
+		}
 		for _, l := range added {
 			for _, end := range []int{l[0], l[1]} {
-				m := &southbound.Message{
-					Type: southbound.MsgSetISL, SatID: uint32(end),
-					Peer: uint32(l.Peer(end)), Up: true,
-				}
-				if err := ctl.Send(m); err == nil {
-					pushed++
-				}
+				push(end, uint32(l.Peer(end)), true)
 			}
 		}
 		for _, l := range removed {
 			for _, end := range []int{l[0], l[1]} {
-				m := &southbound.Message{
-					Type: southbound.MsgSetISL, SatID: uint32(end),
-					Peer: uint32(l.Peer(end)), Up: false,
-				}
-				if err := ctl.Send(m); err == nil {
-					pushed++
-				}
+				push(end, uint32(l.Peer(end)), false)
 			}
 		}
+		emit.End()
 		fmt.Printf("  pushed %d commands to connected agents\n", pushed)
 		time.Sleep(200 * time.Millisecond)
 	})

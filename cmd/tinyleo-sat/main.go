@@ -17,6 +17,13 @@
 //	tinyleo-sat -controller 127.0.0.1:7601 -id 3 \
 //	    -metrics-addr 127.0.0.1:9103 -trace-out sat3-trace.jsonl \
 //	    -record-out sat3-flight.jsonl.gz
+//
+// Commands carry the controller's trace context over the wire; the agent
+// applies each one to a local data-plane view and records the install as
+// a span continuing that trace, so `tinyleo-ctl trace` can merge the
+// controller's and agents' dumps into one cross-process timeline. -pprof
+// serves net/http/pprof under /debug/pprof/ on the -metrics-addr
+// listener.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/dataplane"
 	"repro/internal/obs"
 	"repro/internal/obs/flightrec"
 	"repro/internal/southbound"
@@ -40,6 +48,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace on this address (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
 	recordOut := flag.String("record-out", "", "write a flight recording to this file on exit (.gz = gzip)")
+	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on -metrics-addr")
 	flag.Parse()
 
 	defer cli.Flush()
@@ -48,6 +57,12 @@ func main() {
 	if *metricsAddr != "" || *traceOut != "" || *recordOut != "" {
 		obs.Enable()
 		obs.EnableTracing(0)
+	}
+	if *pprof {
+		if *metricsAddr == "" {
+			cli.Fatalf("tinyleo-sat: -pprof needs -metrics-addr to serve on\n")
+		}
+		obs.EnablePprof()
 	}
 	if *recordOut != "" {
 		if err := flightrec.Enable(flightrec.Options{}); err != nil {
@@ -87,15 +102,31 @@ func main() {
 	defer span.End()
 	fmt.Printf("sat %d registered with %s\n", *id, *addr)
 
+	// Local data-plane view: each command actually lands somewhere (links
+	// raised/lowered, ring successor set), and the install is recorded as
+	// a span continuing the command's trace, so the merged timeline shows
+	// emit → send → apply → install end to end.
+	view := dataplane.NewNetwork()
+	self := view.AddSatellite(int(*id), 0)
 	agent.OnCommand = func(m *southbound.Message) {
+		sp := obs.StartSpanCtx(m.Trace, "dataplane.install",
+			"sat", fmt.Sprint(*id), "seq", fmt.Sprint(m.Seq), "type", m.Type.String())
+		defer sp.End()
 		switch m.Type {
 		case southbound.MsgSetISL:
 			state := "down"
 			if m.Up {
 				state = "up"
+				if view.Sats[int(m.Peer)] == nil {
+					view.AddSatellite(int(m.Peer), 0)
+				}
+				view.EnsureLink(int(*id), int(m.Peer), 0.003)
+			} else if l := view.Link(int(*id), int(m.Peer)); l != nil {
+				l.Down()
 			}
 			fmt.Printf("sat %d: ISL to %d -> %s (seq %d)\n", *id, m.Peer, state, m.Seq)
 		case southbound.MsgSetRing:
+			self.RingNext = int(m.Peer)
 			fmt.Printf("sat %d: ring successor -> %d (seq %d)\n", *id, m.Peer, m.Seq)
 		case southbound.MsgInstallRoute:
 			fmt.Printf("sat %d: route installed, %d segments (seq %d)\n", *id, len(m.Cells), m.Seq)

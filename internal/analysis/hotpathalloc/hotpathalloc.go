@@ -4,8 +4,10 @@
 // packet or per message. The obs instruments themselves no-op when a
 // registry is disabled, but *looking one up* — Registry.Counter / Gauge /
 // Histogram — takes the registry mutex and allocates the label-pair
-// slice on every call, and flightrec.Emit / obs.StartSpan allocate their
-// variadic attributes at the call site before any enabled check runs.
+// slice on every call, and flightrec.Emit and the span starts
+// (obs.StartSpan / obs.StartSpanCtx, package-level or Tracer methods)
+// allocate their variadic attributes at the call site before any enabled
+// check runs.
 // On a hot path that cost is paid per packet whether or not telemetry is
 // on.
 //
@@ -51,6 +53,13 @@ var registryLookups = map[string]bool{
 // flightrecEmits serialize an event (or at least build its attributes).
 var flightrecEmits = map[string]bool{
 	"Emit": true, "RecordSlot": true,
+}
+
+// spanStarts allocate their variadic attribute slice at the call site
+// before the tracer's disabled check runs — package-level obs.StartSpan /
+// obs.StartSpanCtx and the Tracer methods of the same names.
+var spanStarts = map[string]bool{
+	"StartSpan": true, "StartSpanCtx": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -146,17 +155,18 @@ func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
 				"flightrec.%s on hot path %s without an Enabled() guard: "+
 					"wrap in `if flightrec.Enabled() { ... }`",
 				name, fn.Name.Name)
-		case strings.HasSuffix(pkg, "internal/obs") && name == "StartSpan":
+		case strings.HasSuffix(pkg, "internal/obs") && spanStarts[name]:
 			pass.Reportf(call.Pos(),
-				"obs.StartSpan on hot path %s without an Enabled() guard: "+
+				"obs.%s on hot path %s without an Enabled() guard: "+
 					"span attributes allocate before the disabled check",
-				fn.Name.Name)
+				name, fn.Name.Name)
 		}
 		return
 	}
-	// Method telemetry: Registry.Counter/Gauge/Histogram lookups.
+	// Method telemetry: Registry.Counter/Gauge/Histogram lookups and
+	// Tracer.StartSpan/StartSpanCtx.
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !registryLookups[sel.Sel.Name] {
+	if !ok || (!registryLookups[sel.Sel.Name] && !spanStarts[sel.Sel.Name]) {
 		return
 	}
 	selection, ok := pass.TypesInfo.Selections[sel]
@@ -164,6 +174,13 @@ func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
 		return
 	}
 	if !strings.HasSuffix(selection.Obj().Pkg().Path(), "internal/obs") {
+		return
+	}
+	if spanStarts[sel.Sel.Name] {
+		pass.Reportf(call.Pos(),
+			"Tracer.%s on hot path %s without an Enabled() guard: "+
+				"span attributes allocate before the disabled check",
+			sel.Sel.Name, fn.Name.Name)
 		return
 	}
 	pass.Reportf(call.Pos(),

@@ -32,6 +32,24 @@ func (n *node) trace() {
 	span.End()
 }
 
+// traceCtx continues a propagated context per message: same per-call
+// attribute allocation, same rule — package-level and method form.
+//
+//tinyleo:hotpath
+func (n *node) traceCtx(sc obs.SpanContext) {
+	span := obs.StartSpanCtx(sc, "hot.apply") // want `obs.StartSpanCtx on hot path traceCtx`
+	span.End()
+	tr := obs.Trace()
+	span = tr.StartSpanCtx(sc, "hot.apply") // want `Tracer.StartSpanCtx on hot path traceCtx`
+	span.End()
+	if tr.Enabled() {
+		s := tr.StartSpanCtx(sc, "hot.apply") // guarded: allowed
+		s.End()
+		s = tr.StartSpan("hot.apply") // guarded: allowed
+		s.End()
+	}
+}
+
 // cold is not marked, so unguarded lookups are fine here.
 func (n *node) cold(reason string) {
 	n.reg.Counter("drops", "reason", reason).Inc()

@@ -41,8 +41,32 @@ func (h *Histogram) Observe(v float64) {}
 // Span is a stub trace span.
 type Span struct{}
 
+// SpanContext is a stub propagated trace identity.
+type SpanContext struct{}
+
 // StartSpan opens a span.
 func StartSpan(name string, attrs ...string) *Span { return &Span{} }
 
+// StartSpanCtx opens a span continuing a propagated context.
+func StartSpanCtx(parent SpanContext, name string, attrs ...string) *Span { return &Span{} }
+
 // End closes the span.
 func (s *Span) End() {}
+
+// Tracer is the stub span recorder.
+type Tracer struct{}
+
+// Trace returns the process-wide tracer.
+func Trace() *Tracer { return &Tracer{} }
+
+// Enabled reports whether the tracer records.
+func (t *Tracer) Enabled() bool { return false }
+
+// StartSpan opens a span on this tracer.
+func (t *Tracer) StartSpan(name string, attrs ...string) *Span { return &Span{} }
+
+// StartSpanCtx opens a span on this tracer continuing a propagated
+// context.
+func (t *Tracer) StartSpanCtx(parent SpanContext, name string, attrs ...string) *Span {
+	return &Span{}
+}

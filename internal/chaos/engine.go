@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/mpc"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/obs/flightrec"
 	"repro/internal/southbound"
 )
@@ -31,6 +32,13 @@ type Campaign struct {
 	// WindowSec is the sim-time length of each measurement window
 	// (default 2 s).
 	WindowSec float64
+	// Tracer, when non-nil, records the campaign's causal spans (mpc.emit
+	// roots, southbound send/retransmit/ack, agent applies). The engine
+	// re-enables it on the campaign's virtual clock and seeds its span IDs
+	// from Seed, so two runs of the same campaign produce identical span
+	// timestamps and a byte-identical canonical merged trace
+	// (tracemerge.WriteCanonical).
+	Tracer *obs.Tracer
 }
 
 func (c *Campaign) fillDefaults() {
@@ -85,6 +93,7 @@ type runner struct {
 	mu             sync.Mutex
 	agents         map[int]*southbound.Agent
 	gates          map[int]chan struct{} // blackholed agents (OnCommand blocks)
+	wedgedEntered  map[int]bool          // gated agents that reached their blocking callback
 	acked          map[uint32]bool       // SetISL/probe seqs acknowledged
 	actions        map[uint32]islAction  // this round's seq → topology change
 	abandonedRound int                   // OnCommandFailed count this round
@@ -121,15 +130,16 @@ func Run(c Campaign) (*Report, error) {
 	}
 	r := &runner{
 		c: c, tb: tb,
-		vc:      NewVClock(),
-		rng:     rand.New(rand.NewSource(c.Seed)),
-		agents:  map[int]*southbound.Agent{},
-		gates:   map[int]chan struct{}{},
-		acked:   map[uint32]bool{},
-		impair:  map[*netem.Link]*netem.Impairment{},
-		crashed: map[int]bool{},
-		snap:    tb.Snap,
-		report:  &Report{Scenario: c.Scenario.Name, Seed: c.Seed},
+		vc:            NewVClock(),
+		rng:           rand.New(rand.NewSource(c.Seed)),
+		agents:        map[int]*southbound.Agent{},
+		gates:         map[int]chan struct{}{},
+		wedgedEntered: map[int]bool{},
+		acked:         map[uint32]bool{},
+		impair:        map[*netem.Link]*netem.Impairment{},
+		crashed:       map[int]bool{},
+		snap:          tb.Snap,
+		report:        &Report{Scenario: c.Scenario.Name, Seed: c.Seed},
 	}
 	defer r.shutdown()
 	if err := r.start(); err != nil {
@@ -161,6 +171,16 @@ func (r *runner) start() error {
 	}
 	r.ctl = ctl
 	ctl.Clock = r.vc.Now
+	if r.c.Tracer != nil {
+		// Rebase the tracer onto the campaign's virtual clock and seed its
+		// span IDs before any span starts: timestamps and ID streams become
+		// pure functions of (seed, scenario).
+		r.c.Tracer.SetClock(r.vc.Now)
+		r.c.Tracer.SeedIDs(uint64(r.c.Seed))
+		r.c.Tracer.SetProcess("chaos")
+		r.c.Tracer.Enable(0)
+		ctl.Tracer = r.c.Tracer
+	}
 	ctl.AckTimeout = campaignAckTimeout
 	ctl.RetransmitInterval = campaignRetransmit
 	ctl.MaxRetransmits = campaignMaxRetrans
@@ -188,6 +208,7 @@ func (r *runner) start() error {
 				BackoffBase: campaignBackoffBase,
 				BackoffMax:  campaignBackoffMax,
 				Seed:        r.c.Seed + int64(id) + 1,
+				Tracer:      r.c.Tracer,
 				OnReconnect: func(int) {
 					r.mu.Lock()
 					r.reconnects++
@@ -200,6 +221,9 @@ func (r *runner) start() error {
 		a.OnCommand = func(m *southbound.Message) {
 			r.mu.Lock()
 			gate := r.gates[id]
+			if gate != nil {
+				r.wedgedEntered[id] = true
+			}
 			r.mu.Unlock()
 			if gate != nil {
 				<-gate // blackholed: wedge until the round releases it
@@ -607,7 +631,17 @@ func (r *runner) enforce(rr *RoundReport, added, removed []mpc.Link) error {
 	for _, l := range removed {
 		cmds = append(cmds, cmd{l, false})
 	}
+	// One mpc.emit root per round: every enforced command's causal tree
+	// (send → retransmits → apply → ack) hangs off it in the merged trace.
+	var emit obs.Span
+	if r.c.Tracer != nil && r.c.Tracer.Enabled() {
+		emit = r.c.Tracer.StartSpanCtx(obs.SpanContext{}, "mpc.emit",
+			"round", fmt.Sprint(r.round),
+			"commands", fmt.Sprint(len(cmds)))
+	}
+	defer emit.End()
 	gatedSends := 0
+	gatedTargets := map[int]bool{}
 	for _, c := range cmds {
 		target, other, ok := r.commandTarget(c.l)
 		if !ok {
@@ -616,6 +650,7 @@ func (r *runner) enforce(rr *RoundReport, added, removed []mpc.Link) error {
 		}
 		m := &southbound.Message{
 			Type: southbound.MsgSetISL, SatID: uint32(target), Peer: uint32(other), Up: c.up,
+			Trace: emit.Context(), Emitted: r.vc.Now(),
 		}
 		if err := r.ctl.Send(m); err != nil {
 			rr.CommandsUnknown++
@@ -628,6 +663,7 @@ func (r *runner) enforce(rr *RoundReport, added, removed []mpc.Link) error {
 		r.mu.Unlock()
 		if gated {
 			gatedSends++
+			gatedTargets[target] = true
 		}
 	}
 
@@ -636,6 +672,24 @@ func (r *runner) enforce(rr *RoundReport, added, removed []mpc.Link) error {
 		return r.ctl.PendingAcks() <= gatedSends
 	}, "command acks"); err != nil {
 		return err
+	}
+	// Wedged agents must have reached their blocking callback before the
+	// virtual clock moves: their apply span starts (and the trace's
+	// determinism) depend on the command being read at this round's time,
+	// not mid-retransmit-sweep.
+	if len(gatedTargets) > 0 {
+		if err := r.waitCond(func() bool {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			for id := range gatedTargets {
+				if !r.wedgedEntered[id] {
+					return false
+				}
+			}
+			return true
+		}, "wedged agents entering apply"); err != nil {
+			return err
+		}
 	}
 	// Anything still pending targets a wedged agent: retransmit on the
 	// virtual clock up to the cap, then abandon past AckTimeout.
@@ -663,6 +717,7 @@ func (r *runner) enforce(rr *RoundReport, added, removed []mpc.Link) error {
 		released = append(released, id)
 	}
 	r.gates = map[int]chan struct{}{}
+	r.wedgedEntered = map[int]bool{}
 	r.mu.Unlock()
 	sort.Ints(released)
 

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/southbound"
+)
+
+// SouthboundRoundtrip measures the southbound enforcement path over real
+// loopback TCP: one controller, `agents` in-process agents, and `cmds`
+// SetISL commands pushed round-robin and acknowledged. It runs twice —
+// tracing off, then tracing on with every command carrying a span
+// context over the wire and every process recording spans — so the
+// benchmark trajectory tracks tracing overhead as an explicit ratio,
+// which CI gates alongside the horizon-compile numbers.
+//
+// This is a wall-clock benchmark of a real network path, not a
+// deterministic computation; its numbers are excluded from any canonical
+// output.
+func SouthboundRoundtrip(agents, cmds int) (*metrics.Table, error) {
+	if agents <= 0 {
+		agents = 4
+	}
+	if cmds <= 0 {
+		cmds = 2000
+	}
+	tab := metrics.NewTable("Southbound: command roundtrip",
+		"run", "agents", "commands", "wall (s)", "throughput (cmds/s)",
+		"ack RTT mean (ms)", "retransmits", "overhead (x)")
+	baseWall := 0.0
+	for _, traced := range []bool{false, true} {
+		wall, rttMS, retrans, err := southboundPhase(agents, cmds, traced)
+		if err != nil {
+			return nil, err
+		}
+		name, overhead := "untraced", 1.0
+		if traced {
+			name = "traced"
+			if baseWall > 0 {
+				overhead = wall / baseWall
+			}
+		} else {
+			baseWall = wall
+		}
+		rate := 0.0
+		if wall > 0 {
+			rate = float64(cmds) / wall
+		}
+		tab.AddRow(name, agents, cmds, fmt.Sprintf("%.3f", wall),
+			fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.3f", rttMS),
+			retrans, fmt.Sprintf("%.2f", overhead))
+	}
+	return tab, nil
+}
+
+// southboundPhase runs one controller+agents round and reports the wall
+// time from first send to last ack, the mean ack RTT, and the retransmit
+// count (nonzero only under loss, which loopback shouldn't see).
+func southboundPhase(agents, cmds int, traced bool) (wall, rttMS float64, retrans int64, err error) {
+	ctl, err := southbound.ListenController("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer ctl.Close()
+	var ctlTr *obs.Tracer
+	if traced {
+		ctlTr = &obs.Tracer{}
+		ctlTr.SetProcess("bench-ctl")
+		ctlTr.Enable(1 << 14)
+		ctl.Tracer = ctlTr
+	}
+	for i := 0; i < agents; i++ {
+		var opts southbound.AgentOptions
+		if traced {
+			tr := &obs.Tracer{}
+			tr.SetProcess(fmt.Sprintf("bench-sat-%d", i))
+			tr.Enable(1 << 14)
+			opts.Tracer = tr
+		}
+		//lint:tinyleo-ignore dial timeout on a real TCP benchmark path, not part of any deterministic output
+		a, err := southbound.DialAgentOptions(ctl.Addr(), uint32(i), 5*time.Second, opts)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer a.Close()
+	}
+	//lint:tinyleo-ignore the measured wall time IS this experiment's result
+	start := time.Now()
+	for i := 0; i < cmds; i++ {
+		m := &southbound.Message{
+			Type: southbound.MsgSetISL, SatID: uint32(i % agents),
+			Peer: uint32((i + 1) % agents), Up: true,
+		}
+		if traced {
+			emit := ctlTr.StartSpan("mpc.emit", "i", fmt.Sprint(i))
+			m.Trace = emit.Context()
+			//lint:tinyleo-ignore emit timestamp feeds the e2e latency histogram, not any deterministic output
+			m.Emitted = time.Now()
+			emit.End()
+		}
+		if err := ctl.Send(m); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	//lint:tinyleo-ignore ack-wait deadline on a real TCP benchmark path
+	deadline := time.Now().Add(30 * time.Second)
+	for ctl.PendingAcks() > 0 {
+		//lint:tinyleo-ignore ack-wait deadline on a real TCP benchmark path
+		if time.Now().After(deadline) {
+			return 0, 0, 0, fmt.Errorf("southbound: %d commands never acked", ctl.PendingAcks())
+		}
+		//lint:tinyleo-ignore polling a real TCP benchmark path, not part of any deterministic output
+		time.Sleep(200 * time.Microsecond)
+	}
+	//lint:tinyleo-ignore the measured wall time IS this experiment's result
+	wall = time.Since(start).Seconds()
+	h := ctl.Metrics().Histogram(southbound.MetricAckRTT, nil)
+	if n := h.Count(); n > 0 {
+		rttMS = h.Sum() / float64(n) * 1000
+	}
+	retrans = ctl.Metrics().Counter(southbound.MetricRetransmits).Value()
+	return wall, rttMS, retrans, nil
+}

@@ -4,10 +4,8 @@
 package metrics
 
 import (
-	"fmt"
 	"math"
 	"sort"
-	"sync"
 )
 
 // Summary holds basic descriptive statistics of a sample.
@@ -143,71 +141,4 @@ func (c *CDF) Points(n int) [][2]float64 {
 		out[i] = [2]float64{x, c.At(x)}
 	}
 	return out
-}
-
-// Counter is a monotonically growing event counter keyed by name,
-// originally used for signaling-message accounting (Figure 17). It is safe
-// for concurrent use.
-//
-// Deprecated: runtime event counting migrated to obs.Registry.Counter
-// (internal/obs), which adds /metrics exposition and the Enabled() gate
-// required on //tinyleo:hotpath functions. Counter remains only so old
-// analysis scripts keep compiling; the statistics helpers in this package
-// (Summarize, Table, CDF, BenchJSON) are current and widely used.
-type Counter struct {
-	mu     sync.Mutex
-	counts map[string]int64
-	order  []string
-}
-
-// NewCounter returns an empty Counter.
-func NewCounter() *Counter { return &Counter{counts: map[string]int64{}} }
-
-// Add increments key by n.
-func (c *Counter) Add(key string, n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.counts[key]; !ok {
-		c.order = append(c.order, key)
-	}
-	c.counts[key] += n
-}
-
-// Get returns the count for key.
-func (c *Counter) Get(key string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counts[key]
-}
-
-// Total returns the sum over all keys.
-func (c *Counter) Total() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var t int64
-	for _, v := range c.counts {
-		t += v
-	}
-	return t
-}
-
-// Keys returns keys in first-insertion order.
-func (c *Counter) Keys() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]string(nil), c.order...)
-}
-
-// String renders the counter as "k1=v1 k2=v2 …".
-func (c *Counter) String() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := ""
-	for i, k := range c.order {
-		if i > 0 {
-			s += " "
-		}
-		s += fmt.Sprintf("%s=%d", k, c.counts[k])
-	}
-	return s
 }

@@ -124,26 +124,6 @@ func TestCDFPoints(t *testing.T) {
 	}
 }
 
-func TestCounter(t *testing.T) {
-	c := NewCounter()
-	c.Add("isl_update", 3)
-	c.Add("route_update", 10)
-	c.Add("isl_update", 2)
-	if c.Get("isl_update") != 5 {
-		t.Errorf("isl_update = %d", c.Get("isl_update"))
-	}
-	if c.Total() != 15 {
-		t.Errorf("total = %d", c.Total())
-	}
-	keys := c.Keys()
-	if len(keys) != 2 || keys[0] != "isl_update" || keys[1] != "route_update" {
-		t.Errorf("keys = %v", keys)
-	}
-	if s := c.String(); !strings.Contains(s, "isl_update=5") {
-		t.Errorf("string = %q", s)
-	}
-}
-
 func TestMeanSum(t *testing.T) {
 	if Mean([]float64{2, 4}) != 3 {
 		t.Error("mean")

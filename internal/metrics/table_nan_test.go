@@ -1,10 +1,8 @@
 package metrics
 
 import (
-	"fmt"
 	"math"
 	"strings"
-	"sync"
 	"testing"
 )
 
@@ -28,37 +26,5 @@ func TestTableNaNRendersPlaceholder(t *testing.T) {
 	}
 	if got := csv.String(); !strings.Contains(got, "empty,-,-") {
 		t.Errorf("csv row = %q, want empty,-,-", got)
-	}
-}
-
-// Counter must be safe for concurrent Add/Get/Total/Keys/String (run with
-// -race to prove it).
-func TestCounterConcurrent(t *testing.T) {
-	c := NewCounter()
-	const workers, perWorker = 8, 1000
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			key := fmt.Sprintf("k%d", w%4)
-			for i := 0; i < perWorker; i++ {
-				c.Add(key, 1)
-				if i%100 == 0 {
-					c.Get(key)
-					c.Total()
-					c.Keys()
-					_ = c.String()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if got := c.Total(); got != workers*perWorker {
-		t.Errorf("Total = %d, want %d", got, workers*perWorker)
-	}
-	if got := len(c.Keys()); got != 4 {
-		t.Errorf("Keys = %d, want 4", got)
 	}
 }

@@ -76,3 +76,22 @@ func BenchmarkStartSpanEnabled(b *testing.B) {
 		tr.StartSpan("bench").End()
 	}
 }
+
+func BenchmarkStartSpanCtxDisabled(b *testing.B) {
+	tr := &Tracer{}
+	parent := SpanContext{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.StartSpanCtx(parent, "bench").End()
+	}
+}
+
+func BenchmarkStartSpanCtxEnabled(b *testing.B) {
+	tr := &Tracer{}
+	tr.Enable(1024)
+	parent := tr.StartSpan("root").Context()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.StartSpanCtx(parent, "bench").End()
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// EnablePprof mounts net/http/pprof's profiling endpoints on every
+// telemetry HTTP surface built by NewHandler/Serve (the -pprof flag on
+// tinyleo-sat/-ctl/-bench):
+//
+//	/debug/pprof/          index
+//	/debug/pprof/profile   CPU profile (?seconds=N)
+//	/debug/pprof/heap      live-heap allocations
+//	/debug/pprof/allocs    all allocations since start
+//	/debug/pprof/goroutine goroutine stacks
+//	/debug/pprof/mutex     contended-mutex holders
+//	/debug/pprof/block     blocking (channel/select/lock wait) profile
+//	/debug/pprof/threadcreate, /cmdline, /symbol, /trace
+//
+// Mutex and block profiling are off by default in the runtime; this
+// enables both at a sampling rate cheap enough to leave on for a whole
+// run (1 in 100 mutex contention events, block events ≥ 100 µs).
+func EnablePprof() {
+	runtime.SetMutexProfileFraction(100)
+	runtime.SetBlockProfileRate(100_000) // nanoseconds
+	RegisterHandler("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	RegisterHandler("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	RegisterHandler("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	RegisterHandler("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	RegisterHandler("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+	for _, name := range []string{"heap", "allocs", "goroutine", "mutex", "block", "threadcreate"} {
+		RegisterHandler("/debug/pprof/"+name, pprof.Handler(name))
+	}
+}

@@ -4,28 +4,53 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Event is one completed span in the trace ring.
+// Event is one completed span in the trace ring. Trace/Span/Parent are
+// hex-encoded causal identifiers (empty on spans recorded before tracing
+// carried context, and on the _meta record).
 type Event struct {
 	Name string `json:"name"`
 	// StartUS/DurUS are microseconds since tracer enable / span duration.
 	StartUS int64             `json:"start_us"`
 	DurUS   int64             `json:"dur_us"`
+	Trace   string            `json:"trace,omitempty"`
+	Span    string            `json:"span,omitempty"`
+	Parent  string            `json:"parent,omitempty"`
 	Attrs   map[string]string `json:"attrs,omitempty"`
 }
+
+// MetaEventName names the pseudo-event WriteJSONL emits first: it carries
+// the process name and the tracer epoch in absolute microseconds, which
+// the cross-process merger (internal/obs/tracemerge) needs to place this
+// dump on a shared timeline.
+const MetaEventName = "_tinyleo_trace_meta"
 
 // Tracer records spans into a fixed-capacity ring buffer: the newest
 // events win, so a long-running emulation keeps the recent control-loop
 // history without unbounded memory. Disabled tracers drop spans at the
 // cost of one atomic load.
+//
+// Spans carry causal identity (TraceID/SpanID/parent) so a trace started
+// in one process can be continued in another: StartSpanCtx continues a
+// propagated SpanContext, Span.Context returns the context to propagate.
+// IDs derive from a seed and an atomic sequence — seed explicitly via
+// SeedIDs for reproducible campaigns, or let Enable derive one from the
+// epoch. SetClock replaces the wall clock (the chaos engine injects its
+// virtual clock so recorded timestamps are deterministic).
 type Tracer struct {
-	on atomic.Bool
+	on     atomic.Bool
+	idSeed atomic.Uint64
+	idSeq  atomic.Uint64
+	clock  atomic.Pointer[func() time.Time]
 
 	mu      sync.Mutex
+	seeded  bool
+	proc    string
 	buf     []Event
 	next    int
 	wrapped bool
@@ -45,9 +70,52 @@ func Trace() *Tracer { return defaultTracer }
 // (0 = DefaultTraceCapacity).
 func EnableTracing(capacity int) { defaultTracer.Enable(capacity) }
 
-// StartSpan opens a span on the default tracer; attrs are key/value
+// StartSpan opens a root span on the default tracer; attrs are key/value
 // pairs. The returned span records on End().
 func StartSpan(name string, attrs ...string) Span { return defaultTracer.StartSpan(name, attrs...) }
+
+// StartSpanCtx opens a span on the default tracer as a child of parent
+// (a zero parent starts a new root).
+func StartSpanCtx(parent SpanContext, name string, attrs ...string) Span {
+	return defaultTracer.StartSpanCtx(parent, name, attrs...)
+}
+
+// SetClock replaces the tracer's wall clock for epoch and span timestamps
+// (nil restores time.Now). Set it before Enable: the epoch is read from
+// the clock at enable time.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if now == nil {
+		t.clock.Store(nil)
+		return
+	}
+	t.clock.Store(&now)
+}
+
+// SetProcess names the process in WriteJSONL's meta record, so merged
+// multi-process traces label each timeline (e.g. "tinyleo-sat-3").
+func (t *Tracer) SetProcess(name string) {
+	t.mu.Lock()
+	t.proc = name
+	t.mu.Unlock()
+}
+
+// SeedIDs makes span/trace ID generation a pure function of seed and
+// allocation order (campaign determinism). Resets the sequence; sticky
+// across Enable.
+func (t *Tracer) SeedIDs(seed uint64) {
+	t.mu.Lock()
+	t.seeded = true
+	t.mu.Unlock()
+	t.idSeed.Store(mix64(seed))
+	t.idSeq.Store(0)
+}
+
+func (t *Tracer) now() time.Time {
+	if p := t.clock.Load(); p != nil {
+		return (*p)()
+	}
+	return time.Now()
+}
 
 // Enable (re)enables the tracer, allocating a ring of the given capacity
 // (0 = DefaultTraceCapacity). Re-enabling resets the ring and epoch.
@@ -55,10 +123,15 @@ func (t *Tracer) Enable(capacity int) {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
+	epoch := t.now()
 	t.mu.Lock()
 	t.buf = make([]Event, capacity)
 	t.next, t.wrapped, t.dropped = 0, false, 0
-	t.epoch = time.Now()
+	t.epoch = epoch
+	if !t.seeded {
+		t.idSeed.Store(mix64(uint64(epoch.UnixNano())))
+		t.idSeq.Store(0)
+	}
 	t.mu.Unlock()
 	t.on.Store(true)
 }
@@ -69,29 +142,68 @@ func (t *Tracer) Enabled() bool { return t.on.Load() }
 // Disable stops recording; the ring stays readable.
 func (t *Tracer) Disable() { t.on.Store(false) }
 
-// Span is an in-flight trace span. The zero Span (from a disabled tracer)
-// is inert: End() is a nil check.
-type Span struct {
-	t     *Tracer
-	name  string
-	attrs []string
-	start time.Time
+// EpochUnixMicros returns the tracer epoch (the zero of Event.StartUS) in
+// absolute Unix microseconds.
+func (t *Tracer) EpochUnixMicros() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch.UnixMicro()
 }
 
-// StartSpan opens a span; attrs are key/value pairs attached on End.
+// Span is an in-flight trace span. The zero Span (from a disabled tracer)
+// is inert: End() is a nil check, Context() is zero.
+type Span struct {
+	t      *Tracer
+	name   string
+	attrs  []string
+	start  time.Time
+	sc     SpanContext
+	parent SpanID
+}
+
+// StartSpan opens a root span; attrs are key/value pairs attached on End.
 func (t *Tracer) StartSpan(name string, attrs ...string) Span {
 	if !t.on.Load() {
 		return Span{}
 	}
-	return Span{t: t, name: name, attrs: attrs, start: time.Now()}
+	return t.startSpanCtx(SpanContext{}, name, attrs)
 }
+
+// StartSpanCtx opens a span continuing parent's trace: same TraceID, a
+// fresh SpanID, parent recorded as the causal edge. A zero parent opens a
+// new root with a fresh TraceID. Propagate Span.Context() (in-process, or
+// over the southbound wire) to grow the tree across goroutines and
+// processes.
+func (t *Tracer) StartSpanCtx(parent SpanContext, name string, attrs ...string) Span {
+	if !t.on.Load() {
+		return Span{}
+	}
+	return t.startSpanCtx(parent, name, attrs)
+}
+
+// startSpanCtx is the enabled slow path, split out so the disabled guard
+// above stays within the inlining budget (hot paths call StartSpanCtx
+// unconditionally and rely on the disabled path costing one atomic load).
+func (t *Tracer) startSpanCtx(parent SpanContext, name string, attrs []string) Span {
+	s := Span{t: t, name: name, attrs: attrs, start: t.now()}
+	if parent.TraceID.IsZero() {
+		s.sc = SpanContext{TraceID: t.newTraceID(), SpanID: t.newSpanID()}
+	} else {
+		s.sc = SpanContext{TraceID: parent.TraceID, SpanID: t.newSpanID()}
+		s.parent = parent.SpanID
+	}
+	return s
+}
+
+// Context returns the span's propagatable identity (zero when inert).
+func (s Span) Context() SpanContext { return s.sc }
 
 // End completes the span and commits it to the ring.
 func (s Span) End() {
 	if s.t == nil {
 		return
 	}
-	s.t.record(s.name, s.start, time.Since(s.start), s.attrs)
+	s.t.record(s.name, s.start, s.t.now().Sub(s.start), s.sc, s.parent, s.attrs)
 }
 
 // Attr appends a key/value pair to an in-flight span (no-op when inert).
@@ -101,7 +213,7 @@ func (s *Span) Attr(k, v string) {
 	}
 }
 
-func (t *Tracer) record(name string, start time.Time, dur time.Duration, attrs []string) {
+func (t *Tracer) record(name string, start time.Time, dur time.Duration, sc SpanContext, parent SpanID, attrs []string) {
 	var m map[string]string
 	if len(attrs) > 0 {
 		m = make(map[string]string, (len(attrs)+1)/2)
@@ -109,20 +221,28 @@ func (t *Tracer) record(name string, start time.Time, dur time.Duration, attrs [
 			m[attrs[i]] = attrs[i+1]
 		}
 	}
+	ev := Event{
+		Name:  name,
+		DurUS: dur.Microseconds(),
+		Attrs: m,
+	}
+	if !sc.IsZero() {
+		ev.Trace = sc.TraceID.String()
+		ev.Span = sc.SpanID.String()
+		if !parent.IsZero() {
+			ev.Parent = parent.String()
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.buf) == 0 {
 		return
 	}
+	ev.StartUS = start.Sub(t.epoch).Microseconds()
 	if t.wrapped {
 		t.dropped++
 	}
-	t.buf[t.next] = Event{
-		Name:    name,
-		StartUS: start.Sub(t.epoch).Microseconds(),
-		DurUS:   dur.Microseconds(),
-		Attrs:   m,
-	}
+	t.buf[t.next] = ev
 	t.next++
 	if t.next == len(t.buf) {
 		t.next = 0
@@ -150,9 +270,25 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
-// WriteJSONL writes one JSON object per event, oldest-first.
+// WriteJSONL writes one JSON object per event, oldest-first, preceded by
+// a MetaEventName record carrying the process name and absolute epoch
+// (what tracemerge needs to align dumps from different processes).
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	t.mu.Lock()
+	meta := Event{
+		Name: MetaEventName,
+		Attrs: map[string]string{
+			"epoch_unix_us": strconv.FormatInt(t.epoch.UnixMicro(), 10),
+		},
+	}
+	if t.proc != "" {
+		meta.Attrs["proc"] = t.proc
+	}
+	t.mu.Unlock()
 	enc := json.NewEncoder(w)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
 	for _, ev := range t.Events() {
 		if err := enc.Encode(ev); err != nil {
 			return err
@@ -174,13 +310,28 @@ type chromeEvent struct {
 }
 
 // WriteChromeTrace writes the ring as a Chrome trace_event JSON array.
+// Causal ids ride in args; merged multi-process views come from
+// `tinyleo-ctl trace` (internal/obs/tracemerge), which also draws flow
+// arrows between processes.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := t.Events()
 	out := make([]chromeEvent, len(events))
 	for i, ev := range events {
+		args := ev.Attrs
+		if ev.Trace != "" {
+			args = make(map[string]string, len(ev.Attrs)+3)
+			for k, v := range ev.Attrs {
+				args[k] = v
+			}
+			args["trace"] = ev.Trace
+			args["span"] = ev.Span
+			if ev.Parent != "" {
+				args["parent"] = ev.Parent
+			}
+		}
 		out[i] = chromeEvent{
 			Name: ev.Name, Ph: "X", PID: 1, TID: 1,
-			TS: ev.StartUS, Dur: ev.DurUS, Args: ev.Attrs,
+			TS: ev.StartUS, Dur: ev.DurUS, Args: args,
 		}
 	}
 	enc := json.NewEncoder(w)

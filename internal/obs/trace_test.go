@@ -68,17 +68,25 @@ func TestTraceJSONLAndChrome(t *testing.T) {
 	if err := tr.WriteJSONL(&jsonl); err != nil {
 		t.Fatal(err)
 	}
-	lines := 0
+	var evs []Event
 	sc := bufio.NewScanner(strings.NewReader(jsonl.String()))
 	for sc.Scan() {
 		var ev Event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("JSONL line %q: %v", sc.Text(), err)
 		}
-		lines++
+		evs = append(evs, ev)
 	}
-	if lines != 2 {
-		t.Errorf("JSONL lines = %d, want 2", lines)
+	// Meta record first (proc/epoch for the cross-process merger), then
+	// the two spans.
+	if len(evs) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3 (meta + 2 spans)", len(evs))
+	}
+	if evs[0].Name != MetaEventName || evs[0].Attrs["epoch_unix_us"] == "" {
+		t.Errorf("meta record = %+v", evs[0])
+	}
+	if evs[1].Name != "a" || evs[1].Trace == "" || evs[1].Span == "" {
+		t.Errorf("span record missing ids: %+v", evs[1])
 	}
 
 	var chrome strings.Builder
@@ -91,5 +99,141 @@ func TestTraceJSONLAndChrome(t *testing.T) {
 	}
 	if len(arr) != 2 || arr[0]["ph"] != "X" || arr[0]["name"] != "a" {
 		t.Errorf("chrome trace = %v", arr)
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(16)
+	root := tr.StartSpan("mpc.emit")
+	rc := root.Context()
+	if rc.IsZero() {
+		t.Fatal("enabled root span has zero context")
+	}
+	child := tr.StartSpanCtx(rc, "sb.send")
+	cc := child.Context()
+	if cc.TraceID != rc.TraceID {
+		t.Errorf("child trace %s != root trace %s", cc.TraceID, rc.TraceID)
+	}
+	if cc.SpanID == rc.SpanID || cc.SpanID.IsZero() {
+		t.Errorf("child span id %s not fresh (root %s)", cc.SpanID, rc.SpanID)
+	}
+	child.End()
+	root.End()
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	// Ring order: child ended first.
+	if events[0].Parent != rc.SpanID.String() {
+		t.Errorf("child parent = %q, want %q", events[0].Parent, rc.SpanID.String())
+	}
+	if events[1].Parent != "" {
+		t.Errorf("root parent = %q, want empty", events[1].Parent)
+	}
+	if events[0].Trace != events[1].Trace {
+		t.Errorf("trace ids differ: %q vs %q", events[0].Trace, events[1].Trace)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(4)
+	sp := tr.StartSpan("x")
+	sc := sp.Context()
+	tp := sc.Traceparent()
+	if len(tp) != 55 || !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent = %q", tp)
+	}
+	got, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Errorf("round trip: got %+v, want %+v", got, sc)
+	}
+	if _, err := ParseTraceparent("00-bogus"); err == nil {
+		t.Error("malformed traceparent accepted")
+	}
+	if _, err := ParseTraceparent("00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("0", 16) + "-01"); err == nil {
+		t.Error("all-zero traceparent accepted")
+	}
+}
+
+func TestSpanContextWire(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable(4)
+	sc := tr.StartSpan("x").Context()
+	b := sc.AppendWire(nil)
+	if len(b) != SpanContextWireSize {
+		t.Fatalf("wire size = %d, want %d", len(b), SpanContextWireSize)
+	}
+	got, ok := SpanContextFromWire(b)
+	if !ok || got != sc {
+		t.Errorf("wire round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+	if _, ok := SpanContextFromWire(b[:10]); ok {
+		t.Error("short wire decode accepted")
+	}
+	if _, ok := SpanContextFromWire(make([]byte, SpanContextWireSize)); ok {
+		t.Error("all-zero wire decode accepted")
+	}
+}
+
+// Seeded tracers on an injected clock must allocate identical trace IDs
+// in allocation order — the chaos determinism guarantee.
+func TestSeededIDsDeterministic(t *testing.T) {
+	run := func() []string {
+		tr := &Tracer{}
+		tr.SetClock(func() time.Time { return time.Unix(1_700_000_000, 0) })
+		tr.SeedIDs(42)
+		tr.Enable(8)
+		var ids []string
+		for i := 0; i < 4; i++ {
+			sp := tr.StartSpan("s")
+			ids = append(ids, sp.Context().TraceID.String(), sp.Context().SpanID.String())
+			sp.End()
+		}
+		return ids
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("id %d differs across runs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectedClockTimestamps(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	tr := &Tracer{}
+	tr.SetClock(func() time.Time { return now })
+	tr.Enable(4)
+	sp := tr.StartSpan("x")
+	now = now.Add(1500 * time.Microsecond)
+	sp.End()
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].StartUS != 0 || evs[0].DurUS != 1500 {
+		t.Errorf("event start=%d dur=%d, want 0/1500", evs[0].StartUS, evs[0].DurUS)
+	}
+	if got := tr.EpochUnixMicros(); got != time.Unix(1_700_000_000, 0).UnixMicro() {
+		t.Errorf("epoch = %d", got)
+	}
+}
+
+// The disabled path must stay allocation-free: hot paths start spans
+// unconditionally behind a single Enabled() load.
+func TestDisabledSpanZeroAllocs(t *testing.T) {
+	tr := &Tracer{}
+	parent := SpanContext{}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpanCtx(parent, "x")
+		sp.End()
+	}); allocs != 0 {
+		t.Errorf("disabled StartSpanCtx allocates %.1f/op, want 0", allocs)
 	}
 }

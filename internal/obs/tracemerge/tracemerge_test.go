@@ -1,0 +1,234 @@
+package tracemerge
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/southbound"
+)
+
+// procTracer emulates one process: its own tracer, name, and (skewed)
+// clock.
+func procTracer(name string, skew time.Duration) *obs.Tracer {
+	tr := &obs.Tracer{}
+	tr.SetProcess(name)
+	tr.SetClock(func() time.Time { return time.Now().Add(skew) })
+	tr.Enable(1024)
+	return tr
+}
+
+func dumpOf(t *testing.T, tr *obs.Tracer) *Dump {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// End-to-end over real TCP: one controller, two agents with deliberately
+// skewed clocks (+10s and −7s), one command each, one retransmit. The
+// merged timeline must put every command in a single causal tree spanning
+// both processes, with apply timestamps pulled back inside the controller's
+// send→ack bracket by the skew correction.
+func TestMergeControllerTwoAgents(t *testing.T) {
+	ctlTr := procTracer("ctl", 0)
+	aTr := procTracer("sat-5", 10*time.Second)
+	bTr := procTracer("sat-6", -7*time.Second)
+
+	c, err := southbound.ListenController("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Tracer = ctlTr
+	c.RetransmitInterval = 20 * time.Millisecond
+
+	var wg sync.WaitGroup
+	block := make(chan struct{})
+	a, err := southbound.DialAgentOptions(c.Addr(), 5, time.Second, southbound.AgentOptions{Tracer: aTr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	wg.Add(1)
+	a.OnCommand = func(m *southbound.Message) {
+		defer wg.Done()
+		<-block // hold the first command unacked long enough to retransmit
+	}
+	b, err := southbound.DialAgentOptions(c.Addr(), 6, time.Second, southbound.AgentOptions{Tracer: bTr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	emit := ctlTr.StartSpan("mpc.emit", "round", "0")
+	if err := c.Send(&southbound.Message{Type: southbound.MsgSetISL, SatID: 5, Peer: 6, Up: true,
+		Trace: emit.Context(), Emitted: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(&southbound.Message{Type: southbound.MsgSetISL, SatID: 6, Peer: 5, Up: true,
+		Trace: emit.Context(), Emitted: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	emit.End()
+
+	// Force at least one retransmit of sat 5's command while it is held.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Metrics().Counter(southbound.MetricRetransmits).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no retransmit observed")
+		}
+		time.Sleep(25 * time.Millisecond)
+		c.SweepPending()
+	}
+	close(block)
+	wg.Wait()
+	for deadline := time.Now().Add(2 * time.Second); c.PendingAcks() > 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("commands never acked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	m := Merge(dumpOf(t, ctlTr), dumpOf(t, aTr), dumpOf(t, bTr))
+	anchor, offsets := m.Offsets()
+	if anchor != "ctl" {
+		t.Fatalf("anchor = %q, want ctl", anchor)
+	}
+	// Corrections should recover the injected skews to within real network
+	// and scheduling noise (well under a second here).
+	if off := offsets["sat-5"]; off < 9_500_000 || off > 10_500_000 {
+		t.Errorf("sat-5 offset = %dµs, want ≈ +10s", off)
+	}
+	if off := offsets["sat-6"]; off < -7_500_000 || off > -6_500_000 {
+		t.Errorf("sat-6 offset = %dµs, want ≈ −7s", off)
+	}
+
+	// Index merged spans.
+	bySpan := map[string]Span{}
+	perCmd := map[string][]Span{} // trace/seq → spans
+	for _, s := range m.Spans {
+		if s.Span != "" {
+			bySpan[s.Span] = s
+		}
+		if seq := s.Attrs["seq"]; seq != "" && s.Trace != "" {
+			perCmd[s.Trace+"/"+seq] = append(perCmd[s.Trace+"/"+seq], s)
+		}
+	}
+	if len(perCmd) != 2 {
+		t.Fatalf("merged commands = %d, want 2", len(perCmd))
+	}
+	sawRetransmit := false
+	for key, spans := range perCmd {
+		var send, apply, ack *Span
+		procs := map[string]bool{}
+		for i := range spans {
+			s := &spans[i]
+			procs[s.Proc] = true
+			switch s.Name {
+			case "sb.send":
+				send = s
+			case "agent.apply":
+				apply = s
+			case "sb.ack":
+				ack = s
+			case "sb.retransmit":
+				sawRetransmit = true
+			}
+		}
+		if send == nil || apply == nil || ack == nil {
+			t.Fatalf("command %s incomplete: %+v", key, spans)
+		}
+		if len(procs) < 2 {
+			t.Errorf("command %s spans only %v, want 2 processes", key, procs)
+		}
+		// One causal tree: apply and ack are children of the send; the send
+		// is a child of the mpc.emit root.
+		if apply.Parent != send.Span || ack.Parent != send.Span {
+			t.Errorf("command %s: apply/ack parents %s/%s, want send %s",
+				key, apply.Parent, ack.Parent, send.Span)
+		}
+		root, ok := bySpan[send.Parent]
+		if !ok || root.Name != "mpc.emit" {
+			t.Errorf("command %s: send parent %q is not the mpc.emit root", key, send.Parent)
+		}
+		// Skew-corrected causality: the agent's apply sits inside the
+		// controller's send→ack bracket (±5ms slack for the half-RTT the
+		// NTP estimate cannot see).
+		slack := int64(5_000)
+		if apply.StartUS < send.StartUS-slack || apply.StartUS+apply.DurUS > ack.StartUS+ack.DurUS+slack {
+			t.Errorf("command %s: corrected apply [%d,%d] outside send→ack [%d,%d]",
+				key, apply.StartUS, apply.StartUS+apply.DurUS, send.StartUS, ack.StartUS+ack.DurUS)
+		}
+	}
+	if !sawRetransmit {
+		t.Error("merged trace has no sb.retransmit span")
+	}
+
+	// Chrome rendering: three named processes, flow arrows crossing the
+	// boundary, valid JSON.
+	var chrome bytes.Buffer
+	if err := m.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(chrome.Bytes(), &arr); err != nil {
+		t.Fatalf("chrome trace invalid JSON: %v", err)
+	}
+	names, flows := 0, 0
+	for _, ev := range arr {
+		switch ev["ph"] {
+		case "M":
+			names++
+		case "s":
+			flows++
+		}
+	}
+	if names != 3 {
+		t.Errorf("process_name records = %d, want 3", names)
+	}
+	if flows == 0 {
+		t.Error("no flow arrows in chrome trace")
+	}
+
+	// Canonical form is a pure function of the merged dumps.
+	var c1, c2 bytes.Buffer
+	if err := m.WriteCanonical(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(dumpOf(t, ctlTr), dumpOf(t, aTr), dumpOf(t, bTr)).WriteCanonical(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.String() != c2.String() {
+		t.Error("canonical form differs across identical merges")
+	}
+	if !strings.Contains(c1.String(), "agent.apply") || !strings.Contains(c1.String(), "parent=") {
+		t.Errorf("canonical form missing expected content:\n%s", c1.String())
+	}
+}
+
+func TestReadJSONLMetaAndErrors(t *testing.T) {
+	in := `{"name":"` + obs.MetaEventName + `","attrs":{"proc":"p1","epoch_unix_us":"123"}}
+{"name":"x","start_us":5,"dur_us":2}
+`
+	d, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Proc != "p1" || d.EpochUS != 123 || len(d.Events) != 1 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed JSONL accepted")
+	}
+}

@@ -65,6 +65,11 @@ type AgentOptions struct {
 	// OnReconnect observes successful reconnections (attempt = dials
 	// needed, starting at 1).
 	OnReconnect func(attempt int)
+	// Tracer records agent.apply spans continuing the trace context
+	// carried by incoming commands (nil = the process-wide obs.Trace()).
+	// Duplicate (retransmitted, already-applied) commands get no span:
+	// the causal tree has exactly one apply per command.
+	Tracer *obs.Tracer
 }
 
 // Agent is the per-satellite southbound endpoint: it registers with the
@@ -144,6 +149,13 @@ func DialAgentOptions(addr string, satID uint32, timeout time.Duration, opts Age
 	return a, nil
 }
 
+func (a *Agent) tracer() *obs.Tracer {
+	if a.opts.Tracer != nil {
+		return a.opts.Tracer
+	}
+	return obs.Trace()
+}
+
 func (a *Agent) dedupWindow() int {
 	if a.opts.DedupWindow > 0 {
 		return a.opts.DedupWindow
@@ -204,7 +216,20 @@ func (a *Agent) readLoop() {
 				_ = a.write(&Message{Type: MsgAck, SatID: a.SatID, Seq: m.Seq})
 				continue
 			}
-			if a.OnCommand != nil {
+			// The apply span continues the controller's sb.send trace and
+			// covers the OnCommand callback; m.Trace is rewritten to it so
+			// callback-side work (dataplane install) parents to the apply.
+			if tr := a.tracer(); tr.Enabled() && !m.Trace.IsZero() {
+				sp := tr.StartSpanCtx(m.Trace, "agent.apply",
+					"sat", strconv.FormatUint(uint64(a.SatID), 10),
+					"seq", strconv.FormatUint(uint64(m.Seq), 10),
+					"type", m.Type.String())
+				m.Trace = sp.Context()
+				if a.OnCommand != nil {
+					a.OnCommand(m)
+				}
+				sp.End()
+			} else if a.OnCommand != nil {
 				a.OnCommand(m)
 			}
 			_ = a.write(&Message{Type: MsgAck, SatID: a.SatID, Seq: m.Seq})

@@ -1,0 +1,37 @@
+package southbound
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func benchRoundTrip(b *testing.B, m *Message) {
+	b.Helper()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteMessage(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadMessage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Serialization cost of a typical command without trace context — the
+// pre-tracing wire format.
+func BenchmarkMessageRoundTrip(b *testing.B) {
+	benchRoundTrip(b, &Message{Type: MsgSetISL, SatID: 7, Seq: 42, Peer: 9, Up: true})
+}
+
+// The same command carrying the 25-byte trace trailer: the regression
+// gate watches the ratio of these two.
+func BenchmarkMessageRoundTripTraced(b *testing.B) {
+	benchRoundTrip(b, &Message{Type: MsgSetISL, SatID: 7, Seq: 42, Peer: 9, Up: true,
+		Trace: obs.SpanContext{TraceID: obs.TraceID{1, 2}, SpanID: obs.SpanID{3, 4}}})
+}

@@ -33,6 +33,13 @@ const (
 	// full: they are written to the wire but get no timeout, retransmit,
 	// or RTT accounting.
 	MetricUntracked = "tinyleo_southbound_untracked_total"
+	// MetricCmdE2E is the emit-to-applied latency histogram (seconds):
+	// from Message.Emitted (set by the planning layer when the command was
+	// produced) to the acknowledgement that confirms the agent applied it.
+	// Unlike MetricAckRTT this includes queueing, retransmissions, and
+	// reconnect resends — the latency the paper's reconfiguration deadline
+	// actually cares about.
+	MetricCmdE2E = "tinyleo_southbound_cmd_e2e_seconds"
 )
 
 // maxPendingAcks bounds the seq→pending-command map used for ack RTT
@@ -62,12 +69,17 @@ type pendingCmd struct {
 	firstSent time.Time // original transmission (ack RTT epoch)
 	lastSent  time.Time // latest (re)transmission
 	attempts  int       // transmissions so far (1 = original send)
+	// sc is the sb.send span of the original transmission: retransmit and
+	// ack spans parent to it so a command's whole reliability history is
+	// one causal subtree, however many resends it took.
+	sc obs.SpanContext
 }
 
 // resend is a retransmission decided under c.mu, written after unlock.
 type resend struct {
 	conn net.Conn
 	msg  *Message
+	sc   obs.SpanContext // original send span (retransmit span parent)
 }
 
 // Controller is the terrestrial MPC endpoint of the southbound API: it
@@ -94,6 +106,12 @@ type Controller struct {
 	// accounting (tests and the chaos engine drive retransmission
 	// deterministically through it). Set before any agent connects.
 	Clock func() time.Time
+	// Tracer records sb.send/sb.retransmit/sb.ack spans for each tracked
+	// command (nil = the process-wide obs.Trace()). The sb.send span's
+	// context replaces Message.Trace on the wire, so agent-side apply
+	// spans parent to the controller's send — one causal tree per command
+	// across both processes. Set before the first Send.
+	Tracer *obs.Tracer
 
 	mu          sync.Mutex
 	agents      map[uint32]net.Conn
@@ -127,6 +145,7 @@ type Controller struct {
 	txBytes     *obs.Counter
 	connected   *obs.Gauge
 	ackRTT      *obs.Histogram
+	cmdE2E      *obs.Histogram
 	ackTimeouts *obs.Counter
 	retransmits *obs.Counter
 	untracked   *obs.Counter
@@ -152,6 +171,7 @@ func ListenController(addr string) (*Controller, error) {
 		txBytes:     reg.Counter(MetricBytes, "dir", "tx"),
 		connected:   reg.Gauge(MetricConnectedAgents),
 		ackRTT:      reg.Histogram(MetricAckRTT, obs.DefBuckets),
+		cmdE2E:      reg.Histogram(MetricCmdE2E, obs.DefBuckets),
 		ackTimeouts: reg.Counter(MetricAckTimeouts),
 		retransmits: reg.Counter(MetricRetransmits),
 		untracked:   reg.Counter(MetricUntracked),
@@ -177,6 +197,13 @@ func (c *Controller) now() time.Time {
 		return c.Clock()
 	}
 	return time.Now()
+}
+
+func (c *Controller) tracer() *obs.Tracer {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return obs.Trace()
 }
 
 func (c *Controller) ackTimeout() time.Duration {
@@ -261,7 +288,7 @@ func (c *Controller) serve(conn net.Conn) {
 				p.attempts++
 				p.lastSent = now
 				c.retransmits.Inc()
-				resends = append(resends, resend{conn, p.msg})
+				resends = append(resends, resend{conn, p.msg, p.sc})
 			}
 			c.mu.Unlock()
 			registered = true
@@ -292,13 +319,39 @@ func (c *Controller) serve(conn net.Conn) {
 				}
 			}
 		case MsgAck:
+			now := c.now()
 			c.mu.Lock()
-			if p, ok := c.pending[m.Seq]; ok {
+			p, tracked := c.pending[m.Seq]
+			if tracked {
 				delete(c.pending, m.Seq)
-				c.ackRTT.ObserveDuration(c.now().Sub(p.firstSent))
+				c.ackRTT.ObserveDuration(now.Sub(p.firstSent))
+				if !p.msg.Emitted.IsZero() {
+					c.cmdE2E.ObserveDuration(now.Sub(p.msg.Emitted))
+				}
 			}
 			delete(c.unreachable, m.SatID)
 			c.mu.Unlock()
+			if tracked {
+				if tr := c.tracer(); tr.Enabled() && !p.sc.IsZero() {
+					sp := tr.StartSpanCtx(p.sc, "sb.ack",
+						"sat", strconv.FormatUint(uint64(m.SatID), 10),
+						"seq", strconv.FormatUint(uint64(m.Seq), 10),
+						"attempts", strconv.Itoa(p.attempts))
+					sp.End()
+				}
+				if flightrec.Enabled() {
+					attrs := []string{
+						"sat", strconv.FormatUint(uint64(m.SatID), 10),
+						"seq", strconv.FormatUint(uint64(m.Seq), 10),
+						"attempts", strconv.Itoa(p.attempts),
+						"rtt_us", strconv.FormatInt(now.Sub(p.firstSent).Microseconds(), 10),
+					}
+					if !p.msg.Emitted.IsZero() {
+						attrs = append(attrs, "e2e_us", strconv.FormatInt(now.Sub(p.msg.Emitted).Microseconds(), 10))
+					}
+					flightrec.Emit(flightrec.CompSouthbound, "command_applied", attrs...)
+				}
+			}
 			if c.OnAck != nil {
 				c.OnAck(m)
 			}
@@ -326,6 +379,12 @@ func (c *Controller) deliverResends(resends []resend) {
 			continue
 		}
 		c.countTx(r.msg)
+		if tr := c.tracer(); tr.Enabled() && !r.sc.IsZero() {
+			sp := tr.StartSpanCtx(r.sc, "sb.retransmit",
+				"sat", strconv.FormatUint(uint64(r.msg.SatID), 10),
+				"seq", strconv.FormatUint(uint64(r.msg.Seq), 10))
+			sp.End()
+		}
 		if flightrec.Enabled() {
 			flightrec.Emit(flightrec.CompSouthbound, "retransmit",
 				"sat", strconv.FormatUint(uint64(r.msg.SatID), 10),
@@ -401,6 +460,17 @@ var ErrUnknownAgent = errors.New("southbound: unknown agent")
 //tinyleo:hotpath
 func (c *Controller) Send(m *Message) error {
 	now := c.now()
+	// The send span continues the producer's trace (m.Trace, e.g. an
+	// mpc.emit root) and replaces it on the wire, so the agent's apply
+	// span parents to this send. With tracing disabled the message keeps
+	// whatever context the producer set.
+	var sendSpan obs.Span
+	if tr := c.tracer(); tr.Enabled() {
+		sendSpan = tr.StartSpanCtx(m.Trace, "sb.send")
+		if sc := sendSpan.Context(); !sc.IsZero() {
+			m.Trace = sc
+		}
+	}
 	c.mu.Lock()
 	resends, failed := c.sweepAckTimeoutsLocked(now)
 	conn, ok := c.agents[m.SatID]
@@ -411,7 +481,7 @@ func (c *Controller) Send(m *Message) error {
 			m.Seq = c.seq
 		}
 		if len(c.pending) < maxPendingAcks {
-			c.pending[m.Seq] = &pendingCmd{msg: m, firstSent: now, lastSent: now, attempts: 1}
+			c.pending[m.Seq] = &pendingCmd{msg: m, firstSent: now, lastSent: now, attempts: 1, sc: m.Trace}
 			tracked = true
 		} else {
 			c.untracked.Inc()
@@ -424,9 +494,16 @@ func (c *Controller) Send(m *Message) error {
 		}
 	}
 	c.mu.Unlock()
+	if !sendSpan.Context().IsZero() {
+		sendSpan.Attr("sat", strconv.FormatUint(uint64(m.SatID), 10))
+		sendSpan.Attr("seq", strconv.FormatUint(uint64(m.Seq), 10))
+		sendSpan.Attr("type", m.Type.String())
+	}
 	c.deliverResends(resends)
 	c.notifyFailed(failed)
 	if !ok {
+		sendSpan.Attr("err", "unknown-agent")
+		sendSpan.End()
 		return fmt.Errorf("%w: %d", ErrUnknownAgent, m.SatID)
 	}
 	if err := c.writeTo(conn, m); err != nil {
@@ -435,9 +512,12 @@ func (c *Controller) Send(m *Message) error {
 			delete(c.pending, m.Seq)
 			c.mu.Unlock()
 		}
+		sendSpan.Attr("err", "write")
+		sendSpan.End()
 		return err
 	}
 	c.countTx(m)
+	sendSpan.End()
 	return nil
 }
 
@@ -497,7 +577,7 @@ func (c *Controller) sweepAckTimeoutsLocked(now time.Time) ([]resend, []*Message
 		p.attempts++
 		p.lastSent = now
 		c.retransmits.Inc()
-		resends = append(resends, resend{conn, p.msg})
+		resends = append(resends, resend{conn, p.msg, p.sc})
 	}
 	return resends, failed
 }

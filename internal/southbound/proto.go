@@ -11,6 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // MsgType enumerates protocol messages.
@@ -64,14 +67,31 @@ type Message struct {
 	Peer  uint32 // peer satellite for ISL/ring messages
 	Up    bool   // ISL establish (true) or teardown (false)
 	Cells []uint16
+
+	// Trace is the causal context of the span that produced this message.
+	// It rides the wire in an optional trailer (see WriteMessage): a zero
+	// context adds no bytes, and readers predating the trailer ignore it,
+	// so tracing is wire-compatible in both directions.
+	Trace obs.SpanContext
+
+	// Emitted is the in-process time the command left the planning layer
+	// (MPC emit), carried through the reliability layer so the controller
+	// can record emit-to-applied latency at ack time. Never serialized.
+	Emitted time.Time
 }
 
 const (
 	headerLen = 4 + 1 + 4 + 4 + 4 + 1 + 2 // length prefix + fields + cell count
 	// MaxCells bounds route length on the wire.
 	MaxCells = 1024
+	// traceMarker tags the optional trace-context trailer after the cell
+	// list. Old readers treat the trailer as ignorable padding; new readers
+	// require the marker so untagged padding is not misread as a context.
+	traceMarker = 0x54 // 'T'
+	// traceTrailerLen is marker + binary SpanContext.
+	traceTrailerLen = 1 + obs.SpanContextWireSize
 	// maxFrame guards against hostile/corrupt length prefixes.
-	maxFrame = headerLen + 2*MaxCells
+	maxFrame = headerLen + 2*MaxCells + traceTrailerLen
 )
 
 // ErrFrameTooLarge reports a length prefix beyond protocol limits.
@@ -79,16 +99,28 @@ var ErrFrameTooLarge = errors.New("southbound: frame too large")
 
 // WireSize returns the message's framed size in bytes (length prefix
 // included), used for signaling-byte accounting.
-func (m *Message) WireSize() int { return headerLen + 2*len(m.Cells) }
+func (m *Message) WireSize() int {
+	n := headerLen + 2*len(m.Cells)
+	if !m.Trace.IsZero() {
+		n += traceTrailerLen
+	}
+	return n
+}
 
-// WriteMessage writes one framed message.
+// WriteMessage writes one framed message. A non-zero Trace context is
+// appended as a marker-tagged trailer after the cell list; pre-trailer
+// readers skip it (they only parse the declared cell count).
 func WriteMessage(w io.Writer, m *Message) error {
 	if len(m.Cells) > MaxCells {
 		return fmt.Errorf("southbound: %d cells exceed max %d", len(m.Cells), MaxCells)
 	}
 	n := headerLen - 4 + 2*len(m.Cells)
-	buf := make([]byte, 4+n)
+	if !m.Trace.IsZero() {
+		n += traceTrailerLen
+	}
+	buf := make([]byte, 4, 4+n)
 	binary.BigEndian.PutUint32(buf, uint32(n))
+	buf = buf[:4+headerLen-4+2*len(m.Cells)]
 	buf[4] = byte(m.Type)
 	binary.BigEndian.PutUint32(buf[5:], m.SatID)
 	binary.BigEndian.PutUint32(buf[9:], m.Seq)
@@ -99,6 +131,10 @@ func WriteMessage(w io.Writer, m *Message) error {
 	binary.BigEndian.PutUint16(buf[18:], uint16(len(m.Cells)))
 	for i, c := range m.Cells {
 		binary.BigEndian.PutUint16(buf[20+2*i:], c)
+	}
+	if !m.Trace.IsZero() {
+		buf = append(buf, traceMarker)
+		buf = m.Trace.AppendWire(buf)
 	}
 	_, err := w.Write(buf)
 	return err
@@ -137,6 +173,9 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		for i := range m.Cells {
 			m.Cells[i] = binary.BigEndian.Uint16(buf[16+2*i:])
 		}
+	}
+	if off := 16 + 2*count; len(buf) >= off+traceTrailerLen && buf[off] == traceMarker {
+		m.Trace, _ = obs.SpanContextFromWire(buf[off+1:])
 	}
 	return m, nil
 }
