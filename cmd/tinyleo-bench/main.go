@@ -6,8 +6,8 @@
 //
 //	tinyleo-bench [-scale small|paper] [-run all|table1|fig3|fig4|fig9|fig13|
 //	               fig14|fig15|fig15d|fig15e|fig16|fig17|fig17d|fig18|fig19a|
-//	               fig19bcd|horizon|chaos|southbound] [-horizon N] [-workers N]
-//	               [-chaos-scenario all|NAME] [-chaos-seed N]
+//	               fig19bcd|horizon|chaos|southbound|fleet] [-horizon N] [-workers N]
+//	               [-chaos-scenario all|NAME] [-chaos-seed N] [-chaos-fleet-out f.json]
 //	               [-csv] [-bench-json out.json] [-metrics-addr host:port]
 //	               [-trace-out file.jsonl] [-record-out flight.jsonl.gz]
 //	               [-pprof]
@@ -16,7 +16,14 @@
 // ISL failures, loss storms, agent crashes, southbound connection drops,
 // and demand surges driven through MPC repair, southbound enforcement, and
 // data-plane failover, scored against the flight recorder's SLO rules.
-// Same -chaos-seed → byte-identical results.
+// Same -chaos-seed → byte-identical results, including the fleet
+// telemetry health view (-chaos-fleet-out dumps each scenario's final
+// constellation summary as a deterministic JSON artifact).
+//
+// -run fleet benchmarks the fleet telemetry plane itself: agents hammer
+// their registries while flushing delta reports into a controller-side
+// aggregator over real TCP, once with telemetry off and once on; the
+// reported overhead ratio feeds the CI regression gate via -bench-json.
 //
 // -run southbound benchmarks the real-TCP southbound command path twice
 // (tracing off, then on) and reports the tracing overhead ratio; its
@@ -35,6 +42,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -53,11 +62,12 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
-	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, horizon, chaos, southbound, ablations, discussion)")
+	run := flag.String("run", "all", "comma-separated experiment list (all, table1, fig3, fig4, fig9, fig13, fig14, fig15, fig15d, fig15e, fig16, fig17, fig17d, fig18, fig19a, fig19bcd, horizon, chaos, southbound, fleet, ablations, discussion)")
 	horizonSlots := flag.Int("horizon", 0, "control slots per horizon window for -run horizon (0 = the scale's ControlSlots)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the parallel horizon compile")
 	chaosScenario := flag.String("chaos-scenario", "all", "chaos scenario for -run chaos (all, baseline, isl-storm, agent-crash, conn-flap, surge, mixed)")
 	chaosSeed := flag.Int64("chaos-seed", 42, "campaign seed for -run chaos (same seed => identical results)")
+	chaosFleetOut := flag.String("chaos-fleet-out", "", "write each chaos scenario's final fleet telemetry summary as JSON to this file (deterministic for a given -chaos-seed)")
 	sbAgents := flag.Int("sb-agents", 4, "in-process agents for -run southbound")
 	sbCmds := flag.Int("sb-cmds", 2000, "commands to push for -run southbound")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -279,16 +289,30 @@ func main() {
 		emit(tab)
 	}
 	if want("chaos") {
-		tabs, err := experiments.ChaosCampaign(scale, *chaosScenario, *chaosSeed)
+		tabs, fleets, err := experiments.ChaosCampaign(scale, *chaosScenario, *chaosSeed)
 		if err != nil {
 			fail("chaos", err)
 		}
 		emit(tabs...)
+		if *chaosFleetOut != "" {
+			if err := writeChaosFleet(*chaosFleetOut, fleets); err != nil {
+				fail("chaos-fleet-out", err)
+			}
+			fmt.Fprintf(os.Stderr, "chaos-fleet: wrote %d scenario snapshots to %s\n",
+				len(fleets), *chaosFleetOut)
+		}
 	}
 	if want("southbound") {
 		tab, err := experiments.SouthboundRoundtrip(*sbAgents, *sbCmds)
 		if err != nil {
 			fail("southbound", err)
+		}
+		emit(tab)
+	}
+	if want("fleet") {
+		tab, err := experiments.FleetAggregation(*sbAgents, *sbCmds)
+		if err != nil {
+			fail("fleet", err)
 		}
 		emit(tab)
 	}
@@ -332,4 +356,14 @@ func writeBenchJSON(path string, tables []*metrics.Table) error {
 	}
 	defer f.Close()
 	return metrics.WriteBenchJSON(f, tables)
+}
+
+// writeChaosFleet dumps the per-scenario fleet telemetry summaries as
+// indented JSON (map keys sort, so the file is deterministic per seed).
+func writeChaosFleet(path string, fleets map[string]*chaos.FleetSummary) error {
+	b, err := json.MarshalIndent(fleets, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -41,6 +41,14 @@ type Report struct {
 	// file — these count as regressions (a gate that silently vanishes is
 	// not a pass).
 	MissingCurrent []string
+	// OnlyBaseline lists ungated baseline metrics the current run no
+	// longer emits. They don't gate, but a vanished metric usually means
+	// an experiment was renamed or dropped — warn, don't hide it.
+	OnlyBaseline []string
+	// OnlyCurrent lists metrics the current run emits that have no
+	// baseline entry. They can't regress (nothing to regress from) but
+	// the baseline should be refreshed to cover them.
+	OnlyCurrent []string
 }
 
 // Regressions counts gated rows that moved beyond the allowance, plus
@@ -74,6 +82,12 @@ func (r *Report) Write(w io.Writer) {
 	}
 	for _, name := range r.MissingCurrent {
 		fmt.Fprintf(w, "✗ %-70s missing from current file\n", name)
+	}
+	for _, name := range r.OnlyBaseline {
+		fmt.Fprintf(w, "! %-70s in baseline only (current run no longer emits it)\n", name)
+	}
+	for _, name := range r.OnlyCurrent {
+		fmt.Fprintf(w, "! %-70s in current only (no baseline entry; refresh the baseline)\n", name)
 	}
 }
 
@@ -120,10 +134,15 @@ func Diff(base, cur map[string]metrics.BenchEntry, g Gate) (*Report, error) {
 		if !inCur {
 			if higher || lower {
 				report.MissingCurrent = append(report.MissingCurrent, name)
+			} else {
+				report.OnlyBaseline = append(report.OnlyBaseline, name)
 			}
 			continue
 		}
 		row := Row{Name: name, Cur: c.Value, Unit: c.Unit, Delta: math.NaN()}
+		if !inBase {
+			report.OnlyCurrent = append(report.OnlyCurrent, name)
+		}
 		if inBase {
 			row.Base = b.Value
 			if b.Value != 0 {
@@ -141,6 +160,8 @@ func Diff(base, cur map[string]metrics.BenchEntry, g Gate) (*Report, error) {
 	}
 	sort.Slice(report.Rows, func(i, j int) bool { return report.Rows[i].Name < report.Rows[j].Name })
 	sort.Strings(report.MissingCurrent)
+	sort.Strings(report.OnlyBaseline)
+	sort.Strings(report.OnlyCurrent)
 	return report, nil
 }
 

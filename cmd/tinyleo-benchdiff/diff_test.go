@@ -96,6 +96,67 @@ func TestDiffNewMetricIsInformational(t *testing.T) {
 	}
 }
 
+func TestDiffWarnsOnMetricsPresentInOnlyOneFile(t *testing.T) {
+	base := entries(map[string]float64{
+		"shared/run/speedup_x": 2.0,
+		"dropped/run/wall_s":   0.4, // ungated, vanished from current
+		"dropped/run/rows":     12,  // ungated, vanished from current
+	})
+	cur := entries(map[string]float64{
+		"shared/run/speedup_x": 2.1,
+		"added/run/wall_s":     0.3, // new in current, no baseline entry
+	})
+	r, err := Diff(base, cur, Gate{MaxRegress: 0.2, HigherBetter: `speedup_x$`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither direction gates: warnings, not regressions.
+	if n := r.Regressions(); n != 0 {
+		t.Fatalf("regressions = %d, want 0 (one-sided metrics warn, not fail)", n)
+	}
+	if want := []string{"dropped/run/rows", "dropped/run/wall_s"}; !equalStrings(r.OnlyBaseline, want) {
+		t.Fatalf("OnlyBaseline = %v, want %v", r.OnlyBaseline, want)
+	}
+	if want := []string{"added/run/wall_s"}; !equalStrings(r.OnlyCurrent, want) {
+		t.Fatalf("OnlyCurrent = %v, want %v", r.OnlyCurrent, want)
+	}
+	var buf bytes.Buffer
+	r.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "! dropped/run/wall_s") || !strings.Contains(out, "in baseline only") {
+		t.Errorf("report does not warn about the dropped metric:\n%s", out)
+	}
+	if !strings.Contains(out, "! added/run/wall_s") || !strings.Contains(out, "in current only") {
+		t.Errorf("report does not warn about the new metric:\n%s", out)
+	}
+	// A gated metric vanishing is still a regression, never a warning.
+	delete(cur, "shared/run/speedup_x")
+	r, err = Diff(base, cur, Gate{MaxRegress: 0.2, HigherBetter: `speedup_x$`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Regressions(); n != 1 {
+		t.Fatalf("regressions = %d, want 1 (gated metric vanished)", n)
+	}
+	for _, name := range r.OnlyBaseline {
+		if name == "shared/run/speedup_x" {
+			t.Error("gated missing metric leaked into OnlyBaseline warnings")
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestDiffBadRegexp(t *testing.T) {
 	if _, err := Diff(nil, nil, Gate{HigherBetter: `(`}); err == nil {
 		t.Error("invalid -higher regexp accepted")

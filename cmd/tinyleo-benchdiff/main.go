@@ -41,6 +41,9 @@ func main() {
 		os.Exit(1)
 	}
 	report.Write(os.Stdout)
+	if n := len(report.OnlyBaseline) + len(report.OnlyCurrent); n > 0 {
+		fmt.Fprintf(os.Stderr, "tinyleo-benchdiff: warning: %d metric(s) present in only one file\n", n)
+	}
 	if n := report.Regressions(); n > 0 {
 		fmt.Fprintf(os.Stderr, "tinyleo-benchdiff: %d metric(s) regressed beyond %.0f%%\n",
 			n, *maxRegress*100)

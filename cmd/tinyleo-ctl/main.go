@@ -40,6 +40,16 @@
 //	tinyleo-ctl trace -o merged.json ctl.jsonl sat3.jsonl sat4.jsonl
 //	tinyleo-ctl trace -canonical ctl.jsonl sat3.jsonl sat4.jsonl
 //
+// Fleet telemetry: agents running with -fleet-interval push delta-encoded
+// registry reports over the southbound session; the controller aggregates
+// them into a rollup registry (served on /metrics and /fleet) and tracks
+// per-agent staleness. The top subcommand renders the live constellation
+// health view, and fleet snapshot dumps the /fleet document as a per-run
+// artifact (-fleet-out does the same automatically on exit):
+//
+//	tinyleo-ctl top -addr 127.0.0.1:9100
+//	tinyleo-ctl fleet snapshot -addr 127.0.0.1:9100 -o fleet.json
+//
 // -pprof additionally serves net/http/pprof profiles (CPU, heap, mutex,
 // block) under /debug/pprof/ on the -metrics-addr listener.
 package main
@@ -59,6 +69,7 @@ import (
 	"repro/internal/intent"
 	"repro/internal/mpc"
 	"repro/internal/obs"
+	"repro/internal/obs/fleet"
 	"repro/internal/obs/flightrec"
 	"repro/internal/obs/tracemerge"
 	"repro/internal/southbound"
@@ -72,6 +83,12 @@ func main() {
 			return
 		case "trace":
 			runTraceMerge(os.Args[2:])
+			return
+		case "top":
+			runTop(os.Args[2:])
+			return
+		case "fleet":
+			runFleet(os.Args[2:])
 			return
 		}
 	}
@@ -178,6 +195,9 @@ func runController() {
 	recordOut := flag.String("record-out", "", "write a flight recording to this file on exit (.gz = gzip)")
 	sloSpec := flag.String("slo", "", "SLO rule spec, e.g. 'availability>=0.95,repair_p99<=0.2' (empty = defaults)")
 	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on -metrics-addr")
+	fleetLag := flag.Duration("fleet-lag", fleet.DefaultLagAfter, "mark an agent lagging after this long without a fleet report")
+	fleetSilent := flag.Duration("fleet-silent", fleet.DefaultSilentAfter, "mark an agent silent after this long without a fleet report")
+	fleetOut := flag.String("fleet-out", "", "write the final /fleet snapshot JSON to this file on exit")
 	flag.Parse()
 
 	defer cli.Flush()
@@ -200,6 +220,34 @@ func runController() {
 		cli.Fatalf("tinyleo-ctl: %v\n", err)
 	}
 	defer ctl.Close()
+
+	// Fleet aggregation is always on: agents that never push telemetry
+	// cost nothing, and the /fleet view plus the rollup registry are what
+	// `tinyleo-ctl top` and the SLO engine aggregate over.
+	agg := fleet.NewAggregator(fleet.Options{LagAfter: *fleetLag, SilentAfter: *fleetSilent})
+	ctl.OnTelemetry = func(satID uint32, payload []byte) {
+		if err := agg.HandleReport(satID, payload); err != nil {
+			fmt.Fprintf(os.Stderr, "tinyleo-ctl: %v\n", err)
+		}
+	}
+	agg.RegisterHTTP()
+	fleetTick := time.NewTicker(time.Second)
+	defer fleetTick.Stop()
+	go func() {
+		for range fleetTick.C {
+			agg.Tick()
+		}
+	}()
+	if *fleetOut != "" {
+		out := *fleetOut
+		cli.AtExit(func() {
+			if err := writeFleetSnapshot(out, agg); err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-ctl: fleet snapshot: %v\n", err)
+				return
+			}
+			fmt.Printf("fleet: wrote snapshot to %s\n", out)
+		})
+	}
 	if *recordOut != "" || *sloSpec != "" {
 		rules := flightrec.DefaultRules()
 		if *sloSpec != "" {
@@ -210,7 +258,7 @@ func runController() {
 		}
 		opts := flightrec.Options{
 			Rules:      rules,
-			Registries: []flightrec.RegistrySource{obs.Default(), ctl.Metrics()},
+			Registries: []flightrec.RegistrySource{obs.Default(), ctl.Metrics(), agg.Registry()},
 		}
 		if err := flightrec.Enable(opts); err != nil {
 			cli.Fatalf("tinyleo-ctl: flight recorder: %v\n", err)
@@ -228,7 +276,7 @@ func runController() {
 		}
 	}
 	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, obs.Default(), ctl.Metrics())
+		srv, err := obs.Serve(*metricsAddr, obs.Default(), ctl.Metrics(), agg.Registry())
 		if err != nil {
 			cli.Fatalf("tinyleo-ctl: %v\n", err)
 		}

@@ -18,6 +18,11 @@
 //	    -metrics-addr 127.0.0.1:9103 -trace-out sat3-trace.jsonl \
 //	    -record-out sat3-flight.jsonl.gz
 //
+// Fleet telemetry: unless -fleet-interval is 0, the agent delta-encodes
+// its registry once per interval and pushes the report to the controller
+// over the southbound session, feeding the controller's /fleet rollup and
+// `tinyleo-ctl top`.
+//
 // Commands carry the controller's trace context over the wire; the agent
 // applies each one to a local data-plane view and records the install as
 // a span continuing that trace, so `tinyleo-ctl trace` can merge the
@@ -35,6 +40,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/dataplane"
 	"repro/internal/obs"
+	"repro/internal/obs/fleet"
 	"repro/internal/obs/flightrec"
 	"repro/internal/southbound"
 )
@@ -49,6 +55,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
 	recordOut := flag.String("record-out", "", "write a flight recording to this file on exit (.gz = gzip)")
 	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on -metrics-addr")
+	fleetInterval := flag.Duration("fleet-interval", time.Second, "push fleet telemetry reports to the controller at this interval (0 = off)")
 	flag.Parse()
 
 	defer cli.Flush()
@@ -57,6 +64,10 @@ func main() {
 	if *metricsAddr != "" || *traceOut != "" || *recordOut != "" {
 		obs.Enable()
 		obs.EnableTracing(0)
+	}
+	if *fleetInterval > 0 {
+		// Fleet reporting snapshots the default registry, so it must record.
+		obs.Enable()
 	}
 	if *pprof {
 		if *metricsAddr == "" {
@@ -101,6 +112,15 @@ func main() {
 	defer agent.Close()
 	defer span.End()
 	fmt.Printf("sat %d registered with %s\n", *id, *addr)
+
+	if *fleetInterval > 0 {
+		reporter := fleet.NewReporter(fleet.NewEncoder(obs.Default()), agent.SendTelemetry)
+		reporter.Run(*fleetInterval)
+		// Stop flushes one final report, so the controller's rollup catches
+		// the last deltas even on SIGINT.
+		cli.AtExit(reporter.Stop)
+		defer reporter.Stop()
+	}
 
 	// Local data-plane view: each command actually lands somewhere (links
 	// raised/lowered, ring successor set), and the install is recorded as

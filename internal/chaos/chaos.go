@@ -132,3 +132,13 @@ type Event struct {
 	Type    string   `json:"type"`
 	Attrs   []string `json:"attrs,omitempty"` // flat key/value pairs, emission order
 }
+
+// Attr returns the value of the named attribute, or "".
+func (e *Event) Attr(key string) string {
+	for i := 0; i+1 < len(e.Attrs); i += 2 {
+		if e.Attrs[i] == key {
+			return e.Attrs[i+1]
+		}
+	}
+	return ""
+}

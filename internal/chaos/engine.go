@@ -11,9 +11,16 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/netem"
 	"repro/internal/obs"
+	"repro/internal/obs/fleet"
 	"repro/internal/obs/flightrec"
 	"repro/internal/southbound"
 )
+
+// MetricAgentApplied is the per-agent counter campaigns publish over the
+// fleet telemetry plane: southbound commands the agent's OnCommand
+// callback applied (duplicates suppressed by the dedup window). It is
+// the series the campaign's rollup totals are checked against.
+const MetricAgentApplied = "tinyleo_chaos_agent_applied_total"
 
 // Campaign configures one seeded chaos run.
 type Campaign struct {
@@ -65,6 +72,16 @@ const (
 	campaignRepairRTT    = 50 * time.Millisecond
 	campaignPayloadBytes = 1024
 	settleTimeout        = 10 * time.Second
+
+	// Fleet telemetry cadence: each round ends with one coalesced report
+	// per live agent, then the virtual clock advances one round tick and
+	// the aggregator sweeps staleness. A flushed agent is therefore always
+	// exactly one tick old at the sweep (healthy), while a crashed agent
+	// accumulates ticks and drifts healthy → lagging → silent over the
+	// following rounds.
+	campaignRoundTick   = 10 * time.Second
+	campaignFleetLag    = 15 * time.Second
+	campaignFleetSilent = 25 * time.Second
 )
 
 // flow is one measured src→dst cell pair with its installed geo route and
@@ -98,6 +115,15 @@ type runner struct {
 	actions        map[uint32]islAction  // this round's seq → topology change
 	abandonedRound int                   // OnCommandFailed count this round
 	reconnects     int64                 // successful agent reconnections
+
+	// Fleet telemetry plane: one always-enabled private registry +
+	// reporter per agent feeding a virtual-clock aggregator, so the
+	// campaign's constellation health view is part of the deterministic
+	// report. fleetApplied/fleetReps are written once in start() and
+	// read-only afterwards.
+	agg          *fleet.Aggregator
+	fleetApplied map[int]*obs.Counter
+	fleetReps    map[int]*fleet.Reporter
 
 	flows   []flow
 	snap    *mpc.Snapshot
@@ -136,6 +162,8 @@ func Run(c Campaign) (*Report, error) {
 		gates:         map[int]chan struct{}{},
 		wedgedEntered: map[int]bool{},
 		acked:         map[uint32]bool{},
+		fleetApplied:  map[int]*obs.Counter{},
+		fleetReps:     map[int]*fleet.Reporter{},
 		impair:        map[*netem.Link]*netem.Impairment{},
 		crashed:       map[int]bool{},
 		snap:          tb.Snap,
@@ -195,6 +223,30 @@ func (r *runner) start() error {
 		r.mu.Unlock()
 	}
 
+	// The fleet aggregator runs on the campaign's virtual clock with a
+	// private (disabled) flight-recorder log: health transitions surface
+	// only through OnTransition → r.event, so they land in the
+	// deterministic report exactly once. Tick runs on the engine
+	// goroutine (flushFleet), which makes r.event safe to call here.
+	r.agg = fleet.NewAggregator(fleet.Options{
+		Clock:       r.vc.Now,
+		LagAfter:    campaignFleetLag,
+		SilentAfter: campaignFleetSilent,
+		Log:         new(flightrec.Log),
+		OnTransition: func(agent uint32, from, to fleet.State) {
+			typ := "agent_" + string(to)
+			if to == fleet.StateHealthy {
+				typ = "agent_recovered"
+			}
+			r.event(typ, "sat", fmt.Sprint(agent), "from", string(from), "to", string(to))
+		},
+	})
+	ctl.OnTelemetry = func(sat uint32, payload []byte) {
+		// Malformed reports are counted by the aggregator; a campaign
+		// never produces one, so the error is not surfaced further.
+		_ = r.agg.HandleReport(sat, payload)
+	}
+
 	ids := make([]int, 0, len(r.tb.Net.Sats))
 	for id := range r.tb.Net.Sats {
 		ids = append(ids, id)
@@ -202,6 +254,8 @@ func (r *runner) start() error {
 	sort.Ints(ids)
 	for _, id := range ids {
 		id := id
+		reg := obs.NewRegistry(true)
+		applied := reg.Counter(MetricAgentApplied)
 		a, err := southbound.DialAgentOptions(ctl.Addr(), uint32(id), 2*time.Second,
 			southbound.AgentOptions{
 				Reconnect:   true,
@@ -228,8 +282,11 @@ func (r *runner) start() error {
 			if gate != nil {
 				<-gate // blackholed: wedge until the round releases it
 			}
+			applied.Inc()
 		}
 		r.agents[id] = a
+		r.fleetApplied[id] = applied
+		r.fleetReps[id] = fleet.NewReporter(fleet.NewEncoder(reg), a.SendTelemetry)
 	}
 	return nil
 }
@@ -373,6 +430,14 @@ func (r *runner) runRound(round int) error {
 	// Phase 6: offered load after repair.
 	r.injectWindow(&rr)
 
+	// Phase 7: fleet telemetry — every live agent flushes one coalesced
+	// report, then the virtual clock ticks and the aggregator sweeps
+	// staleness (crashed agents drift toward silent; transitions land in
+	// the deterministic event log via OnTransition).
+	if err := r.flushFleet(); err != nil {
+		return err
+	}
+
 	if faulted {
 		for fi := range r.flows {
 			if t, ok := r.firstDelivery[fi]; ok {
@@ -385,6 +450,50 @@ func (r *runner) runRound(round int) error {
 	}
 	r.report.Rounds = append(r.report.Rounds, rr)
 	r.curRR = nil
+	return nil
+}
+
+// flushFleet ends a round's telemetry window: every live agent pushes
+// one coalesced report, the engine waits for the aggregator to absorb
+// them all (so report timestamps are the pre-advance virtual time), then
+// advances the virtual clock one round tick and runs the staleness
+// sweep. All aggregator reads below happen after this settles, so the
+// health view is a pure function of (seed, scenario).
+func (r *runner) flushFleet() error {
+	r.mu.Lock()
+	ids := make([]int, 0, len(r.agents))
+	for id := range r.agents {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Ints(ids)
+	type flushed struct {
+		id  int
+		seq uint64
+	}
+	var pend []flushed
+	for _, id := range ids {
+		seq, err := r.fleetReps[id].Flush()
+		if err != nil {
+			// Connection died mid-flush: the reporter reset its session, so
+			// the next successful flush re-ships absolutes. Nothing to wait
+			// for this round.
+			continue
+		}
+		pend = append(pend, flushed{id: id, seq: seq})
+	}
+	if err := r.waitCond(func() bool {
+		for _, p := range pend {
+			if r.agg.AgentSeq(uint32(p.id)) < p.seq {
+				return false
+			}
+		}
+		return true
+	}, "fleet reports"); err != nil {
+		return err
+	}
+	r.vc.Advance(campaignRoundTick)
+	r.agg.Tick()
 	return nil
 }
 
@@ -841,6 +950,7 @@ func (r *runner) finish(wallStart time.Time) error {
 	} else {
 		rep.EnforcementRatio = 1
 	}
+	rep.Fleet = r.fleetSummary()
 	rep.aggregate()
 	if err := rep.score(r.c.Scenario.SLO); err != nil {
 		return err
@@ -848,6 +958,37 @@ func (r *runner) finish(wallStart time.Time) error {
 	//lint:tinyleo-ignore WallElapsedMs is wall telemetry excluded from the canonical (seed-keyed) report fields
 	rep.WallElapsedMs = float64(time.Since(wallStart).Microseconds()) / 1000
 	return nil
+}
+
+// fleetSummary reads the campaign's final constellation health view out
+// of the aggregator. Everything here is derived from virtual-clock state
+// settled by the last flushFleet, so the summary is deterministic and
+// belongs in CanonicalJSON.
+func (r *runner) fleetSummary() *FleetSummary {
+	v := r.agg.View()
+	fs := &FleetSummary{
+		Agents:       len(v.Agents),
+		States:       v.States,
+		DecodeErrors: v.DecodeErrors,
+		Totals:       v.Totals,
+	}
+	for _, ag := range v.Agents {
+		fs.Reports += ag.Reports
+		fs.Bytes += ag.Bytes
+		fs.Gaps += ag.Gaps
+		if ag.State == fleet.StateSilent {
+			fs.Silent = append(fs.Silent, int(ag.ID))
+		}
+	}
+	ids := make([]int, 0, len(r.fleetApplied))
+	for id := range r.fleetApplied {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fs.AppliedTotal += r.fleetApplied[id].Value()
+	}
+	return fs
 }
 
 // waitCond polls cond (real time) until it holds or the settle timeout

@@ -35,6 +35,36 @@ type RoundReport struct {
 	Unrecovered int       `json:"unrecovered"`
 }
 
+// FleetSummary is the campaign's final constellation health view,
+// derived from the fleet telemetry plane (internal/obs/fleet): every
+// agent pushes delta-encoded registry reports over the southbound
+// session, and a virtual-clock aggregator merges them. All fields are
+// functions of (seed, scenario), so the summary is part of
+// CanonicalJSON.
+type FleetSummary struct {
+	// Agents counts agents that reported at least once (an agent crashed
+	// before its first round-end flush never appears).
+	Agents int `json:"agents"`
+	// Reports / Bytes / Gaps are fleet-wide report accounting sums.
+	Reports uint64 `json:"reports"`
+	Bytes   uint64 `json:"bytes"`
+	Gaps    uint64 `json:"gaps"`
+	// States counts agents per health state at campaign end.
+	States map[string]int `json:"states"`
+	// Silent lists the agent IDs silent at campaign end, ascending.
+	Silent []int `json:"silent,omitempty"`
+	// DecodeErrors counts reports dropped as malformed (always 0 for a
+	// healthy wire implementation).
+	DecodeErrors int64 `json:"decode_errors"`
+	// AppliedTotal is the fleet-wide MetricAgentApplied sum read from the
+	// agents' own registries — the ground truth the telemetry rollup is
+	// compared against.
+	AppliedTotal int64 `json:"applied_total"`
+	// Totals are the rollup registry's fleet-wide aggregates (agent label
+	// stripped), sorted by series identity.
+	Totals []obs.Sample `json:"totals"`
+}
+
 // Report is a campaign's full outcome. CanonicalJSON excludes the
 // wall-clock section, so two runs with the same seed produce identical
 // canonical bytes.
@@ -65,6 +95,10 @@ type Report struct {
 	LinkDrops        int64 `json:"link_drops"`
 	LostInFlight     int64 `json:"lost_in_flight"`
 	ImpairmentLosses int64 `json:"impairment_losses"`
+
+	// Fleet is the constellation health view aggregated from the fleet
+	// telemetry plane at campaign end.
+	Fleet *FleetSummary `json:"fleet,omitempty"`
 
 	// SLO is the flight-recorder rule evaluation over the campaign's
 	// private registry (EvalUS zeroed for reproducibility).
@@ -126,6 +160,14 @@ func (r *Report) score(spec string) error {
 	reg.Gauge("tinyleo_chaos_unrecovered").Set(float64(r.Unrecovered))
 	reg.Counter("tinyleo_southbound_retransmits_total").Add(r.Retransmits)
 	reg.Counter("tinyleo_southbound_ack_timeouts_total").Add(r.AckTimeouts)
+	// Fleet telemetry health, scoreable via the raw-metric rule kind
+	// (e.g. "tinyleo_fleet_agents_silent<=0").
+	if r.Fleet != nil {
+		reg.Gauge("tinyleo_fleet_agents").Set(float64(r.Fleet.Agents))
+		reg.Gauge("tinyleo_fleet_agents_silent").Set(float64(len(r.Fleet.Silent)))
+		reg.Counter("tinyleo_fleet_reports_total").Add(int64(r.Fleet.Reports))
+		reg.Counter("tinyleo_fleet_decode_errors_total").Add(r.Fleet.DecodeErrors)
+	}
 
 	eng := flightrec.NewEngine(nil, rules...)
 	eng.SetRegistries(reg)

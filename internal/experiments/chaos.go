@@ -10,10 +10,12 @@ import (
 // ChaosCampaign runs the seeded fault-injection campaigns (tinyleo-bench
 // -run chaos): every built-in scenario (or a single named one) against a
 // Scale-sized testbed, reporting recovery time, delivery ratio, southbound
-// reliability counters, and the flight recorder's SLO verdicts. Same seed
-// → identical rows (the campaign engine is deterministic; see
-// internal/chaos).
-func ChaosCampaign(scale Scale, scenarioName string, seed int64) ([]*metrics.Table, error) {
+// reliability counters, the fleet telemetry health view, and the flight
+// recorder's SLO verdicts. Same seed → identical rows (the campaign
+// engine is deterministic; see internal/chaos). The returned map holds
+// each scenario's final fleet summary, keyed by scenario name — the
+// artifact tinyleo-bench -chaos-fleet-out dumps.
+func ChaosCampaign(scale Scale, scenarioName string, seed int64) ([]*metrics.Table, map[string]*chaos.FleetSummary, error) {
 	names := chaos.ScenarioNames()
 	if scenarioName != "" && scenarioName != "all" {
 		names = []string{scenarioName}
@@ -29,16 +31,20 @@ func ChaosCampaign(scale Scale, scenarioName string, seed int64) ([]*metrics.Tab
 		"scenario", "rounds", "faults", "delivery ratio", "recovery p50 (ms)",
 		"recovery p99 (ms)", "unrecovered", "retransmits", "ack timeouts",
 		"reconnects", "enforcement", "SLO")
+	fleetTab := metrics.NewTable("Chaos fleet telemetry (per-scenario health view)",
+		"scenario", "agents", "reports", "report bytes", "gaps", "silent",
+		"applied", "decode errors")
 	verdicts := metrics.NewTable("Chaos SLO verdicts (flight-recorder rules)",
 		"scenario", "rule", "value", "verdict")
+	fleets := map[string]*chaos.FleetSummary{}
 	for _, name := range names {
 		s, err := chaos.ScenarioByName(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rep, err := chaos.Run(chaos.Campaign{Scenario: s, Seed: seed, Testbed: cfg})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: chaos %s: %w", name, err)
+			return nil, nil, fmt.Errorf("experiments: chaos %s: %w", name, err)
 		}
 		faults := 0
 		for _, rr := range rep.Rounds {
@@ -54,6 +60,11 @@ func ChaosCampaign(scale Scale, scenarioName string, seed int64) ([]*metrics.Tab
 			fmt.Sprintf("%.1f", rep.RecoveryMsP99),
 			rep.Unrecovered, rep.Retransmits, rep.AckTimeouts, rep.Reconnects,
 			fmt.Sprintf("%.3f", rep.EnforcementRatio), slo)
+		if fs := rep.Fleet; fs != nil {
+			fleets[name] = fs
+			fleetTab.AddRow(name, fs.Agents, fs.Reports, fs.Bytes, fs.Gaps,
+				len(fs.Silent), fs.AppliedTotal, fs.DecodeErrors)
+		}
 		for _, st := range rep.SLO {
 			v := "ok"
 			if st.Breached {
@@ -62,5 +73,5 @@ func ChaosCampaign(scale Scale, scenarioName string, seed int64) ([]*metrics.Tab
 			verdicts.AddRow(name, st.Expr(), fmt.Sprintf("%.3f", st.Value), v)
 		}
 	}
-	return []*metrics.Table{summary, verdicts}, nil
+	return []*metrics.Table{summary, fleetTab, verdicts}, fleets, nil
 }

@@ -1,0 +1,307 @@
+package fleet_test
+
+// End-to-end fleet telemetry: three real tinyleo-sat processes stream
+// delta-encoded registry reports over real TCP into an in-test
+// controller+aggregator. The rollup must converge to EXACT equality with
+// the satellites' own /metrics.json registries, and killing one process
+// must walk its health state healthy → lagging → silent with the
+// matching flight events.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/fleet"
+	"repro/internal/obs/flightrec"
+	"repro/internal/southbound"
+)
+
+// satProc is one launched tinyleo-sat process.
+type satProc struct {
+	id      uint32
+	cmd     *exec.Cmd
+	metrics string // host:port of its telemetry surface
+}
+
+var telemetryLine = regexp.MustCompile(`telemetry on http://([^/]+)/metrics`)
+
+// startSat launches one tinyleo-sat and waits for its telemetry address.
+func startSat(t *testing.T, bin, ctlAddr string, id uint32) *satProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-controller", ctlAddr,
+		"-id", strconv.FormatUint(uint64(id), 10),
+		"-fleet-interval", "50ms",
+		"-metrics-addr", "127.0.0.1:0",
+		"-run-for", "60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start sat %d: %v", id, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := telemetryLine.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addr <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-addr:
+		return &satProc{id: id, cmd: cmd, metrics: a}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("sat %d never announced its telemetry address", id)
+		return nil
+	}
+}
+
+// fetchSeries reads a satellite's /metrics.json snapshot.
+func fetchSeries(t *testing.T, addr string) []obs.Sample {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Series []obs.Sample `json:"series"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Series
+}
+
+// seriesKey canonicalizes a sample's identity (name + sorted labels).
+func seriesKey(s *obs.Sample) string {
+	key := s.Name
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		key += "|" + k + "=" + s.Labels[k]
+	}
+	return key
+}
+
+// sumSeries merges samples across satellites the same way the aggregator
+// totals do: counters and gauges add, histograms add count/sum/buckets.
+func sumSeries(all [][]obs.Sample) map[string]obs.Sample {
+	out := map[string]obs.Sample{}
+	for _, samples := range all {
+		for _, s := range samples {
+			key := seriesKey(&s)
+			cur, ok := out[key]
+			if !ok {
+				s.Buckets = append([]int64(nil), s.Buckets...)
+				out[key] = s
+				continue
+			}
+			cur.Value += s.Value
+			cur.Count += s.Count
+			cur.Sum += s.Sum
+			for i, b := range s.Buckets {
+				if i < len(cur.Buckets) {
+					cur.Buckets[i] += b
+				}
+			}
+			out[key] = cur
+		}
+	}
+	return out
+}
+
+// rollupMatches compares the aggregator's fleet totals against the
+// ground-truth sums, exactly. Meta series the satellites don't export
+// (tinyleo_fleet_*) are skipped.
+func rollupMatches(agg *fleet.Aggregator, want map[string]obs.Sample) (bool, string) {
+	got := 0
+	for _, s := range agg.TotalsSamples() {
+		if strings.HasPrefix(s.Name, "tinyleo_fleet_") {
+			continue
+		}
+		got++
+		w, ok := want[seriesKey(&s)]
+		if !ok {
+			return false, fmt.Sprintf("rollup has unexpected series %s", seriesKey(&s))
+		}
+		if s.Value != w.Value || s.Count != w.Count || s.Sum != w.Sum {
+			return false, fmt.Sprintf("series %s: rollup value=%v count=%d sum=%v, want value=%v count=%d sum=%v",
+				seriesKey(&s), s.Value, s.Count, s.Sum, w.Value, w.Count, w.Sum)
+		}
+		for i, b := range s.Buckets {
+			if i >= len(w.Buckets) || w.Buckets[i] != b {
+				return false, fmt.Sprintf("series %s: bucket %d mismatch", seriesKey(&s), i)
+			}
+		}
+	}
+	if got != len(want) {
+		return false, fmt.Sprintf("rollup has %d series, ground truth has %d", got, len(want))
+	}
+	return true, ""
+}
+
+func TestFleetEndToEndThreeProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real tinyleo-sat processes")
+	}
+	bin := filepath.Join(t.TempDir(), "tinyleo-sat")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/tinyleo-sat")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build tinyleo-sat: %v\n%s", err, out)
+	}
+
+	ctl, err := southbound.ListenController("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	var log flightrec.Log
+	log.Enable(256)
+	var mu sync.Mutex
+	transitions := map[uint32][]fleet.State{}
+	agg := fleet.NewAggregator(fleet.Options{
+		LagAfter:    300 * time.Millisecond,
+		SilentAfter: 900 * time.Millisecond,
+		Log:         &log,
+		OnTransition: func(agent uint32, from, to fleet.State) {
+			mu.Lock()
+			transitions[agent] = append(transitions[agent], to)
+			mu.Unlock()
+		},
+	})
+	ctl.OnTelemetry = func(sat uint32, payload []byte) {
+		if err := agg.HandleReport(sat, payload); err != nil {
+			t.Errorf("telemetry from sat %d: %v", sat, err)
+		}
+	}
+	stopTick := make(chan struct{})
+	defer close(stopTick)
+	go func() {
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopTick:
+				return
+			case <-tick.C:
+				agg.Tick()
+			}
+		}
+	}()
+
+	sats := make([]*satProc, 0, 3)
+	for id := uint32(1); id <= 3; id++ {
+		sats = append(sats, startSat(t, bin, ctl.Addr(), id))
+	}
+
+	// Convergence: the controller-side rollup must become EXACTLY the sum
+	// of the three satellites' own registries. The registries are static
+	// between commands (and no commands are sent), so once every agent's
+	// baseline lands the equality is stable.
+	deadline := time.Now().Add(20 * time.Second)
+	var lastWhy string
+	for {
+		all := make([][]obs.Sample, 0, len(sats))
+		for _, s := range sats {
+			all = append(all, fetchSeries(t, s.metrics))
+		}
+		ok, why := rollupMatches(agg, sumSeries(all))
+		if ok {
+			break
+		}
+		lastWhy = why
+		if time.Now().After(deadline) {
+			t.Fatalf("rollup never converged to the per-sat registry sums: %s", lastWhy)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	for _, av := range agg.Agents() {
+		if av.State != fleet.StateHealthy {
+			t.Fatalf("agent %d is %s before any fault", av.ID, av.State)
+		}
+		if av.Reports == 0 || av.LastSeq == 0 {
+			t.Fatalf("agent %d converged without reports: %+v", av.ID, av)
+		}
+	}
+
+	// Kill sat 2 and let its silence age it through the staleness ladder.
+	victim := sats[1]
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = victim.cmd.Process.Wait()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		views := agg.Agents()
+		var vs fleet.State
+		for _, av := range views {
+			if av.ID == victim.id {
+				vs = av.State
+			}
+		}
+		if vs == fleet.StateSilent {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("killed sat %d never went silent: %+v", victim.id, views)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	mu.Lock()
+	ladder := append([]fleet.State(nil), transitions[victim.id]...)
+	mu.Unlock()
+	want := []fleet.State{fleet.StateLagging, fleet.StateSilent}
+	if len(ladder) != len(want) {
+		t.Fatalf("victim transitions = %v, want %v", ladder, want)
+	}
+	for i := range want {
+		if ladder[i] != want[i] {
+			t.Fatalf("victim transitions = %v, want %v", ladder, want)
+		}
+	}
+	// The flight recorder saw the same ladder as typed events.
+	var types []string
+	for _, ev := range log.Events() {
+		if ev.Component == flightrec.CompFleet && ev.Attr("agent") == strconv.FormatUint(uint64(victim.id), 10) {
+			types = append(types, ev.Type)
+		}
+	}
+	if len(types) != 2 || types[0] != "agent_lagging" || types[1] != "agent_silent" {
+		t.Fatalf("flight events for victim = %v, want [agent_lagging agent_silent]", types)
+	}
+	// The survivors stay healthy throughout.
+	for _, av := range agg.Agents() {
+		if av.ID != victim.id && av.State != fleet.StateHealthy {
+			t.Fatalf("surviving agent %d degraded to %s", av.ID, av.State)
+		}
+	}
+}

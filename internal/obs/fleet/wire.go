@@ -1,0 +1,369 @@
+// Package fleet is TinyLEO's constellation-wide telemetry plane: agents
+// snapshot their obs registries, delta-encode the changes into compact
+// sequence-numbered binary reports, and push them to the controller over
+// the southbound session as Telemetry messages; the controller-side
+// Aggregator merges every agent's stream into one rollup registry keyed
+// by series with per-agent labels, tracks report staleness through
+// healthy → lagging → silent states, and serves the combined view as
+// /fleet JSON on the obs mux.
+//
+// Design constraints, in order:
+//
+//  1. Coalescing: increments between flushes collapse into one delta, so
+//     the wire cost is bounded by flush rate × changed series, never by
+//     event rate. A report with no changed series is still sent — an
+//     empty report is the liveness heartbeat staleness tracking feeds on.
+//  2. Self-describing sessions: a series' descriptor (kind, name, labels,
+//     histogram bounds) rides the wire exactly once per session, on the
+//     series' first appearance; later reports reference it by index. A
+//     baseline report (sent first, and again after any send failure or
+//     reconnect) restarts the session with absolute values, so the
+//     decoder never needs out-of-band state.
+//  3. Determinism: encoding snapshots series in registration order and
+//     the aggregator exposes sorted views, so chaos campaigns aggregating
+//     over a virtual clock stay byte-reproducible.
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// Wire limits. Reports beyond these are malformed (or hostile) and are
+// rejected whole — a fleet report is advisory telemetry, never worth a
+// controller allocation blowup.
+const (
+	// Version is the report wire version.
+	Version = 1
+	// MaxReportSeries bounds series entries per report.
+	MaxReportSeries = 4096
+	// MaxStringLen bounds name/label byte lengths.
+	MaxStringLen = 512
+	// MaxLabels bounds label pairs per series.
+	MaxLabels = 32
+	// MaxBounds bounds histogram bucket bounds per series.
+	MaxBounds = 256
+)
+
+// flagBaseline marks a report carrying absolute values over a fresh
+// series dictionary: the decoder discards prior session state first.
+const flagBaseline = 0x01
+
+// kind bytes on the wire.
+const (
+	wireCounter   = 1
+	wireGauge     = 2
+	wireHistogram = 3
+)
+
+// ErrMalformed reports an undecodable fleet report.
+var ErrMalformed = errors.New("fleet: malformed report")
+
+// Desc describes one series within a session: its kind, name, flat
+// key/value label pairs, and (histograms only) bucket bounds.
+type Desc struct {
+	Kind   obs.Kind
+	Name   string
+	Labels []string // flat k,v pairs, sorted by key
+	Bounds []float64
+}
+
+// Entry is one decoded series update: the session-scoped series ID plus
+// the value delta (counters, histograms) or absolute value (gauges).
+type Entry struct {
+	ID int
+	// CounterDelta is the counter increment since the previous report
+	// (the absolute value in a baseline report).
+	CounterDelta int64
+	// GaugeValue is the absolute gauge value.
+	GaugeValue float64
+	// Histogram deltas (absolute in a baseline report). BucketDeltas has
+	// len(Bounds)+1 entries.
+	CountDelta   int64
+	SumDelta     float64
+	BucketDeltas []int64
+}
+
+// Report is one decoded fleet report.
+type Report struct {
+	// Seq is the encoder's report sequence number (monotonic per agent
+	// process; gaps reveal lost reports).
+	Seq uint64
+	// Baseline marks a session restart: NewDescs covers every series and
+	// values are absolute.
+	Baseline bool
+	// NewDescs maps series IDs introduced by this report to their
+	// descriptors.
+	NewDescs map[int]Desc
+	// Entries are the series updates, in encode order.
+	Entries []Entry
+}
+
+// ---- encoding primitives ----
+
+func putUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func putString(buf []byte, s string) []byte {
+	buf = putUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func putFloat(buf []byte, f float64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(f))
+	return append(buf, tmp[:]...)
+}
+
+// reader walks a report payload with bounds checking.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, ErrMalformed
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, ErrMalformed
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) str(max int) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(max) || r.off+int(n) > len(r.buf) {
+		return "", ErrMalformed
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) float() (float64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, ErrMalformed
+	}
+	f := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return f, nil
+}
+
+func wireKind(k obs.Kind) byte {
+	switch k {
+	case obs.KindCounter:
+		return wireCounter
+	case obs.KindGauge:
+		return wireGauge
+	case obs.KindHistogram:
+		return wireHistogram
+	}
+	return 0
+}
+
+func kindFromWire(b byte) (obs.Kind, bool) {
+	switch b {
+	case wireCounter:
+		return obs.KindCounter, true
+	case wireGauge:
+		return obs.KindGauge, true
+	case wireHistogram:
+		return obs.KindHistogram, true
+	}
+	return "", false
+}
+
+// appendDesc serializes one series descriptor.
+func appendDesc(buf []byte, d Desc) []byte {
+	buf = append(buf, wireKind(d.Kind))
+	buf = putString(buf, d.Name)
+	buf = putUvarint(buf, uint64(len(d.Labels)/2))
+	for _, s := range d.Labels {
+		buf = putString(buf, s)
+	}
+	if d.Kind == obs.KindHistogram {
+		buf = putUvarint(buf, uint64(len(d.Bounds)))
+		for _, b := range d.Bounds {
+			buf = putFloat(buf, b)
+		}
+	}
+	return buf
+}
+
+func readDesc(r *reader) (Desc, error) {
+	var d Desc
+	kb, err := r.byte()
+	if err != nil {
+		return d, err
+	}
+	kind, ok := kindFromWire(kb)
+	if !ok {
+		return d, fmt.Errorf("%w: kind %d", ErrMalformed, kb)
+	}
+	d.Kind = kind
+	if d.Name, err = r.str(MaxStringLen); err != nil {
+		return d, err
+	}
+	nl, err := r.uvarint()
+	if err != nil {
+		return d, err
+	}
+	if nl > MaxLabels {
+		return d, fmt.Errorf("%w: %d labels", ErrMalformed, nl)
+	}
+	if nl > 0 {
+		d.Labels = make([]string, 0, 2*nl)
+		for i := uint64(0); i < 2*nl; i++ {
+			s, err := r.str(MaxStringLen)
+			if err != nil {
+				return d, err
+			}
+			d.Labels = append(d.Labels, s)
+		}
+	}
+	if d.Kind == obs.KindHistogram {
+		nb, err := r.uvarint()
+		if err != nil {
+			return d, err
+		}
+		if nb > MaxBounds {
+			return d, fmt.Errorf("%w: %d bounds", ErrMalformed, nb)
+		}
+		d.Bounds = make([]float64, nb)
+		for i := range d.Bounds {
+			if d.Bounds[i], err = r.float(); err != nil {
+				return d, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// Decode parses one report against the session dictionary dict (the
+// descriptors from prior reports, in ID order). A baseline report ignores
+// dict. Decode is pure: it returns the new descriptors in Report.NewDescs
+// without mutating dict — the caller owns session state.
+func Decode(payload []byte, dict []Desc) (*Report, error) {
+	r := &reader{buf: payload}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrMalformed, ver)
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Baseline: flags&flagBaseline != 0}
+	if rep.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxReportSeries {
+		return nil, fmt.Errorf("%w: %d series", ErrMalformed, n)
+	}
+	dictLen := len(dict)
+	if rep.Baseline {
+		dictLen = 0
+	}
+	known := func(id int) (Desc, bool) {
+		if nd, ok := rep.NewDescs[id]; ok {
+			return nd, true
+		}
+		if !rep.Baseline && id < len(dict) {
+			return dict[id], true
+		}
+		return Desc{}, false
+	}
+	rep.Entries = make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id64, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		id := int(id64)
+		var d Desc
+		switch {
+		case id == dictLen+len(rep.NewDescs):
+			// First appearance in this session: a descriptor follows.
+			if d, err = readDesc(r); err != nil {
+				return nil, err
+			}
+			if rep.NewDescs == nil {
+				rep.NewDescs = map[int]Desc{}
+			}
+			rep.NewDescs[id] = d
+		default:
+			var ok bool
+			if d, ok = known(id); !ok {
+				return nil, fmt.Errorf("%w: series id %d out of range", ErrMalformed, id)
+			}
+		}
+		e := Entry{ID: id}
+		switch d.Kind {
+		case obs.KindCounter:
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.CounterDelta = int64(v)
+		case obs.KindGauge:
+			if e.GaugeValue, err = r.float(); err != nil {
+				return nil, err
+			}
+		case obs.KindHistogram:
+			cd, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.CountDelta = int64(cd)
+			if e.SumDelta, err = r.float(); err != nil {
+				return nil, err
+			}
+			nb, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if nb != uint64(len(d.Bounds)+1) {
+				return nil, fmt.Errorf("%w: %d buckets for %d bounds", ErrMalformed, nb, len(d.Bounds))
+			}
+			e.BucketDeltas = make([]int64, nb)
+			for j := range e.BucketDeltas {
+				bd, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				e.BucketDeltas[j] = int64(bd)
+			}
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(payload)-r.off)
+	}
+	return rep, nil
+}

@@ -1,0 +1,124 @@
+package flightrec
+
+// Coverage for the /events?since=<seq> incremental cursor and the
+// EventsSince primitive behind it.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestEventsSince(t *testing.T) {
+	var l Log
+	l.Enable(8)
+	for i := 1; i <= 5; i++ {
+		l.Emit(CompChaos, "e"+strconv.Itoa(i))
+	}
+	cases := []struct {
+		since     uint64
+		wantFirst uint64
+		wantLen   int
+	}{
+		{0, 1, 5},
+		{2, 3, 3},
+		{4, 5, 1},
+		{5, 0, 0},
+		{99, 0, 0},
+	}
+	for _, c := range cases {
+		got := l.EventsSince(c.since)
+		if len(got) != c.wantLen {
+			t.Errorf("EventsSince(%d) = %d events, want %d", c.since, len(got), c.wantLen)
+			continue
+		}
+		if c.wantLen > 0 && got[0].Seq != c.wantFirst {
+			t.Errorf("EventsSince(%d)[0].Seq = %d, want %d", c.since, got[0].Seq, c.wantFirst)
+		}
+	}
+}
+
+func TestEventsSinceAfterWrap(t *testing.T) {
+	var l Log
+	l.Enable(4)
+	for i := 1; i <= 10; i++ { // ring keeps seqs 7..10
+		l.Emit(CompChaos, "e"+strconv.Itoa(i))
+	}
+	got := l.EventsSince(5)
+	if len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("EventsSince(5) after wrap = %d events (first seq %d), want 4 from seq 7",
+			len(got), got[0].Seq)
+	}
+	if got := l.EventsSince(8); len(got) != 2 || got[0].Seq != 9 {
+		t.Fatalf("EventsSince(8) after wrap = %+v, want seqs 9,10", got)
+	}
+}
+
+func readEventSeqs(t *testing.T, url string) []uint64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var seqs []uint64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line: %v", err)
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	return seqs
+}
+
+func TestEventsEndpointSinceCursor(t *testing.T) {
+	if err := Enable(Options{EventCapacity: 64}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := Disable(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for i := 1; i <= 6; i++ {
+		Emit(CompFleet, "tick", "i", strconv.Itoa(i))
+	}
+	srv := httptest.NewServer(obs.NewHandler(obs.NewRegistry(false)))
+	defer srv.Close()
+
+	all := readEventSeqs(t, srv.URL+"/events")
+	if len(all) != 6 {
+		t.Fatalf("/events returned %d events, want 6", len(all))
+	}
+	// Incremental poll from the middle.
+	tail := readEventSeqs(t, srv.URL+"/events?since="+strconv.FormatUint(all[3], 10))
+	if len(tail) != 2 || tail[0] != all[4] {
+		t.Fatalf("/events?since=%d = %v, want %v", all[3], tail, all[4:])
+	}
+	// Cursor at the newest event: empty body, still 200.
+	if got := readEventSeqs(t, srv.URL+"/events?since="+strconv.FormatUint(all[5], 10)); len(got) != 0 {
+		t.Fatalf("/events at head returned %v, want none", got)
+	}
+	// Malformed cursor: 400.
+	resp, err := http.Get(srv.URL + "/events?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor: status %d, want 400", resp.StatusCode)
+	}
+}

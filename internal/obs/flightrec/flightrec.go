@@ -42,6 +42,7 @@ const (
 	CompCore       = "core"
 	CompSLO        = "slo"
 	CompChaos      = "chaos"
+	CompFleet      = "fleet"
 )
 
 // Event is one typed entry in the flight-recorder log.
@@ -196,6 +197,26 @@ func (l *Log) Events() []Event {
 	return out
 }
 
+// EventsSince returns the ring contents with Seq > since, oldest-first.
+// Sequence numbers are monotonic, so a poller passing its last-seen Seq
+// tails the log incrementally; events already overwritten by ring
+// wrap-around are gone regardless of the cursor.
+func (l *Log) EventsSince(since uint64) []Event {
+	events := l.Events()
+	// Seqs ascend oldest→newest; binary search the first one past the
+	// cursor.
+	lo, hi := 0, len(events)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if events[mid].Seq <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return events[lo:]
+}
+
 // Dropped returns how many events were overwritten by ring wrap-around.
 func (l *Log) Dropped() uint64 {
 	l.mu.Lock()
@@ -206,8 +227,14 @@ func (l *Log) Dropped() uint64 {
 // WriteJSONL writes one JSON object per event, oldest-first (the /events
 // endpoint body).
 func (l *Log) WriteJSONL(w io.Writer) error {
+	return l.WriteJSONLSince(w, 0)
+}
+
+// WriteJSONLSince writes the events with Seq > since as JSONL — the
+// /events?since=<seq> incremental poll body.
+func (l *Log) WriteJSONLSince(w io.Writer, since uint64) error {
 	enc := json.NewEncoder(w)
-	for _, ev := range l.Events() {
+	for _, ev := range l.EventsSince(since) {
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}

@@ -459,9 +459,21 @@ func registerHTTP() {
 			}
 			eng.ServeHTTP(w, r)
 		}))
-		obs.RegisterHandler("/events", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		obs.RegisterHandler("/events", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// ?since=<seq> is an incremental cursor: only events with
+			// Seq > since are returned, so pollers (tinyleo-ctl top) can
+			// tail the ring without refetching it whole.
+			since := uint64(0)
+			if s := r.URL.Query().Get("since"); s != "" {
+				v, err := strconv.ParseUint(s, 10, 64)
+				if err != nil {
+					http.Error(w, "bad since cursor: "+s, http.StatusBadRequest)
+					return
+				}
+				since = v
+			}
 			w.Header().Set("Content-Type", "application/jsonl")
-			_ = DefaultLog().WriteJSONL(w)
+			_ = DefaultLog().WriteJSONLSince(w, since)
 		}))
 	})
 }

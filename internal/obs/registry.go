@@ -271,6 +271,35 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Bounds returns the histogram's bucket bounds (shared slice; do not
+// mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Merge folds pre-aggregated observations into the histogram: count and
+// sum deltas plus raw per-bucket count deltas (len(bounds)+1 entries, the
+// last being +Inf). It is the primitive fleet aggregation is built on —
+// an agent ships its histogram state as deltas and the rollup registry
+// merges them here. Returns false (merging nothing) when the bucket
+// layout does not match.
+func (h *Histogram) Merge(count int64, sum float64, buckets []int64) bool {
+	if !h.on.Load() {
+		return true
+	}
+	if len(buckets) != len(h.buckets) {
+		return false
+	}
+	for i, d := range buckets {
+		if d > 0 {
+			h.buckets[i].Add(d)
+		}
+	}
+	if count > 0 {
+		h.count.Add(count)
+	}
+	addFloatBits(&h.sumBits, sum)
+	return true
+}
+
 func addFloatBits(bits *atomic.Uint64, delta float64) {
 	for {
 		old := bits.Load()

@@ -217,6 +217,157 @@ func TestMergeControllerTwoAgents(t *testing.T) {
 	}
 }
 
+// Four processes over real TCP: one controller and three agents whose
+// clocks are skewed asymmetrically (far ahead, far behind, slightly
+// ahead). Multiple commands per agent give the NTP-style estimator
+// several samples to take the median of. The merge must recover every
+// skew independently, keep each command's causal tree intact, and order
+// the skew-corrected applies consistently with the real send order even
+// though the raw agent clocks disagree by over a minute.
+func TestMergeFourProcessesAsymmetricSkew(t *testing.T) {
+	ctlTr := procTracer("ctl", 0)
+	skews := map[uint32]time.Duration{
+		7: 25 * time.Second,  // far ahead
+		8: -40 * time.Second, // far behind
+		9: 3 * time.Second,   // slightly ahead
+	}
+	trs := map[uint32]*obs.Tracer{}
+
+	c, err := southbound.ListenController("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Tracer = ctlTr
+
+	for _, id := range []uint32{7, 8, 9} {
+		tr := procTracer("sat-"+string(rune('0'+id)), skews[id])
+		trs[id] = tr
+		a, err := southbound.DialAgentOptions(c.Addr(), id, time.Second, southbound.AgentOptions{Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		a.OnCommand = func(m *southbound.Message) {}
+	}
+
+	// Three commands per agent, interleaved round-robin so every agent's
+	// offset comes from samples spread across the run.
+	emit := ctlTr.StartSpan("mpc.emit", "round", "0")
+	for i := 0; i < 3; i++ {
+		for _, id := range []uint32{7, 8, 9} {
+			if err := c.Send(&southbound.Message{Type: southbound.MsgSetISL, SatID: id,
+				Peer: id + 1, Up: true, Trace: emit.Context(), Emitted: time.Now()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	emit.End()
+	for deadline := time.Now().Add(5 * time.Second); c.PendingAcks() > 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("commands never acked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	dumps := []*Dump{dumpOf(t, ctlTr)}
+	for _, id := range []uint32{7, 8, 9} {
+		dumps = append(dumps, dumpOf(t, trs[id]))
+	}
+	m := Merge(dumps...)
+	anchor, offsets := m.Offsets()
+	if anchor != "ctl" {
+		t.Fatalf("anchor = %q, want ctl", anchor)
+	}
+	if len(offsets) != 4 {
+		t.Fatalf("offsets for %d processes, want 4: %v", len(offsets), offsets)
+	}
+	// Each skew recovered independently, within network/scheduling noise.
+	wantUS := map[string]int64{"sat-7": 25_000_000, "sat-8": -40_000_000, "sat-9": 3_000_000}
+	for proc, want := range wantUS {
+		got := offsets[proc]
+		if got < want-500_000 || got > want+500_000 {
+			t.Errorf("%s offset = %dµs, want ≈ %dµs", proc, got, want)
+		}
+	}
+
+	// Every command forms a complete cross-process tree, and the corrected
+	// apply lies inside the controller's send→ack bracket.
+	perCmd := map[string][]Span{}
+	for _, s := range m.Spans {
+		if seq := s.Attrs["seq"]; seq != "" && s.Trace != "" {
+			perCmd[s.Trace+"/"+seq] = append(perCmd[s.Trace+"/"+seq], s)
+		}
+	}
+	if len(perCmd) != 9 {
+		t.Fatalf("merged commands = %d, want 9", len(perCmd))
+	}
+	applyByProc := map[string][]int64{}
+	slack := int64(5_000)
+	for key, spans := range perCmd {
+		var send, apply, ack *Span
+		for i := range spans {
+			s := &spans[i]
+			switch s.Name {
+			case "sb.send":
+				send = s
+			case "agent.apply":
+				apply = s
+			case "sb.ack":
+				ack = s
+			}
+		}
+		if send == nil || apply == nil || ack == nil {
+			t.Fatalf("command %s incomplete: %+v", key, spans)
+		}
+		if apply.Proc == send.Proc {
+			t.Errorf("command %s: apply did not cross a process boundary", key)
+		}
+		if apply.Parent != send.Span {
+			t.Errorf("command %s: apply parent %s, want send %s", key, apply.Parent, send.Span)
+		}
+		if apply.StartUS < send.StartUS-slack || apply.StartUS+apply.DurUS > ack.StartUS+ack.DurUS+slack {
+			t.Errorf("command %s: corrected apply [%d,%d] outside send→ack [%d,%d]",
+				key, apply.StartUS, apply.StartUS+apply.DurUS, send.StartUS, ack.StartUS+ack.DurUS)
+		}
+		applyByProc[apply.Proc] = append(applyByProc[apply.Proc], apply.StartUS)
+	}
+	// Raw clocks disagree by up to 65s, but after correction every agent's
+	// applies land within the controller's sub-second command window — the
+	// whole point of merging on one timeline.
+	var lo, hi int64
+	first := true
+	for proc, starts := range applyByProc {
+		if len(starts) != 3 {
+			t.Fatalf("%s applied %d commands, want 3", proc, len(starts))
+		}
+		for _, s := range starts {
+			if first || s < lo {
+				lo = s
+			}
+			if first || s > hi {
+				hi = s
+			}
+			first = false
+		}
+	}
+	if hi-lo > 2_000_000 {
+		t.Errorf("corrected applies span %dµs across agents, want < 2s", hi-lo)
+	}
+
+	// Canonical form is stable across re-merges of the same dumps.
+	var c1, c2 bytes.Buffer
+	if err := m.WriteCanonical(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(dumps...).WriteCanonical(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.String() != c2.String() {
+		t.Error("canonical form differs across identical merges")
+	}
+}
+
 func TestReadJSONLMetaAndErrors(t *testing.T) {
 	in := `{"name":"` + obs.MetaEventName + `","attrs":{"proc":"p1","epoch_unix_us":"123"}}
 {"name":"x","start_us":5,"dur_us":2}

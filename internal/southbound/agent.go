@@ -16,6 +16,12 @@ import (
 // and therefore free — unless obs.Enable() was called, e.g. by the
 // tinyleo-sat -metrics-addr flag). Counters are cached per message type so
 // the read loop never takes the registry lock.
+//
+// MsgTelemetry is deliberately NOT metered here: a fleet report that
+// bumped a counter in the very registry it just snapshotted would keep
+// the registry permanently dirty — every flush would beget the next,
+// and a quiesced agent's rollup could never exactly equal its local
+// registry. The controller meters telemetry traffic on its side instead.
 var agentMetrics = struct {
 	rx, tx     [MsgAck + 1]*obs.Counter
 	reconnects *obs.Counter
@@ -319,6 +325,15 @@ func (a *Agent) write(m *Message) error {
 		agentMetrics.tx[m.Type].Inc()
 	}
 	return nil
+}
+
+// SendTelemetry pushes one opaque fleet-telemetry report (an
+// internal/obs/fleet wire payload) to the controller. Telemetry rides
+// the same session as control traffic but is fire-and-forget: no ack,
+// no retransmit — a lost report is healed by the encoder's next
+// baseline. See the agentMetrics doc for why it is not self-metered.
+func (a *Agent) SendTelemetry(payload []byte) error {
+	return a.write(&Message{Type: MsgTelemetry, SatID: a.SatID, Payload: payload})
 }
 
 // ReportFailure notifies the controller that the ISL toward peer failed.

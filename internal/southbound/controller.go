@@ -134,13 +134,18 @@ type Controller struct {
 	// OnCommandFailed observes commands abandoned after AckTimeout (called
 	// without internal locks held).
 	OnCommandFailed func(m *Message)
+	// OnTelemetry receives fleet telemetry payloads pushed by agents
+	// (typically (*fleet.Aggregator).HandleReport). Called from the
+	// connection's read loop without internal locks held; nil drops the
+	// reports. Set before agents connect.
+	OnTelemetry func(satID uint32, payload []byte)
 
 	// reg is the controller's always-enabled telemetry registry (the
 	// Figure 17 signaling accounting, plus wire bytes, the connected-agent
 	// gauge, and the ack RTT histogram). Read it via Count/TotalMessages/
 	// Metrics; serve it via obs.Serve.
 	reg         *obs.Registry
-	rx, tx      [MsgAck + 1]*obs.Counter // indexed by MsgType
+	rx, tx      [MsgTelemetry + 1]*obs.Counter // indexed by MsgType
 	rxBytes     *obs.Counter
 	txBytes     *obs.Counter
 	connected   *obs.Gauge
@@ -176,7 +181,7 @@ func ListenController(addr string) (*Controller, error) {
 		retransmits: reg.Counter(MetricRetransmits),
 		untracked:   reg.Counter(MetricUntracked),
 	}
-	for t := MsgHello; t <= MsgAck; t++ {
+	for t := MsgHello; t <= MsgTelemetry; t++ {
 		c.rx[t] = reg.Counter(MetricMessages, "dir", "rx", "type", t.String())
 		c.tx[t] = reg.Counter(MetricMessages, "dir", "tx", "type", t.String())
 	}
@@ -354,6 +359,10 @@ func (c *Controller) serve(conn net.Conn) {
 			}
 			if c.OnAck != nil {
 				c.OnAck(m)
+			}
+		case MsgTelemetry:
+			if c.OnTelemetry != nil {
+				c.OnTelemetry(m.SatID, m.Payload)
 			}
 		}
 	}

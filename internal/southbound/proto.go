@@ -37,6 +37,9 @@ const (
 	MsgFailureReport
 	// MsgAck acknowledges a command by Seq.
 	MsgAck
+	// MsgTelemetry carries an opaque fleet-telemetry report (see
+	// internal/obs/fleet) from agent to controller in the Payload trailer.
+	MsgTelemetry
 )
 
 func (t MsgType) String() string {
@@ -55,6 +58,8 @@ func (t MsgType) String() string {
 		return "failure-report"
 	case MsgAck:
 		return "ack"
+	case MsgTelemetry:
+		return "telemetry"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
 }
@@ -74,6 +79,11 @@ type Message struct {
 	// so tracing is wire-compatible in both directions.
 	Trace obs.SpanContext
 
+	// Payload is an opaque byte blob (fleet telemetry reports). Like the
+	// trace context it rides an optional marker-tagged trailer, so old
+	// readers skip it and a nil payload adds no bytes.
+	Payload []byte
+
 	// Emitted is the in-process time the command left the planning layer
 	// (MPC emit), carried through the reliability layer so the controller
 	// can record emit-to-applied latency at ack time. Never serialized.
@@ -90,8 +100,18 @@ const (
 	traceMarker = 0x54 // 'T'
 	// traceTrailerLen is marker + binary SpanContext.
 	traceTrailerLen = 1 + obs.SpanContextWireSize
+	// payloadMarker tags the optional opaque-payload trailer, written
+	// after the trace trailer (when present). Same compatibility story as
+	// traceMarker: old readers treat it as ignorable padding.
+	payloadMarker = 0x50 // 'P'
+	// MaxTelemetryPayload bounds the opaque payload trailer: large enough
+	// for a worst-case baseline fleet report, small enough that a corrupt
+	// length cannot balloon controller memory.
+	MaxTelemetryPayload = 1 << 18
+	// payloadHeaderLen is marker + uint32 payload length.
+	payloadHeaderLen = 1 + 4
 	// maxFrame guards against hostile/corrupt length prefixes.
-	maxFrame = headerLen + 2*MaxCells + traceTrailerLen
+	maxFrame = headerLen + 2*MaxCells + traceTrailerLen + payloadHeaderLen + MaxTelemetryPayload
 )
 
 // ErrFrameTooLarge reports a length prefix beyond protocol limits.
@@ -104,6 +124,9 @@ func (m *Message) WireSize() int {
 	if !m.Trace.IsZero() {
 		n += traceTrailerLen
 	}
+	if len(m.Payload) > 0 {
+		n += payloadHeaderLen + len(m.Payload)
+	}
 	return n
 }
 
@@ -114,9 +137,15 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if len(m.Cells) > MaxCells {
 		return fmt.Errorf("southbound: %d cells exceed max %d", len(m.Cells), MaxCells)
 	}
+	if len(m.Payload) > MaxTelemetryPayload {
+		return fmt.Errorf("southbound: %d payload bytes exceed max %d", len(m.Payload), MaxTelemetryPayload)
+	}
 	n := headerLen - 4 + 2*len(m.Cells)
 	if !m.Trace.IsZero() {
 		n += traceTrailerLen
+	}
+	if len(m.Payload) > 0 {
+		n += payloadHeaderLen + len(m.Payload)
 	}
 	buf := make([]byte, 4, 4+n)
 	binary.BigEndian.PutUint32(buf, uint32(n))
@@ -135,6 +164,13 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if !m.Trace.IsZero() {
 		buf = append(buf, traceMarker)
 		buf = m.Trace.AppendWire(buf)
+	}
+	if len(m.Payload) > 0 {
+		buf = append(buf, payloadMarker)
+		var plen [4]byte
+		binary.BigEndian.PutUint32(plen[:], uint32(len(m.Payload)))
+		buf = append(buf, plen[:]...)
+		buf = append(buf, m.Payload...)
 	}
 	_, err := w.Write(buf)
 	return err
@@ -174,8 +210,20 @@ func ReadMessage(r io.Reader) (*Message, error) {
 			m.Cells[i] = binary.BigEndian.Uint16(buf[16+2*i:])
 		}
 	}
-	if off := 16 + 2*count; len(buf) >= off+traceTrailerLen && buf[off] == traceMarker {
+	off := 16 + 2*count
+	if len(buf) >= off+traceTrailerLen && buf[off] == traceMarker {
 		m.Trace, _ = obs.SpanContextFromWire(buf[off+1:])
+		off += traceTrailerLen
+	}
+	if len(buf) >= off+payloadHeaderLen && buf[off] == payloadMarker {
+		plen := int(binary.BigEndian.Uint32(buf[off+1:]))
+		off += payloadHeaderLen
+		if plen > MaxTelemetryPayload || len(buf) < off+plen {
+			return nil, fmt.Errorf("southbound: payload trailer truncated (%d bytes declared, %d present)", plen, len(buf)-off)
+		}
+		if plen > 0 {
+			m.Payload = append([]byte(nil), buf[off:off+plen]...)
+		}
 	}
 	return m, nil
 }
