@@ -21,14 +21,7 @@ import (
 // — the per-run artifact `tinyleo-ctl fleet snapshot` also produces from
 // a live controller.
 func writeFleetSnapshot(path string, agg *fleet.Aggregator) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	return enc.Encode(agg.View())
+	return agg.WriteSnapshotFile(path)
 }
 
 // fetchFleet GETs the /fleet document from a controller telemetry

@@ -73,6 +73,7 @@ import (
 	"repro/internal/obs/flightrec"
 	"repro/internal/obs/tracemerge"
 	"repro/internal/southbound"
+	"repro/internal/testground"
 )
 
 func main() {
@@ -198,6 +199,13 @@ func runController() {
 	fleetLag := flag.Duration("fleet-lag", fleet.DefaultLagAfter, "mark an agent lagging after this long without a fleet report")
 	fleetSilent := flag.Duration("fleet-silent", fleet.DefaultSilentAfter, "mark an agent silent after this long without a fleet report")
 	fleetOut := flag.String("fleet-out", "", "write the final /fleet snapshot JSON to this file on exit")
+	syncURL := flag.String("sync", "", "testground sync service URL: publish the bound southbound and telemetry addresses as run parameters")
+	hold := flag.Duration("hold", 0, "stay alive this long after the last slot (lets the fleet staleness ladder observe late faults)")
+	planes := flag.Int("planes", 16, "Walker constellation planes")
+	satsPerPlane := flag.Int("sats-per-plane", 16, "satellites per plane")
+	inclination := flag.Float64("inclination", 53, "orbital inclination (degrees)")
+	altitudeKm := flag.Float64("altitude-km", 1200, "orbital altitude (km)")
+	phasing := flag.Int("phasing", 1, "Walker phasing factor F")
 	flag.Parse()
 
 	defer cli.Flush()
@@ -275,13 +283,29 @@ func runController() {
 			})
 		}
 	}
+	servedMetrics := ""
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, obs.Default(), ctl.Metrics(), agg.Registry())
 		if err != nil {
 			cli.Fatalf("tinyleo-ctl: %v\n", err)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+		servedMetrics = srv.Addr()
+		fmt.Printf("telemetry on http://%s/metrics\n", servedMetrics)
+	}
+	if *syncURL != "" {
+		// Publish the actual bound addresses (both flags accept :0) so the
+		// testground runner and the agents can find this controller.
+		sc := testground.NewClient(*syncURL)
+		if err := sc.SetParam(testground.ParamControllerAddr, ctl.Addr()); err != nil {
+			cli.Fatalf("tinyleo-ctl: %v\n", err)
+		}
+		if servedMetrics != "" {
+			if err := sc.SetParam(testground.ParamMetricsAddr, servedMetrics); err != nil {
+				cli.Fatalf("tinyleo-ctl: %v\n", err)
+			}
+		}
+		fmt.Printf("published addresses to sync service %s\n", *syncURL)
 	}
 	if *traceOut != "" {
 		out := *traceOut
@@ -307,7 +331,8 @@ func runController() {
 
 	// Demo constellation + chain intent (agents play the first N sats).
 	sats := baseline.WalkerConfig{
-		InclinationDeg: 53, AltitudeKm: 1200, Planes: 16, SatsPerPlane: 16, PhasingF: 1,
+		InclinationDeg: *inclination, AltitudeKm: *altitudeKm,
+		Planes: *planes, SatsPerPlane: *satsPerPlane, PhasingF: *phasing,
 	}.Satellites()
 	g := geo.MustGrid(10)
 	topo := intent.NewTopology(g)
@@ -377,4 +402,10 @@ func runController() {
 		time.Sleep(200 * time.Millisecond)
 	})
 	fmt.Printf("totals: %d southbound messages\n", ctl.TotalMessages())
+	if *hold > 0 {
+		// Keep the southbound and telemetry surfaces up so the staleness
+		// ladder can walk killed agents to silent before the exit snapshot.
+		fmt.Printf("holding for %s\n", *hold)
+		time.Sleep(*hold)
+	}
 }

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCmdTree fabricates a cmd/ tree with one binary using package-
+// level flags and one using a named flag set.
+func writeCmdTree(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("toy-a/main.go", `package main
+
+import "flag"
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:1", "listen address")
+	n := flag.Int("n", 3, "agent "+"count")
+	_ = flag.Bool("v", false, "verbose output")
+	_, _ = addr, n
+}
+`)
+	write("toy-b/main.go", `package main
+
+import "flag"
+
+func sub() {
+	fs := flag.NewFlagSet("toy-b sub", flag.ContinueOnError)
+	_ = fs.String("out", "", "output path")
+}
+
+func main() {
+	d := flag.Duration("wait", 0, "how long to wait")
+	_ = d
+	sub()
+}
+`)
+	return dir
+}
+
+func TestExtractFlags(t *testing.T) {
+	defs, err := extractFlags(writeCmdTree(t))
+	if err != nil {
+		t.Fatalf("extractFlags: %v", err)
+	}
+	if got := len(defs["toy-a"]); got != 3 {
+		t.Fatalf("toy-a flags = %d: %+v", got, defs["toy-a"])
+	}
+	// Sorted by name; concatenated usage strings evaluate.
+	if defs["toy-a"][1].Name != "n" || defs["toy-a"][1].Usage != "agent count" {
+		t.Errorf("toy-a[1] = %+v", defs["toy-a"][1])
+	}
+	if defs["toy-a"][0].Default != "127.0.0.1:1" {
+		t.Errorf("string default not unquoted: %+v", defs["toy-a"][0])
+	}
+	if got := len(defs["toy-b"]); got != 1 || defs["toy-b"][0].Name != "wait" {
+		t.Fatalf("toy-b flags: %+v", defs["toy-b"])
+	}
+	if got := len(defs["toy-b sub"]); got != 1 || defs["toy-b sub"][0].Usage != "output path" {
+		t.Fatalf("toy-b sub flags: %+v", defs["toy-b sub"])
+	}
+}
+
+func TestFindFlagTablesAndCheck(t *testing.T) {
+	md := `# Doc
+
+<!-- tinyleo-docscheck: flags toy-a -->
+
+| Flag | Default | Description |
+|---|---|---|
+| ` + "`-addr`" + ` | ` + "`127.0.0.1:1`" + ` | listen address |
+| ` + "`-n`" + ` | ` + "`3`" + ` | agent count |
+| ` + "`-v`" + ` |  | verbose output |
+
+prose after the table
+`
+	tables := findFlagTables(md)
+	if len(tables) != 1 || tables[0].set != "toy-a" || len(tables[0].rows) != 3 {
+		t.Fatalf("tables: %+v", tables)
+	}
+	defs, err := extractFlags(writeCmdTree(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := checkTable("doc.md", tables[0], defs["toy-a"]); len(problems) != 0 {
+		t.Errorf("clean table reported problems: %v", problems)
+	}
+
+	// Drifted description, missing flag, and a row for a ghost flag.
+	bad := tables[0]
+	bad.rows = map[string]string{"addr": "WRONG", "ghost": "x", "v": "verbose output"}
+	problems := checkTable("doc.md", bad, defs["toy-a"])
+	if len(problems) != 3 {
+		t.Fatalf("want 3 problems (drift, missing -n, ghost row), got %d: %v", len(problems), problems)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{"drifted", "missing from the table", "no matching flag"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("problems lack %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestFormatTableRoundTrips: a printed table passes its own check.
+func TestFormatTableRoundTrips(t *testing.T) {
+	defs, err := extractFlags(writeCmdTree(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := formatTable("toy-a", defs["toy-a"])
+	tables := findFlagTables(md)
+	if len(tables) != 1 {
+		t.Fatalf("printed table not found: %q", md)
+	}
+	if problems := checkTable("gen.md", tables[0], defs["toy-a"]); len(problems) != 0 {
+		t.Errorf("generated table fails its own check: %v", problems)
+	}
+}
+
+func TestFindSnippets(t *testing.T) {
+	md := "intro\n\n```go\nx := 1\n```\n\n<!-- tinyleo-docscheck: skip -->\n\n```go\nnot go at all\n```\n\n```sh\nls\n```\n"
+	sns := findSnippets("d.md", md)
+	if len(sns) != 2 {
+		t.Fatalf("snippets = %d: %+v", len(sns), sns)
+	}
+	if sns[0].skip || sns[0].src != "x := 1\n" || sns[0].line != 3 {
+		t.Errorf("first snippet: %+v", sns[0])
+	}
+	if !sns[1].skip {
+		t.Errorf("skip marker not honored: %+v", sns[1])
+	}
+}
+
+func TestCheckSnippetFragments(t *testing.T) {
+	cases := []struct {
+		src string
+		ok  bool
+	}{
+		{"x := compute()\nif x > 0 {\n\treturn\n}", true}, // statements
+		{"type T struct{ N int }", true},                  // declaration
+		{"func f() int { return 1 }", true},
+		{"this is prose, not go", false},
+		{"if { broken", false},
+	}
+	for _, c := range cases {
+		err := checkSnippet(snippet{src: c.src + "\n"})
+		if (err == nil) != c.ok {
+			t.Errorf("checkSnippet(%q): err=%v want ok=%v", c.src, err, c.ok)
+		}
+	}
+}
+
+func TestIsCompleteFile(t *testing.T) {
+	if !isCompleteFile("// a doc comment\npackage main\n") {
+		t.Error("package clause after comment not detected")
+	}
+	if isCompleteFile("x := 1\n") {
+		t.Error("fragment misdetected as complete file")
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Distributed campaign runner": "distributed-campaign-runner",
+		"The `fleet` API":             "the-fleet-api",
+		"What's next?":                "whats-next",
+		"CI / CD":                     "ci--cd",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckLinkAndAnchors(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "TARGET.md")
+	if err := os.WriteFile(target, []byte("# One\n\n## Repeat\n\n## Repeat\n\n```\n# not a heading\n```\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	from := filepath.Join(dir, "FROM.md")
+	if err := os.WriteFile(from, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]map[string]bool{}
+	for _, tc := range []struct {
+		target string
+		ok     bool
+	}{
+		{"TARGET.md", true},
+		{"TARGET.md#one", true},
+		{"TARGET.md#repeat", true},
+		{"TARGET.md#repeat-1", true},
+		{"TARGET.md#repeat-2", false},
+		{"TARGET.md#not-a-heading", false},
+		{"TARGET.md#missing", false},
+		{"nope.md", false},
+		{"#one", false}, // self-anchor into FROM.md, which has no headings
+	} {
+		err := checkLink(from, tc.target, anchors)
+		if (err == nil) != tc.ok {
+			t.Errorf("checkLink(%s): err=%v want ok=%v", tc.target, err, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package main
+
+// The flags checker. Flag definitions are extracted from the command
+// sources with go/ast — no binaries are built and no flag package is
+// executed — then matched against annotated markdown tables. A flag
+// definition is any call to flag.String/Bool/... (attributed to the
+// binary named after the cmd directory) or fs.String/... where fs was
+// assigned from flag.NewFlagSet("name", ...) earlier in the same
+// function (attributed to that name, e.g. "tinyleo-ctl top").
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// flagDef is one flag definition discovered in the sources.
+type flagDef struct {
+	Set     string // flag set name: binary name or NewFlagSet literal
+	Name    string // flag name without the leading dash
+	Default string // rendered default expression (informational)
+	Usage   string // usage string — must match the doc table exactly
+}
+
+// defMethods are the flag.FlagSet definition methods we attribute.
+// The *Var variants take the name as the second argument.
+var defMethods = map[string]int{
+	"String": 0, "Bool": 0, "Int": 0, "Int64": 0, "Uint": 0, "Uint64": 0,
+	"Float64": 0, "Duration": 0,
+	"StringVar": 1, "BoolVar": 1, "IntVar": 1, "Int64Var": 1, "UintVar": 1,
+	"Uint64Var": 1, "Float64Var": 1, "DurationVar": 1,
+}
+
+func runFlags(args []string) error {
+	fs := flag.NewFlagSet("tinyleo-docscheck flags", flag.ExitOnError)
+	cmds := fs.String("cmds", "./cmd", "directory holding the command packages")
+	print := fs.Bool("print", false, "print up-to-date flag tables for every set instead of checking")
+	fs.Parse(args)
+
+	defs, err := extractFlags(*cmds)
+	if err != nil {
+		return err
+	}
+	if *print {
+		printTables(defs)
+		return nil
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("flags: no markdown files given")
+	}
+
+	var problems []string
+	documented := map[string]bool{}
+	for _, md := range fs.Args() {
+		src, err := os.ReadFile(md)
+		if err != nil {
+			return err
+		}
+		for _, tbl := range findFlagTables(string(src)) {
+			documented[tbl.set] = true
+			problems = append(problems, checkTable(md, tbl, defs[tbl.set])...)
+		}
+	}
+	total := 0
+	for _, set := range sortedKeys(defs) {
+		total += len(defs[set])
+		if !documented[set] {
+			problems = append(problems, fmt.Sprintf("flag set %q is not documented in any given file (run with -print to generate its table)", set))
+		}
+	}
+	if err := report("flags", problems); err != nil {
+		return err
+	}
+	fmt.Printf("flags: %d flag(s) across %d set(s) checked\n", total, len(defs))
+	return nil
+}
+
+// extractFlags parses every non-test .go file under each cmd
+// subdirectory and collects flag definitions grouped by set name.
+func extractFlags(cmdsDir string) (map[string][]flagDef, error) {
+	entries, err := os.ReadDir(cmdsDir)
+	if err != nil {
+		return nil, fmt.Errorf("flags: %w", err)
+	}
+	defs := map[string][]flagDef{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(cmdsDir, e.Name())
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			return nil, err
+		}
+		for _, file := range files {
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			if err := extractFile(file, e.Name(), defs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for set := range defs {
+		sort.Slice(defs[set], func(i, j int) bool { return defs[set][i].Name < defs[set][j].Name })
+	}
+	return defs, nil
+}
+
+// extractFile walks one source file. Each function body is scanned in
+// source order: assignments from flag.NewFlagSet bind a variable to a
+// set name, and subsequent definition calls on that variable (or on the
+// flag package itself, meaning the default set = the binary) record a
+// flagDef.
+func extractFile(path, binary string, defs map[string][]flagDef) error {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return fmt.Errorf("flags: parse %s: %w", path, err)
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		setOf := map[string]string{} // local var name -> flag set name
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					if i >= len(node.Lhs) {
+						break
+					}
+					name, ok := flagSetLiteral(rhs)
+					if !ok {
+						continue
+					}
+					if id, ok := node.Lhs[i].(*ast.Ident); ok {
+						setOf[id.Name] = name
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := node.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				nameArg, ok := defMethods[sel.Sel.Name]
+				if !ok || len(node.Args) < nameArg+3 {
+					return true
+				}
+				recv, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				set := ""
+				if recv.Name == "flag" && recv.Obj == nil {
+					set = binary
+				} else if s, bound := setOf[recv.Name]; bound {
+					set = s
+				} else {
+					return true
+				}
+				name, ok1 := stringLit(node.Args[nameArg])
+				usage, ok2 := stringLit(node.Args[nameArg+2])
+				if !ok1 || !ok2 {
+					return true
+				}
+				defs[set] = append(defs[set], flagDef{
+					Set:     set,
+					Name:    name,
+					Default: renderExpr(fset, node.Args[nameArg+1]),
+					Usage:   usage,
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// flagSetLiteral matches flag.NewFlagSet("name", ...) and returns name.
+func flagSetLiteral(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewFlagSet" || len(call.Args) < 1 {
+		return "", false
+	}
+	if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "flag" {
+		return "", false
+	}
+	return stringLit(call.Args[0])
+}
+
+// stringLit evaluates a string literal or a concatenation of literals.
+func stringLit(e ast.Expr) (string, bool) {
+	switch node := e.(type) {
+	case *ast.BasicLit:
+		if node.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(node.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		if node.Op != token.ADD {
+			return "", false
+		}
+		l, ok1 := stringLit(node.X)
+		r, ok2 := stringLit(node.Y)
+		return l + r, ok1 && ok2
+	case *ast.ParenExpr:
+		return stringLit(node.X)
+	}
+	return "", false
+}
+
+// renderExpr prints the default-value expression as source, unquoting
+// plain string literals so tables read `127.0.0.1:7601`, not `"..."`.
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	if s, ok := stringLit(e); ok {
+		return s
+	}
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}
+
+// flagTable is one annotated markdown table.
+type flagTable struct {
+	set  string
+	line int               // 1-based line of the marker comment
+	rows map[string]string // flag name -> description cell
+}
+
+var markerRE = regexp.MustCompile(`<!--\s*tinyleo-docscheck:\s*flags\s+(.+?)\s*-->`)
+
+// findFlagTables locates every marker comment and parses the table
+// that follows it (blank lines allowed in between).
+func findFlagTables(src string) []flagTable {
+	lines := strings.Split(src, "\n")
+	var tables []flagTable
+	for i := 0; i < len(lines); i++ {
+		m := markerRE.FindStringSubmatch(lines[i])
+		if m == nil {
+			continue
+		}
+		tbl := flagTable{set: m[1], line: i + 1, rows: map[string]string{}}
+		j := i + 1
+		for j < len(lines) && strings.TrimSpace(lines[j]) == "" {
+			j++
+		}
+		// Header + separator rows, then data rows until the table ends.
+		for seen := 0; j < len(lines) && strings.HasPrefix(strings.TrimSpace(lines[j]), "|"); j++ {
+			seen++
+			if seen <= 2 {
+				continue
+			}
+			cells := splitRow(lines[j])
+			if len(cells) < 3 {
+				continue
+			}
+			name := strings.TrimPrefix(strings.Trim(cells[0], "`"), "-")
+			tbl.rows[name] = cells[2]
+		}
+		tables = append(tables, tbl)
+		i = j - 1
+	}
+	return tables
+}
+
+// splitRow splits a markdown table row into trimmed cells.
+func splitRow(row string) []string {
+	row = strings.TrimSpace(row)
+	row = strings.TrimPrefix(row, "|")
+	row = strings.TrimSuffix(row, "|")
+	parts := strings.Split(row, "|")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// checkTable compares one documented table against the extracted defs.
+func checkTable(md string, tbl flagTable, defs []flagDef) []string {
+	var problems []string
+	at := fmt.Sprintf("%s:%d [%s]", md, tbl.line, tbl.set)
+	if defs == nil {
+		return []string{fmt.Sprintf("%s: table documents unknown flag set (not found in the sources)", at)}
+	}
+	byName := map[string]flagDef{}
+	for _, d := range defs {
+		byName[d.Name] = d
+		doc, ok := tbl.rows[d.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: flag -%s is defined in the sources but missing from the table", at, d.Name))
+			continue
+		}
+		if doc != d.Usage {
+			problems = append(problems, fmt.Sprintf("%s: flag -%s description drifted:\n  code: %s\n  docs: %s", at, d.Name, d.Usage, doc))
+		}
+	}
+	for _, name := range sortedKeys(tbl.rows) {
+		if _, ok := byName[name]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: table row -%s has no matching flag in the sources", at, name))
+		}
+	}
+	return problems
+}
+
+// printTables emits a ready-to-paste annotated table per flag set.
+func printTables(defs map[string][]flagDef) {
+	for _, set := range sortedKeys(defs) {
+		fmt.Println(formatTable(set, defs[set]))
+	}
+}
+
+// sortedKeys returns a map's keys sorted, for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatTable renders one annotated markdown table.
+func formatTable(set string, defs []flagDef) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!-- tinyleo-docscheck: flags %s -->\n", set)
+	b.WriteString("| Flag | Default | Description |\n|---|---|---|\n")
+	for _, d := range defs {
+		def := d.Default
+		if def == "" {
+			def = " "
+		} else {
+			def = "`" + def + "`"
+		}
+		fmt.Fprintf(&b, "| `-%s` | %s | %s |\n", d.Name, def, d.Usage)
+	}
+	return b.String()
+}
+
+// report prints problems and returns an error when any exist.
+func report(checker string, problems []string) error {
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if n := len(problems); n > 0 {
+		return fmt.Errorf("%s: %d problem(s)", checker, n)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+// The links checker. Every relative markdown link target must exist on
+// disk, and #anchor fragments into markdown files must match a heading
+// in the target file under GitHub's slug rules (lowercase, punctuation
+// stripped, spaces to hyphens, duplicate slugs suffixed -1, -2, ...).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	linkRE    = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	headingRE = regexp.MustCompile(`^#{1,6}\s+(.*)$`)
+	slugDrop  = regexp.MustCompile(`[^a-z0-9 \-_]`)
+)
+
+func runLinks(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("links: no markdown files given")
+	}
+	var problems []string
+	checked := 0
+	anchors := map[string]map[string]bool{} // md path -> slug set (lazy)
+	for _, md := range args {
+		src, err := os.ReadFile(md)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				checked++
+				if err := checkLink(md, target, anchors); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: link (%s): %v", md, i+1, target, err))
+				}
+			}
+		}
+	}
+	if err := report("links", problems); err != nil {
+		return err
+	}
+	fmt.Printf("links: %d relative link(s) checked\n", checked)
+	return nil
+}
+
+// checkLink resolves one relative target (with optional #anchor)
+// against the filesystem, from the linking file's directory.
+func checkLink(from, target string, anchors map[string]map[string]bool) error {
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := from
+	if path != "" {
+		resolved = filepath.Join(filepath.Dir(from), path)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Errorf("target does not exist")
+		}
+	}
+	if frag == "" {
+		return nil
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return fmt.Errorf("anchor into a non-markdown target")
+	}
+	slugs, ok := anchors[resolved]
+	if !ok {
+		var err error
+		if slugs, err = headingSlugs(resolved); err != nil {
+			return err
+		}
+		anchors[resolved] = slugs
+	}
+	if !slugs[frag] {
+		return fmt.Errorf("no heading with slug %q in %s", frag, resolved)
+	}
+	return nil
+}
+
+// headingSlugs collects the GitHub anchor slugs of a markdown file's
+// headings, skipping fenced code blocks.
+func headingSlugs(path string) (map[string]bool, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	slugs := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := counts[slug]; n > 0 {
+			slugs[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			slugs[slug] = true
+		}
+		counts[slug]++
+	}
+	return slugs, nil
+}
+
+// slugify applies GitHub's heading-to-anchor rules.
+func slugify(h string) string {
+	h = strings.TrimSpace(h)
+	h = strings.ReplaceAll(h, "`", "")
+	h = strings.ToLower(h)
+	h = slugDrop.ReplaceAllString(h, "")
+	return strings.ReplaceAll(h, " ", "-")
+}

@@ -1,0 +1,75 @@
+// Command tinyleo-docscheck keeps the prose honest: it cross-checks the
+// markdown documentation against the code and fails CI when they drift.
+// Three checkers:
+//
+//	tinyleo-docscheck flags -cmds ./cmd OPERATIONS.md [more.md...]
+//	tinyleo-docscheck snippets README.md ARCHITECTURE.md [more.md...]
+//	tinyleo-docscheck links README.md [more.md...]
+//
+// flags extracts every flag definition (name + usage string) from the
+// command packages' sources and compares them against markdown tables
+// annotated with a marker comment:
+//
+//	<!-- tinyleo-docscheck: flags tinyleo-sat -->
+//	| Flag | Default | Description |
+//	|---|---|---|
+//	| `-controller` | `127.0.0.1:7601` | controller address |
+//
+// Every defined flag must have a table row and every row a defined
+// flag, and the description cell must equal the flag's -help usage
+// text exactly (the default column is informational). -print emits
+// up-to-date tables for every discovered flag set, so regenerating a
+// stale table is copy-paste. Each flag set found in the sources must be
+// documented in at least one of the given files.
+//
+// snippets extracts fenced ```go blocks: blocks that are complete files
+// (they start with a package clause) are compiled with the real
+// toolchain inside the module, so imports and types are checked;
+// fragments are parsed for syntax. Blocks annotated with a preceding
+// <!-- tinyleo-docscheck: skip --> comment are ignored.
+//
+// links resolves every relative markdown link target against the
+// filesystem and verifies #anchors against the target file's headings
+// (GitHub slug rules).
+//
+// Exit status: 0 clean, 1 drift found, 2 usage errors.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "flags":
+		err = runFlags(os.Args[2:])
+	case "snippets":
+		err = runSnippets(os.Args[2:])
+	case "links":
+		err = runLinks(os.Args[2:])
+	case "-h", "-help", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tinyleo-docscheck: unknown checker %q\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tinyleo-docscheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tinyleo-docscheck <checker> [args]
+
+checkers:
+  flags     -cmds <dir> [-print] <md files...>   flag tables match the sources
+  snippets  <md files...>                        fenced go blocks compile/parse
+  links     <md files...>                        relative links and anchors resolve`)
+	os.Exit(2)
+}

@@ -1,0 +1,137 @@
+package main
+
+// The snippets checker. Fenced ```go blocks in the given markdown
+// files must at least parse; blocks that are complete files (leading
+// package clause) are additionally compiled with the real toolchain
+// inside the module, so their imports and types are checked against
+// the code they document.
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// snippet is one fenced go block.
+type snippet struct {
+	file string
+	line int // 1-based line of the opening fence
+	src  string
+	skip bool
+}
+
+const skipMarker = "<!-- tinyleo-docscheck: skip -->"
+
+func runSnippets(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("snippets: no markdown files given")
+	}
+	var problems []string
+	checked := 0
+	for _, md := range args {
+		src, err := os.ReadFile(md)
+		if err != nil {
+			return err
+		}
+		for _, sn := range findSnippets(md, string(src)) {
+			if sn.skip {
+				continue
+			}
+			checked++
+			if err := checkSnippet(sn); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: %v", sn.file, sn.line, err))
+			}
+		}
+	}
+	if err := report("snippets", problems); err != nil {
+		return err
+	}
+	fmt.Printf("snippets: %d go block(s) checked\n", checked)
+	return nil
+}
+
+// findSnippets extracts fenced go blocks. A skip marker on the line
+// directly above the fence (blank lines allowed) exempts a block.
+func findSnippets(file, src string) []snippet {
+	lines := strings.Split(src, "\n")
+	var out []snippet
+	for i := 0; i < len(lines); i++ {
+		trimmed := strings.TrimSpace(lines[i])
+		if trimmed != "```go" {
+			continue
+		}
+		sn := snippet{file: file, line: i + 1}
+		for k := i - 1; k >= 0; k-- {
+			prev := strings.TrimSpace(lines[k])
+			if prev == "" {
+				continue
+			}
+			sn.skip = prev == skipMarker
+			break
+		}
+		var body []string
+		j := i + 1
+		for ; j < len(lines) && strings.TrimSpace(lines[j]) != "```"; j++ {
+			body = append(body, lines[j])
+		}
+		sn.src = strings.Join(body, "\n") + "\n"
+		out = append(out, sn)
+		i = j
+	}
+	return out
+}
+
+// checkSnippet validates one block. Complete files compile; fragments
+// must parse either as top-level declarations or as statements.
+func checkSnippet(sn snippet) error {
+	if isCompleteFile(sn.src) {
+		return buildSnippet(sn.src)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "snippet.go", "package p\n\n"+sn.src, 0); err == nil {
+		return nil
+	}
+	_, err := parser.ParseFile(fset, "snippet.go", "package p\n\nfunc _() {\n"+sn.src+"\n}", 0)
+	if err != nil {
+		return fmt.Errorf("go fragment does not parse (as declarations or statements): %v", err)
+	}
+	return nil
+}
+
+// isCompleteFile reports whether the block starts with a package
+// clause (ignoring comments and blank lines).
+func isCompleteFile(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		return strings.HasPrefix(t, "package ")
+	}
+	return false
+}
+
+// buildSnippet compiles a complete-file block in a throwaway package
+// directory under the module root, so `repro/...` imports resolve.
+// Names starting with "." or "_" are invisible to the go tool, hence
+// the plain "docsnip" prefix; the directory is removed afterwards.
+func buildSnippet(src string) error {
+	dir, err := os.MkdirTemp(".", "docsnip")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(src), 0o644); err != nil {
+		return err
+	}
+	cmd := exec.Command("go", "vet", "./"+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go snippet does not compile:\n%s", strings.ReplaceAll(string(out), dir+"/", ""))
+	}
+	return nil
+}

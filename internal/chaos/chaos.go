@@ -1,22 +1,3 @@
-// Package chaos is TinyLEO's seeded fault-injection campaign engine: it
-// composes failure scenarios — ISL loss and flap storms, satellite/agent
-// crashes, southbound connection drops, regional demand surges — and
-// drives them through the full control loop (MPC repair §4.2 → southbound
-// enforcement §5 → data-plane failover §4.3), scoring each campaign with
-// the flight recorder's SLO engine.
-//
-// Failure is the default test mode here: every scenario injects faults
-// and asserts the system degrades gracefully (recovery time, delivery
-// ratio, enforcement ratio) instead of asserting the happy path.
-//
-// Determinism contract: a campaign is seeded and runs in lockstep —
-// faults are drawn from a single seeded RNG over sorted candidate lists,
-// packet timing lives entirely on the netem virtual clock, and the
-// southbound reliability layer is driven through an injected clock. The
-// canonical report (Report.CanonicalJSON) therefore contains only
-// sim-time and logical counters: same seed → same bytes. Wall-clock
-// measurements (repair latency) are reported separately and excluded
-// from the canonical form.
 package chaos
 
 import "fmt"

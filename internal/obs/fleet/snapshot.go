@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Snapshot artifact helpers: the /fleet document as a per-run file. The
+// controller writes one on exit (-fleet-out), `tinyleo-ctl fleet
+// snapshot` fetches one from a live controller, and the testground
+// collector reads one back to score a finished campaign.
+
+// WriteFile writes the view as indented JSON — the same document /fleet
+// serves and `tinyleo-ctl fleet snapshot` saves.
+func (v *View) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteSnapshotFile dumps the aggregator's current view with WriteFile.
+func (a *Aggregator) WriteSnapshotFile(path string) error {
+	v := a.View()
+	return v.WriteFile(path)
+}
+
+// ReadViewFile loads a snapshot written by WriteFile (or fetched from
+// /fleet).
+func ReadViewFile(path string) (*View, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v View
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("fleet: snapshot %s: %w", path, err)
+	}
+	return &v, nil
+}
+
+// MetaSamples derives fleet-health gauges and counters from the view's
+// per-agent rows, mirroring the tinyleo_fleet_* series a live aggregator
+// exports — so a snapshot read back from disk can be scored with the
+// same SLO rule names a live run uses.
+func (v *View) MetaSamples() []obs.Sample {
+	var reports, gaps uint64
+	silent := 0
+	for _, a := range v.Agents {
+		reports += a.Reports
+		gaps += a.Gaps
+		if a.State == StateSilent {
+			silent++
+		}
+	}
+	return []obs.Sample{
+		{Name: "tinyleo_fleet_agents", Kind: obs.KindGauge, Value: float64(len(v.Agents))},
+		{Name: "tinyleo_fleet_agents_silent", Kind: obs.KindGauge, Value: float64(silent)},
+		{Name: "tinyleo_fleet_reports_total", Kind: obs.KindCounter, Value: float64(reports)},
+		{Name: "tinyleo_fleet_gaps_total", Kind: obs.KindCounter, Value: float64(gaps)},
+		{Name: "tinyleo_fleet_decode_errors_total", Kind: obs.KindCounter, Value: float64(v.DecodeErrors)},
+	}
+}
+
+// SLOSamples is the sample set SLO rules are evaluated against when
+// scoring a snapshot: the fleet-wide totals plus whichever derived meta
+// series the totals don't already carry. A live aggregator exports the
+// tinyleo_fleet_* meta series in its rollup registry, so they usually
+// arrive via Totals; the derived copies only fill in for snapshots
+// assembled another way (never both, or counter sums would double).
+func (v *View) SLOSamples() []obs.Sample {
+	have := make(map[string]bool, len(v.Totals))
+	for _, s := range v.Totals {
+		have[s.Name] = true
+	}
+	out := append([]obs.Sample(nil), v.Totals...)
+	for _, s := range v.MetaSamples() {
+		if !have[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

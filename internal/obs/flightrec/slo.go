@@ -282,10 +282,47 @@ func (e *Engine) Status() []RuleStatus {
 	return append([]RuleStatus(nil), e.status...)
 }
 
+// EvalRules evaluates rules against a static sample snapshot (plus an
+// optional event log for the event-window kinds), without engine state:
+// no breach transitions are tracked, no events are emitted, and EvalUS
+// stays zero. It is the scoring path for artifacts — a fleet snapshot or
+// a collected metrics dump can be judged long after the run ended — and
+// is what the testground report scorer uses.
+func EvalRules(rules []Rule, samples []obs.Sample, events []Event) []RuleStatus {
+	out := make([]RuleStatus, len(rules))
+	for i, r := range rules {
+		v := evalIndicator(r, samples, events)
+		breached := false
+		if !math.IsNaN(v) {
+			switch r.Op {
+			case ">=":
+				breached = v < r.Threshold
+			default: // "<="
+				breached = v > r.Threshold
+			}
+		}
+		out[i] = RuleStatus{Rule: r, Value: v, Breached: breached}
+	}
+	return out
+}
+
 // indicator computes one rule's current value from the metric samples
 // (and, for event-window kinds, the event log). NaN means "not yet
 // observable".
 func (e *Engine) indicator(r Rule, samples []obs.Sample) float64 {
+	if r.Kind == SLOFailureEvents && e.log == nil {
+		return math.NaN()
+	}
+	var events []Event
+	if e.log != nil {
+		events = e.log.Events()
+	}
+	return evalIndicator(r, samples, events)
+}
+
+// evalIndicator is the engine-independent indicator computation shared by
+// Engine.Eval and EvalRules.
+func evalIndicator(r Rule, samples []obs.Sample, events []Event) float64 {
 	switch r.Kind {
 	case SLOAvailability:
 		return gaugeValue(samples, "tinyleo_mpc_enforcement_ratio")
@@ -318,10 +355,6 @@ func (e *Engine) indicator(r Rule, samples []obs.Sample) float64 {
 		if window <= 0 {
 			window = 60
 		}
-		if e.log == nil {
-			return math.NaN()
-		}
-		events := e.log.Events()
 		if len(events) == 0 {
 			return 0
 		}

@@ -1,11 +1,3 @@
-// Package tracemerge assembles per-process span dumps (the /trace JSONL
-// endpoint or -trace-out files) into one cross-process timeline. Each dump
-// carries its own tracer epoch and clock; tracemerge aligns them with an
-// NTP-style skew correction derived from the southbound command spans
-// themselves (sb.send/sb.ack on the controller bracket agent.apply on the
-// agent), then renders a single Chrome trace_event file — per-command
-// causal trees spanning processes, with flow arrows across the boundary —
-// or a canonical text form stable enough to diff run-to-run.
 package tracemerge
 
 import (

@@ -1,0 +1,224 @@
+package testground
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLoadGoldenValid(t *testing.T) {
+	m, err := Load(filepath.Join("testdata", "valid-exec.json"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if m.Name != "golden-exec" || m.Mode != ModeExec || m.Seed != 99 {
+		t.Errorf("identity fields: %q %q %d", m.Name, m.Mode, m.Seed)
+	}
+	if m.Agents != 4 || m.Slots != 3 || m.SlotSeconds != 120 {
+		t.Errorf("shape fields: %d %d %g", m.Agents, m.Slots, m.SlotSeconds)
+	}
+	if m.Constellation.Planes != 8 || m.Constellation.AltitudeKm != 550 {
+		t.Errorf("constellation: %+v", m.Constellation)
+	}
+	want := []FaultSpec{
+		{AtS: 1, Kind: FaultStop, Agent: 2},
+		{AtS: 2.5, Kind: FaultCont, Agent: 2},
+		{AtS: 4, Kind: FaultKill, Agent: 3},
+	}
+	if !reflect.DeepEqual(m.Faults, want) {
+		t.Errorf("faults = %+v, want %+v", m.Faults, want)
+	}
+}
+
+// TestTOMLEquivalence pins the format contract: the TOML twin of a JSON
+// plan parses to the identical manifest.
+func TestTOMLEquivalence(t *testing.T) {
+	j, err := Load(filepath.Join("testdata", "valid-exec.json"))
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	tm, err := Load(filepath.Join("testdata", "valid-exec.toml"))
+	if err != nil {
+		t.Fatalf("toml: %v", err)
+	}
+	if !reflect.DeepEqual(j, tm) {
+		t.Errorf("json and toml twins diverge:\n json: %+v\n toml: %+v", j, tm)
+	}
+}
+
+func TestLoadGoldenInvalid(t *testing.T) {
+	cases := []struct {
+		file string
+		want string // substring of the error
+	}{
+		{"invalid-unknown-key.json", "unknown field"},
+		{"invalid-fault-kind.toml", "unknown exec fault kind"},
+		{"invalid-agent-range.json", "out of range"},
+		{"invalid-slo.toml", "slo"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			_, err := Load(filepath.Join("testdata", tc.file))
+			if err == nil {
+				t.Fatalf("Load(%s): wanted an error", tc.file)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFillDefaults pins the documented defaulting rules.
+func TestFillDefaults(t *testing.T) {
+	m := Manifest{Name: "d"}.FillDefaults()
+	if m.Mode != ModeExec {
+		t.Errorf("mode = %q, want exec", m.Mode)
+	}
+	if m.Seed != 42 || m.Agents != 3 || m.Slots != 2 || m.SlotSeconds != 300 || m.Workers != 2 {
+		t.Errorf("core defaults: %+v", m)
+	}
+	if m.RunForS != 120 || m.FleetIntervalMS != 200 || m.FleetLagS != 2 || m.FleetSilentS != 5 {
+		t.Errorf("exec defaults: %+v", m)
+	}
+	if m.HoldS != 2 {
+		t.Errorf("hold_s with no faults = %g, want 2", m.HoldS)
+	}
+	if m.SLO != DefaultExecSLO {
+		t.Errorf("slo = %q, want DefaultExecSLO", m.SLO)
+	}
+	c := m.Constellation
+	if c.Planes != 16 || c.SatsPerPlane != 16 || c.InclinationDeg != 53 || c.AltitudeKm != 1200 || c.PhasingF != 1 {
+		t.Errorf("constellation defaults: %+v", c)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("defaulted manifest must validate: %v", err)
+	}
+}
+
+// TestFillDefaultsHoldCoversFaults: hold_s stretches past the last fault
+// so the staleness ladder can observe it.
+func TestFillDefaultsHoldCoversFaults(t *testing.T) {
+	m := Manifest{
+		Name:   "h",
+		Faults: []FaultSpec{{AtS: 4, Kind: FaultKill}, {AtS: 1, Kind: FaultTerm}},
+	}.FillDefaults()
+	if want := 4 + m.FleetSilentS + 3; m.HoldS != want {
+		t.Errorf("hold_s = %g, want %g (last fault + silent + 3)", m.HoldS, want)
+	}
+}
+
+func TestFillDefaultsVirtual(t *testing.T) {
+	m := Manifest{Name: "v", Mode: ModeVirtual}.FillDefaults()
+	if m.Scenario != "baseline" {
+		t.Errorf("scenario with no faults = %q, want baseline", m.Scenario)
+	}
+	if m.SLO != "" {
+		t.Errorf("virtual slo default = %q, want empty (scenario's spec)", m.SLO)
+	}
+	custom := Manifest{
+		Name: "v2", Mode: ModeVirtual,
+		Faults: []FaultSpec{{Kind: "isl_down"}},
+	}.FillDefaults()
+	if custom.Scenario != "" || custom.Rounds != 3 {
+		t.Errorf("composed campaign: scenario=%q rounds=%d, want \"\"/3", custom.Scenario, custom.Rounds)
+	}
+	if err := custom.Validate(); err != nil {
+		t.Errorf("composed campaign must validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() Manifest { return Manifest{Name: "x"}.FillDefaults() }
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		want   string
+	}{
+		{"no name", func(m *Manifest) { m.Name = "" }, "needs a name"},
+		{"bad mode", func(m *Manifest) { m.Mode = "cloud" }, "unknown mode"},
+		{"agents low", func(m *Manifest) { m.Agents = 0 }, "agents"},
+		{"agents high", func(m *Manifest) { m.Agents = 5000 }, "agents"},
+		{"slots", func(m *Manifest) { m.Slots = 0 }, "slots"},
+		{"workers", func(m *Manifest) { m.Workers = -1 }, "workers"},
+		{"negative fault time", func(m *Manifest) {
+			m.Faults = []FaultSpec{{AtS: -1, Kind: FaultKill}}
+		}, "at_s"},
+		{"bad scenario", func(m *Manifest) {
+			m.Mode = ModeVirtual
+			m.Scenario = "nope"
+		}, "unknown scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base()
+			tc.mutate(&m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("wanted an error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseTOMLSubset(t *testing.T) {
+	doc, err := parseTOML([]byte(`
+# full line comment
+s = "a # not-a-comment \"quoted\""
+i = -3
+f = 0.5
+b = true
+arr = ["x", "y"]  # trailing comment
+
+[t]
+k = 1
+
+[t.nested]
+k = 2
+
+[[rows]]
+v = 1
+[[rows]]
+v = 2
+`))
+	if err != nil {
+		t.Fatalf("parseTOML: %v", err)
+	}
+	if doc["s"] != `a # not-a-comment "quoted"` || doc["i"] != int64(-3) || doc["f"] != 0.5 || doc["b"] != true {
+		t.Errorf("scalars: %+v", doc)
+	}
+	if !reflect.DeepEqual(doc["arr"], []any{"x", "y"}) {
+		t.Errorf("arr: %+v", doc["arr"])
+	}
+	tbl := doc["t"].(map[string]any)
+	if tbl["k"] != int64(1) || tbl["nested"].(map[string]any)["k"] != int64(2) {
+		t.Errorf("tables: %+v", tbl)
+	}
+	rows := doc["rows"].([]any)
+	if len(rows) != 2 || rows[1].(map[string]any)["v"] != int64(2) {
+		t.Errorf("rows: %+v", rows)
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	for _, bad := range []string{
+		"key",                  // no =
+		"a.b = 1",              // dotted assignment key
+		"k = ",                 // missing value
+		"k = [1,\n2]",          // multi-line array
+		"[t\nk = 1",            // unterminated header
+		"k = 1\nk = 2",         // duplicate key
+		"k = 1\n[k]\nv = 2",    // table conflicts with value
+		"[[r]]\nv=1\n[r]\nv=2", // table conflicts with array
+		"k = 2026-08-08",       // dates unsupported
+		`k = """multi`,         // multi-line string
+	} {
+		if _, err := parseTOML([]byte(bad)); err == nil {
+			t.Errorf("parseTOML(%q): wanted an error", bad)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package testground
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/obs/fleet"
+	"repro/internal/obs/flightrec"
+)
+
+// ReportFile is the scored report's file name inside a run directory.
+const ReportFile = "report.json"
+
+// Artifact is one collected per-run file.
+type Artifact struct {
+	// Name is the path relative to the run directory.
+	Name string `json:"name"`
+	// Bytes is the file size (zeroed in the canonical form: sizes of
+	// wall-clock-bearing artifacts differ run to run).
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// FaultRecord is one injected fault as it actually happened.
+type FaultRecord struct {
+	// AtS is the scheduled injection time (seconds after the start
+	// barrier released).
+	AtS float64 `json:"at_s"`
+	// Kind / Agent echo the manifest's FaultSpec.
+	Kind  string `json:"kind"`
+	Agent int    `json:"agent"`
+	// Err records an injection that could not be applied (e.g. the
+	// target already exited); empty means the signal was delivered.
+	Err string `json:"err,omitempty"`
+}
+
+// FleetRollup condenses the end-of-run constellation health view into
+// the scored report. In virtual mode every field is a function of
+// (manifest, seed); in exec mode it reflects the real processes.
+type FleetRollup struct {
+	// Agents counts agents that reported at least once.
+	Agents int `json:"agents"`
+	// States counts agents per health state (healthy/lagging/silent).
+	States map[string]int `json:"states,omitempty"`
+	// Silent lists agent IDs silent at run end, ascending.
+	Silent []int `json:"silent,omitempty"`
+	// Reports / Gaps / DecodeErrors are fleet-wide report accounting.
+	Reports      uint64 `json:"reports"`
+	Gaps         uint64 `json:"gaps"`
+	DecodeErrors int64  `json:"decode_errors"`
+}
+
+// RunReport is a campaign's scored outcome: the resolved plan, what was
+// broken when, the fleet health rollup, the SLO verdicts, and the
+// artifact inventory. CanonicalJSON strips everything wall-clock-shaped,
+// so a virtual-mode run is byte-identical for the same manifest + seed.
+type RunReport struct {
+	// Plan is the manifest after FillDefaults — the run's full input.
+	Plan Manifest `json:"plan"`
+	// Faults is the schedule as executed (exec mode) or the engine's
+	// per-round fault descriptions flattened (virtual mode).
+	Faults []FaultRecord `json:"faults,omitempty"`
+	// Fleet is the end-of-run constellation health rollup.
+	Fleet *FleetRollup `json:"fleet,omitempty"`
+
+	// SLO is the rule evaluation the run is scored with; Passed is
+	// SLOBreached == 0 and the run completing without orchestration
+	// errors.
+	SLO         []flightrec.RuleStatus `json:"slo"`
+	SLOBreached int                    `json:"slo_breached"`
+	Passed      bool                   `json:"passed"`
+	// Err records an orchestration failure the run survived well enough
+	// to still produce a report (controller crash, missing snapshot);
+	// non-empty forces Passed false.
+	Err string `json:"err,omitempty"`
+
+	// Artifacts inventories the run directory (sizes zeroed in the
+	// canonical form).
+	Artifacts []Artifact `json:"artifacts,omitempty"`
+
+	// WallElapsedMS is the run's wall-clock duration: excluded from the
+	// canonical form.
+	WallElapsedMS float64 `json:"wall_elapsed_ms,omitempty"`
+}
+
+// Score evaluates the plan's SLO rules over the given samples and
+// events, filling SLO, SLOBreached, and Passed. EvalUS is zeroed so
+// verdict rows carry no wall clock.
+func (r *RunReport) Score(samples []obs.Sample, events []flightrec.Event) error {
+	rules, err := flightrec.ParseRules(r.Plan.SLO)
+	if err != nil {
+		return err
+	}
+	status := flightrec.EvalRules(rules, samples, events)
+	r.SLOBreached = 0
+	for i := range status {
+		status[i].EvalUS = 0
+		if status[i].Breached {
+			r.SLOBreached++
+		}
+	}
+	r.SLO = status
+	r.Passed = r.SLOBreached == 0
+	return nil
+}
+
+// CanonicalJSON renders the deterministic portion of the report: wall
+// elapsed time and artifact byte sizes are zeroed. In virtual mode the
+// remainder is a pure function of (manifest, seed), so the canonical
+// bytes are run-to-run identical.
+func (r *RunReport) CanonicalJSON() ([]byte, error) {
+	shadow := *r
+	shadow.WallElapsedMS = 0
+	if len(r.Artifacts) > 0 {
+		arts := make([]Artifact, len(r.Artifacts))
+		for i, a := range r.Artifacts {
+			arts[i] = Artifact{Name: a.Name}
+		}
+		shadow.Artifacts = arts
+	}
+	return json.MarshalIndent(&shadow, "", "  ")
+}
+
+// WriteFile writes the scored report into dir: canonical bytes in
+// virtual mode (the determinism contract), the full form in exec mode.
+func (r *RunReport) WriteFile(dir string) (string, error) {
+	path := filepath.Join(dir, ReportFile)
+	var buf []byte
+	var err error
+	if r.Plan.Mode == ModeVirtual {
+		buf, err = r.CanonicalJSON()
+	} else {
+		buf, err = json.MarshalIndent(r, "", "  ")
+	}
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadReportFile loads a scored report back (CI diffs and tests).
+func ReadReportFile(path string) (*RunReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// rollupFromView condenses an exec-mode /fleet document.
+func rollupFromView(v *fleet.View) *FleetRollup {
+	r := &FleetRollup{
+		Agents:       len(v.Agents),
+		States:       v.States,
+		DecodeErrors: v.DecodeErrors,
+	}
+	for _, a := range v.Agents {
+		r.Reports += a.Reports
+		r.Gaps += a.Gaps
+		if a.State == fleet.StateSilent {
+			r.Silent = append(r.Silent, int(a.ID))
+		}
+	}
+	sort.Ints(r.Silent)
+	return r
+}
+
+// rollupFromChaos condenses a virtual-mode campaign's fleet summary.
+func rollupFromChaos(fs *chaos.FleetSummary) *FleetRollup {
+	if fs == nil {
+		return nil
+	}
+	return &FleetRollup{
+		Agents:       fs.Agents,
+		States:       fs.States,
+		Silent:       fs.Silent,
+		Reports:      fs.Reports,
+		Gaps:         fs.Gaps,
+		DecodeErrors: fs.DecodeErrors,
+	}
+}

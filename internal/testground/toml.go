@@ -1,0 +1,203 @@
+package testground
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseTOML decodes the TOML subset test-plan manifests use into a
+// generic document (map[string]any), which Parse then funnels through
+// the JSON field names. Supported: `key = value` pairs with string,
+// integer, float, boolean, and single-line array values; `[table]`
+// headers; `[[array.of.tables]]` headers (the fault schedule); `#`
+// comments; dotted header names. Deliberately not supported (use JSON if
+// you need them): multi-line strings/arrays, inline tables, dates,
+// dotted keys in assignments.
+func parseTOML(data []byte) (map[string]any, error) {
+	root := map[string]any{}
+	current := root
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		where := func() string { return fmt.Sprintf("testground: toml line %d", lineNo+1) }
+		line = stripComment(line)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return nil, fmt.Errorf("%s: unterminated [[table]] header", where())
+			}
+			name := strings.TrimSpace(line[2 : len(line)-2])
+			parent, leaf, err := descend(root, name)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", where(), err)
+			}
+			entry := map[string]any{}
+			switch arr := parent[leaf].(type) {
+			case nil:
+				parent[leaf] = []any{entry}
+			case []any:
+				parent[leaf] = append(arr, entry)
+			default:
+				return nil, fmt.Errorf("%s: [[%s]] conflicts with earlier non-array value", where(), name)
+			}
+			current = entry
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("%s: unterminated [table] header", where())
+			}
+			name := strings.TrimSpace(line[1 : len(line)-1])
+			parent, leaf, err := descend(root, name)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", where(), err)
+			}
+			switch tab := parent[leaf].(type) {
+			case nil:
+				t := map[string]any{}
+				parent[leaf] = t
+				current = t
+			case map[string]any:
+				current = tab
+			default:
+				return nil, fmt.Errorf("%s: [%s] conflicts with earlier non-table value", where(), name)
+			}
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("%s: want key = value, got %q", where(), line)
+			}
+			key := strings.TrimSpace(line[:eq])
+			if key == "" || strings.ContainsAny(key, " .\"") {
+				return nil, fmt.Errorf("%s: bad key %q (bare keys only)", where(), key)
+			}
+			if _, dup := current[key]; dup {
+				return nil, fmt.Errorf("%s: duplicate key %q", where(), key)
+			}
+			v, err := parseTOMLValue(strings.TrimSpace(line[eq+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", where(), err)
+			}
+			current[key] = v
+		}
+	}
+	return root, nil
+}
+
+// descend resolves a dotted table name to (parent map, leaf key),
+// creating intermediate tables.
+func descend(root map[string]any, name string) (map[string]any, string, error) {
+	if name == "" {
+		return nil, "", fmt.Errorf("empty table name")
+	}
+	parts := strings.Split(name, ".")
+	cur := root
+	for _, p := range parts[:len(parts)-1] {
+		p = strings.TrimSpace(p)
+		next, ok := cur[p]
+		if !ok {
+			t := map[string]any{}
+			cur[p] = t
+			cur = t
+			continue
+		}
+		t, ok := next.(map[string]any)
+		if !ok {
+			return nil, "", fmt.Errorf("table %s conflicts with earlier non-table value", name)
+		}
+		cur = t
+	}
+	return cur, strings.TrimSpace(parts[len(parts)-1]), nil
+}
+
+// stripComment drops a trailing # comment, respecting quoted strings.
+func stripComment(line string) string {
+	inString := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inString {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inString = !inString
+		case '#':
+			if !inString {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// parseTOMLValue decodes one scalar or single-line array.
+func parseTOMLValue(s string) (any, error) {
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("missing value")
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"':
+		return strconv.Unquote(s)
+	case s[0] == '[':
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("unterminated array %q (single-line arrays only)", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range splitTOMLArray(inner) {
+			v, err := parseTOMLValue(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return i, nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("bad value %q (want string, number, bool, or array)", s)
+	}
+}
+
+// splitTOMLArray splits a single-line array body on commas outside
+// quotes.
+func splitTOMLArray(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	inString := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inString {
+				i++
+			}
+		case '"':
+			inString = !inString
+		case '[':
+			if !inString {
+				depth++
+			}
+		case ']':
+			if !inString {
+				depth--
+			}
+		case ',':
+			if !inString && depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
