@@ -190,6 +190,7 @@ func runController() {
 	slots := flag.Int("slots", 4, "control slots to run")
 	dt := flag.Float64("dt", 300, "control slot duration (seconds of orbital time)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines compiling future slots ahead of enforcement")
+	delta := flag.Bool("delta", false, "compile slots incrementally (DeltaCompile) and enforce them as per-satellite slot-delta batches with full-snapshot re-sync (agents must also run -delta)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for agents")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace, /slo on this address (empty = telemetry off)")
 	traceOut := flag.String("trace-out", "", "write the span trace as JSONL to this file on exit")
@@ -228,6 +229,13 @@ func runController() {
 		cli.Fatalf("tinyleo-ctl: %v\n", err)
 	}
 	defer ctl.Close()
+	// The delta enforcer chains onto OnRegister/OnCommandFailed, so it is
+	// installed before any agent can connect: a reconnect at any point
+	// forces that agent's next push to be a full-snapshot re-sync.
+	var enf *southbound.DeltaEnforcer
+	if *delta {
+		enf = southbound.NewDeltaEnforcer(ctl)
+	}
 
 	// Fleet aggregation is always on: agents that never push telemetry
 	// cost nothing, and the /fleet view plus the rollup registry are what
@@ -360,9 +368,13 @@ func runController() {
 
 	// The horizon planner compiles future slots across a worker pool while
 	// the delivery callback (this goroutine) enforces the current one, so
-	// southbound pushes overlap compilation of later slots.
+	// southbound pushes overlap compilation of later slots. With -delta,
+	// compilation is instead a sequential DeltaCompile chain (each slot
+	// warm-starts from the previous snapshot) and enforcement sends one
+	// slot-delta batch per changed satellite instead of one command per
+	// link endpoint.
 	var prev *mpc.Snapshot
-	compiler.HorizonStream(0, *dt, *slots, *workers, func(s int, snap *mpc.Snapshot) {
+	deliver := func(s int, snap *mpc.Snapshot) {
 		t := snap.Time
 		added, removed := mpc.DiffLinks(prev, snap)
 		prev = snap
@@ -377,30 +389,68 @@ func runController() {
 			"slot", fmt.Sprint(s), "t", fmt.Sprintf("%.0f", t))
 		emitted := time.Now()
 		pushed := 0
-		push := func(end int, peer uint32, up bool) {
-			m := &southbound.Message{
-				Type: southbound.MsgSetISL, SatID: uint32(end),
-				Peer: peer, Up: up,
-				Trace: emit.Context(), Emitted: emitted,
+		if enf != nil {
+			// Group the slot's link ops into one batch per satellite,
+			// pushed in ascending satellite order for determinism.
+			adds, dels := map[int][]uint32{}, map[int][]uint32{}
+			for _, l := range added {
+				for _, end := range []int{l[0], l[1]} {
+					adds[end] = append(adds[end], uint32(l.Peer(end)))
+				}
 			}
-			if err := ctl.Send(m); err == nil {
-				pushed++
+			for _, l := range removed {
+				for _, end := range []int{l[0], l[1]} {
+					dels[end] = append(dels[end], uint32(l.Peer(end)))
+				}
 			}
-		}
-		for _, l := range added {
-			for _, end := range []int{l[0], l[1]} {
-				push(end, uint32(l.Peer(end)), true)
+			sats := make([]int, 0, len(adds)+len(dels))
+			for sat := range adds {
+				sats = append(sats, sat)
 			}
-		}
-		for _, l := range removed {
-			for _, end := range []int{l[0], l[1]} {
-				push(end, uint32(l.Peer(end)), false)
+			for sat := range dels {
+				if _, ok := adds[sat]; !ok {
+					sats = append(sats, sat)
+				}
+			}
+			sort.Ints(sats)
+			for _, sat := range sats {
+				if err := enf.Push(uint32(sat), adds[sat], dels[sat], emitted, emit.Context()); err == nil {
+					pushed++
+				}
+			}
+		} else {
+			push := func(end int, peer uint32, up bool) {
+				m := &southbound.Message{
+					Type: southbound.MsgSetISL, SatID: uint32(end),
+					Peer: peer, Up: up,
+					Trace: emit.Context(), Emitted: emitted,
+				}
+				if err := ctl.Send(m); err == nil {
+					pushed++
+				}
+			}
+			for _, l := range added {
+				for _, end := range []int{l[0], l[1]} {
+					push(end, uint32(l.Peer(end)), true)
+				}
+			}
+			for _, l := range removed {
+				for _, end := range []int{l[0], l[1]} {
+					push(end, uint32(l.Peer(end)), false)
+				}
 			}
 		}
 		emit.End()
 		fmt.Printf("  pushed %d commands to connected agents\n", pushed)
 		time.Sleep(200 * time.Millisecond)
-	})
+	}
+	if *delta {
+		for s := 0; s < *slots; s++ {
+			deliver(s, compiler.DeltaCompile(prev, float64(s)**dt))
+		}
+	} else {
+		compiler.HorizonStream(0, *dt, *slots, *workers, deliver)
+	}
 	fmt.Printf("totals: %d southbound messages\n", ctl.TotalMessages())
 	if *hold > 0 {
 		// Keep the southbound and telemetry surfaces up so the staleness

@@ -57,6 +57,7 @@ func main() {
 	recordOut := flag.String("record-out", "", "write a flight recording to this file on exit (.gz = gzip)")
 	pprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on -metrics-addr")
 	fleetInterval := flag.Duration("fleet-interval", time.Second, "push fleet telemetry reports to the controller at this interval (0 = off)")
+	delta := flag.Bool("delta", false, "apply slot-delta/slot-snapshot enforcement batches to the dataplane view (pair with tinyleo-ctl -delta)")
 	syncURL := flag.String("sync", "", "testground sync service URL: resolve the controller address from it and hold at the start barrier before dialing (overrides -controller)")
 	flag.Parse()
 
@@ -146,6 +147,24 @@ func main() {
 	// emit → send → apply → install end to end.
 	view := dataplane.NewNetwork()
 	self := view.AddSatellite(int(*id), 0)
+	// up tracks which ISL peers this agent believes are established —
+	// the state a slot-snapshot reconciles against. OnCommand runs
+	// serially on the agent's read loop, so no lock is needed.
+	up := map[uint32]bool{}
+	setISL := func(peer uint32, isUp bool) {
+		if isUp {
+			if view.Sats[int(peer)] == nil {
+				view.AddSatellite(int(peer), 0)
+			}
+			view.EnsureLink(int(*id), int(peer), 0.003)
+			up[peer] = true
+			return
+		}
+		if l := view.Link(int(*id), int(peer)); l != nil {
+			l.Down()
+		}
+		delete(up, peer)
+	}
 	agent.OnCommand = func(m *southbound.Message) {
 		sp := obs.StartSpanCtx(m.Trace, "dataplane.install",
 			"sat", fmt.Sprint(*id), "seq", fmt.Sprint(m.Seq), "type", m.Type.String())
@@ -155,14 +174,49 @@ func main() {
 			state := "down"
 			if m.Up {
 				state = "up"
-				if view.Sats[int(m.Peer)] == nil {
-					view.AddSatellite(int(m.Peer), 0)
-				}
-				view.EnsureLink(int(*id), int(m.Peer), 0.003)
-			} else if l := view.Link(int(*id), int(m.Peer)); l != nil {
-				l.Down()
 			}
+			setISL(m.Peer, m.Up)
 			fmt.Printf("sat %d: ISL to %d -> %s (seq %d)\n", *id, m.Peer, state, m.Seq)
+		case southbound.MsgSlotDelta:
+			if !*delta {
+				fmt.Printf("sat %d: ignoring slot-delta (run with -delta) (seq %d)\n", *id, m.Seq)
+				return
+			}
+			ops, err := southbound.DecodeSlotDelta(m.Payload)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-sat: slot-delta: %v\n", err)
+				return
+			}
+			for _, op := range ops {
+				setISL(op.Peer, op.Up)
+			}
+			fmt.Printf("sat %d: slot delta applied, %d ops (seq %d)\n", *id, len(ops), m.Seq)
+		case southbound.MsgSlotSnapshot:
+			if !*delta {
+				fmt.Printf("sat %d: ignoring slot-snapshot (run with -delta) (seq %d)\n", *id, m.Seq)
+				return
+			}
+			peers, err := southbound.DecodeSlotSnapshot(m.Payload)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tinyleo-sat: slot-snapshot: %v\n", err)
+				return
+			}
+			// Full re-sync: reconcile the local view against the desired
+			// peer set — tear down everything absent, raise everything
+			// present.
+			want := make(map[uint32]bool, len(peers))
+			for _, p := range peers {
+				want[p] = true
+			}
+			for p := range up {
+				if !want[p] {
+					setISL(p, false)
+				}
+			}
+			for _, p := range peers {
+				setISL(p, true)
+			}
+			fmt.Printf("sat %d: slot snapshot applied, %d peers (seq %d)\n", *id, len(peers), m.Seq)
 		case southbound.MsgSetRing:
 			self.RingNext = int(m.Peer)
 			fmt.Printf("sat %d: ring successor -> %d (seq %d)\n", *id, m.Peer, m.Seq)

@@ -50,6 +50,52 @@ func TestCampaignDeterministic(t *testing.T) {
 	}
 }
 
+// Delta enforcement changes only the wire framing (batched slot-delta
+// messages instead of per-link SetISL), so a delta campaign must stay
+// byte-deterministic and land the same topology-driven outcomes as the
+// SetISL campaign for the same seed.
+func TestCampaignDeltaDeterministic(t *testing.T) {
+	delta := testCampaign(detScenario, 42)
+	delta.Delta = true
+	var canon [][]byte
+	var reps []*Report
+	for i := 0; i < 2; i++ {
+		rep, err := Run(delta)
+		if err != nil {
+			t.Fatalf("delta run %d: %v", i, err)
+		}
+		b, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonical json: %v", err)
+		}
+		canon = append(canon, b)
+		reps = append(reps, rep)
+	}
+	if !bytes.Equal(canon[0], canon[1]) {
+		t.Fatalf("same seed produced different delta reports:\n--- run 0 ---\n%s\n--- run 1 ---\n%s",
+			canon[0], canon[1])
+	}
+	plain, err := Run(testCampaign(detScenario, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].DeliveryRatio != plain.DeliveryRatio || reps[0].Unrecovered != plain.Unrecovered {
+		t.Fatalf("delta campaign diverged from SetISL campaign: delivery %.3f vs %.3f, unrecovered %d vs %d",
+			reps[0].DeliveryRatio, plain.DeliveryRatio, reps[0].Unrecovered, plain.Unrecovered)
+	}
+	sent := func(r *Report) int {
+		n := 0
+		for _, rr := range r.Rounds {
+			n += rr.CommandsSent
+		}
+		return n
+	}
+	if ds, ps := sent(reps[0]), sent(plain); ps > 0 && ds >= ps {
+		t.Fatalf("delta campaign sent %d messages, SetISL %d — batching should send fewer",
+			ds, ps)
+	}
+}
+
 func TestBaselineScenarioHealthy(t *testing.T) {
 	s, err := ScenarioByName("baseline")
 	if err != nil {

@@ -39,6 +39,12 @@ type Campaign struct {
 	// WindowSec is the sim-time length of each measurement window
 	// (default 2 s).
 	WindowSec float64
+	// Delta enforces each round's repair diff as per-satellite slot-delta
+	// batches (one MsgSlotDelta carrying every op addressed to that
+	// satellite) instead of one SetISL per link. The applied topology is
+	// identical; only the wire framing changes, so a delta campaign's
+	// report stays byte-comparable across runs with the same seed.
+	Delta bool
 	// Tracer, when non-nil, records the campaign's causal spans (mpc.emit
 	// roots, southbound send/retransmit/ack, agent applies). The engine
 	// re-enables it on the campaign's virtual clock and seeds its span IDs
@@ -109,12 +115,12 @@ type runner struct {
 	// goroutines) share with the engine goroutine.
 	mu             sync.Mutex
 	agents         map[int]*southbound.Agent
-	gates          map[int]chan struct{} // blackholed agents (OnCommand blocks)
-	wedgedEntered  map[int]bool          // gated agents that reached their blocking callback
-	acked          map[uint32]bool       // SetISL/probe seqs acknowledged
-	actions        map[uint32]islAction  // this round's seq → topology change
-	abandonedRound int                   // OnCommandFailed count this round
-	reconnects     int64                 // successful agent reconnections
+	gates          map[int]chan struct{}  // blackholed agents (OnCommand blocks)
+	wedgedEntered  map[int]bool           // gated agents that reached their blocking callback
+	acked          map[uint32]bool        // SetISL/probe seqs acknowledged
+	actions        map[uint32][]islAction // this round's seq → topology changes (one per SetISL, a batch per slot-delta)
+	abandonedRound int                    // OnCommandFailed count this round
+	reconnects     int64                  // successful agent reconnections
 
 	// Fleet telemetry plane: one always-enabled private registry +
 	// reporter per agent feeding a virtual-clock aggregator, so the
@@ -382,7 +388,7 @@ func (r *runner) runRound(round int) error {
 	r.firstDelivery = map[int]float64{}
 	r.surged = map[int]bool{}
 	r.mu.Lock()
-	r.actions = map[uint32]islAction{}
+	r.actions = map[uint32][]islAction{}
 	r.abandonedRound = 0
 	r.mu.Unlock()
 
@@ -751,28 +757,61 @@ func (r *runner) enforce(rr *RoundReport, added, removed []mpc.Link) error {
 	defer emit.End()
 	gatedSends := 0
 	gatedTargets := map[int]bool{}
-	for _, c := range cmds {
-		target, other, ok := r.commandTarget(c.l)
-		if !ok {
-			rr.CommandsUnknown++
-			continue
-		}
-		m := &southbound.Message{
-			Type: southbound.MsgSetISL, SatID: uint32(target), Peer: uint32(other), Up: c.up,
-			Trace: emit.Context(), Emitted: r.vc.Now(),
-		}
+	send := func(m *southbound.Message, acts []islAction) bool {
 		if err := r.ctl.Send(m); err != nil {
 			rr.CommandsUnknown++
-			continue
+			return false
 		}
 		rr.CommandsSent++
 		r.mu.Lock()
-		r.actions[m.Seq] = islAction{link: c.l, up: c.up}
-		gated := r.gates[target] != nil
+		r.actions[m.Seq] = acts
+		gated := r.gates[int(m.SatID)] != nil
 		r.mu.Unlock()
 		if gated {
 			gatedSends++
-			gatedTargets[target] = true
+			gatedTargets[int(m.SatID)] = true
+		}
+		return true
+	}
+	if r.c.Delta {
+		// Delta enforcement: one slot-delta batch per target satellite,
+		// ops in command order, targets in ascending order — the same
+		// per-command target choice as the SetISL path, so fault handling
+		// (gates, abandonment, unreachable sets) behaves identically.
+		batchOps := map[int][]southbound.SlotDeltaOp{}
+		batchActs := map[int][]islAction{}
+		var targets []int
+		for _, c := range cmds {
+			target, other, ok := r.commandTarget(c.l)
+			if !ok {
+				rr.CommandsUnknown++
+				continue
+			}
+			if _, seen := batchOps[target]; !seen {
+				targets = append(targets, target)
+			}
+			batchOps[target] = append(batchOps[target], southbound.SlotDeltaOp{Peer: uint32(other), Up: c.up})
+			batchActs[target] = append(batchActs[target], islAction{link: c.l, up: c.up})
+		}
+		sort.Ints(targets)
+		for _, target := range targets {
+			send(&southbound.Message{
+				Type: southbound.MsgSlotDelta, SatID: uint32(target),
+				Payload: southbound.EncodeSlotDelta(batchOps[target]),
+				Trace:   emit.Context(), Emitted: r.vc.Now(),
+			}, batchActs[target])
+		}
+	} else {
+		for _, c := range cmds {
+			target, other, ok := r.commandTarget(c.l)
+			if !ok {
+				rr.CommandsUnknown++
+				continue
+			}
+			send(&southbound.Message{
+				Type: southbound.MsgSetISL, SatID: uint32(target), Peer: uint32(other), Up: c.up,
+				Trace: emit.Context(), Emitted: r.vc.Now(),
+			}, []islAction{{link: c.l, up: c.up}})
 		}
 	}
 
@@ -882,7 +921,7 @@ func (r *runner) applyTopology(snap *mpc.Snapshot) {
 	acts := make([]islAction, 0, len(seqs))
 	for _, seq := range seqs {
 		if r.acked[uint32(seq)] {
-			acts = append(acts, r.actions[uint32(seq)])
+			acts = append(acts, r.actions[uint32(seq)]...)
 		}
 	}
 	r.mu.Unlock()

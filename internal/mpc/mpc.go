@@ -15,8 +15,10 @@ package mpc
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/geom"
@@ -40,6 +42,17 @@ var (
 
 	obsLinksAdded   = obs.Default().Counter("tinyleo_mpc_links_changed_total", "op", "added")
 	obsLinksRemoved = obs.Default().Counter("tinyleo_mpc_links_changed_total", "op", "removed")
+
+	// Delta-compile telemetry: how much of each incremental compile was
+	// reused from the previous slot (cells/edges whose matching inputs
+	// were bit-identical) versus rematched, and how many cells' visible
+	// sets actually changed between the two slots.
+	obsDeltaCompiles     = obs.Default().Counter("tinyleo_mpc_delta_compile_total")
+	obsDeltaChangedCells = obs.Default().Gauge("tinyleo_mpc_delta_changed_cells")
+	obsDeltaCellsReused  = obs.Default().Counter("tinyleo_mpc_delta_cells_total", "outcome", "reused")
+	obsDeltaCellsMatched = obs.Default().Counter("tinyleo_mpc_delta_cells_total", "outcome", "rematched")
+	obsDeltaEdgesReused  = obs.Default().Counter("tinyleo_mpc_delta_edges_total", "outcome", "reused")
+	obsDeltaEdgesMatched = obs.Default().Counter("tinyleo_mpc_delta_edges_total", "outcome", "rematched")
 
 	obsRepairs      = obs.Default().Counter("tinyleo_mpc_repair_total")
 	obsRepairStage  = map[string]*obs.Histogram{} // report|compute|instruct|total
@@ -167,6 +180,75 @@ type Controller struct {
 	// footprint[s] is satellite s's coverage angular radius, constant
 	// over time for circular orbits.
 	footprint []float64
+	// deltaMu serializes DeltaCompile calls: the delta state carries
+	// per-cell and per-edge matching records from the previous delta
+	// slot, so incremental compiles are inherently sequential.
+	deltaMu sync.Mutex
+	delta   *deltaState
+}
+
+// deltaState is the warm-start memory a DeltaCompile chain carries from
+// slot to slot: the last slot's coverage (for the changed-cell diff) and
+// the matching records reuse is gated on. Reuse never trusts temporal
+// coherence alone — a record is only replayed when every input the
+// matching consumed (available satellites and the full τ weight matrix)
+// is bit-identical to the recorded one, which makes the delta path's
+// output byte-identical to a full compile by construction.
+type deltaState struct {
+	prev  *Snapshot
+	cover [][]int
+	cells map[int]*cellMatch
+	edges map[[2]int]*edgeMatch
+	// changed is the most recent slot-over-slot changed-cell count.
+	changed int
+}
+
+// cellMatch records one cell's stage-1 many-to-one matching: the inputs
+// it was computed from and the per-neighbor gateway assignment it
+// produced.
+type cellMatch struct {
+	sats []int
+	w    [][]float64
+	gws  [][]int
+}
+
+// edgeMatch records one intent edge's stage-2 one-to-one matching: the
+// two gateway sets, their pairwise τ matrix, and the concrete ISLs.
+type edgeMatch struct {
+	gu, gv []int
+	w      [][]float64
+	links  []Link
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// weightsEqual compares τ matrices by float64 bit pattern: reuse demands
+// exact input identity, not numeric closeness.
+func weightsEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // New validates the config and creates a controller.
@@ -192,7 +274,47 @@ func (c *Controller) CacheStats() orbit.CacheStats { return c.geo.Stats() }
 // Compile produces the satellite topology snapshot enforcing the intent at
 // time t.
 func (c *Controller) Compile(t float64) *Snapshot {
-	span := obs.StartSpan("mpc.compile", "t", strconv.FormatFloat(t, 'f', 0, 64))
+	return c.compile(t, nil)
+}
+
+// DeltaCompile produces the snapshot Compile(t) would — byte for byte —
+// but warm-starts from the previous slot: pair-lifetime predictions skip
+// visibility samples a prior evaluation already observed (the dominant
+// compile cost), and a cell's or edge's stable matching is replayed from
+// the previous slot's record whenever every matching input (available
+// satellites, gateway sets, and the full τ weight matrix) is
+// bit-identical. prev anchors the changed-cell diff; passing nil falls
+// back to a full compile. Calls are serialized per controller — the
+// warm-start state is a slot-to-slot chain — while Compile and Repair
+// may still run concurrently.
+func (c *Controller) DeltaCompile(prev *Snapshot, t float64) *Snapshot {
+	if prev == nil {
+		return c.Compile(t)
+	}
+	c.geo.EnableWarmLifetimes()
+	c.deltaMu.Lock()
+	defer c.deltaMu.Unlock()
+	if c.delta == nil {
+		c.delta = &deltaState{cells: map[int]*cellMatch{}, edges: map[[2]int]*edgeMatch{}}
+	}
+	c.delta.prev = prev
+	snap := c.compile(t, c.delta)
+	obsDeltaCompiles.Inc()
+	obsDeltaChangedCells.Set(float64(c.delta.changed))
+	return snap
+}
+
+// compile is the shared three-stage pipeline behind Compile and
+// DeltaCompile. A nil ds runs the full path; a non-nil ds additionally
+// consults and refreshes the delta chain's matching records. Both paths
+// execute the identical stage structure, so their snapshots are
+// byte-identical by construction.
+func (c *Controller) compile(t float64, ds *deltaState) *Snapshot {
+	kind := "compile"
+	if ds != nil {
+		kind = "delta"
+	}
+	span := obs.StartSpan("mpc.compile", "t", strconv.FormatFloat(t, 'f', 0, 64), "kind", kind)
 	//lint:tinyleo-ignore wall-clock compile latency feeds telemetry only, never the snapshot
 	start := time.Now()
 	defer func() { span.End() }()
@@ -213,17 +335,26 @@ func (c *Controller) Compile(t float64) *Snapshot {
 	// with Repair at the same slot time.
 	sg := c.geo.Slot(t)
 	cells := cfg.Topo.Cells()
-	for si := range cfg.Sats {
-		sub := sg.SubPoint(si)
-		lam := c.footprint[si]
-		for _, u := range cells {
-			if geom.CentralAngle(sub, cfg.Topo.Grid.Center(u)) <= lam {
-				snap.CellSats[u] = append(snap.CellSats[u], si)
-			}
+	centers := make([]geom.LatLon, len(cells))
+	for ci, u := range cells {
+		centers[ci] = cfg.Topo.Grid.Center(u)
+	}
+	cover := sg.Coverage(centers, c.footprint)
+	for ci, u := range cells {
+		if len(cover[ci]) > 0 {
+			snap.CellSats[u] = cover[ci]
 		}
 	}
-	for _, list := range snap.CellSats {
-		sort.Ints(list)
+	if ds != nil {
+		// The changed-cell set is a cheap diff on cached geometry: cells
+		// outside it kept their visible-satellite set and are the reuse
+		// candidates the matching records below capitalize on.
+		prevCover := make([][]int, len(cells))
+		for ci, u := range cells {
+			prevCover[ci] = ds.prev.CellSats[u]
+		}
+		ds.changed = len(orbit.ChangedCells(prevCover, cover))
+		ds.cover = cover
 	}
 
 	// Stage 1: per-cell many-to-one gateway matching. Satellites already
@@ -270,29 +401,53 @@ func (c *Controller) Compile(t float64) *Snapshot {
 				w[i][j] = c.meanLifetime(sg, s, snap.CellSats[v])
 			}
 		}
-		satPrefs := stablematch.PrefsFromWeights(w, 0)
-		// Neighbor cells rank satellites by the same lifetime.
-		rw := make([][]float64, len(neighbors))
-		caps := make([]int, len(neighbors))
-		for j, v := range neighbors {
-			rw[j] = make([]float64, len(sats))
-			for i := range sats {
-				rw[j][i] = w[i][j]
+		// Warm start: the matching is a pure function of (sats, w, caps)
+		// — caps is the static intent demand — so a record with
+		// bit-identical inputs replays its assignment without running
+		// Gale–Shapley again.
+		var assignedGws [][]int
+		if ds != nil {
+			if rec := ds.cells[u]; rec != nil && intsEqual(rec.sats, sats) && weightsEqual(rec.w, w) {
+				assignedGws = rec.gws
+				obsDeltaCellsReused.Inc()
 			}
-			caps[j] = cfg.Topo.EdgeDemand(u, v)
 		}
-		rPrefs := stablematch.PrefsFromWeights(rw, 0)
-		rRank := stablematch.RanksFromPrefs(rPrefs, len(sats))
-		_, assigned := stablematch.ManyToOne(satPrefs, rRank, caps)
-		for j, held := range assigned {
-			v := neighbors[j]
-			gws := make([]int, 0, len(held))
-			for _, i := range held {
-				gws = append(gws, sats[i])
-				taken[sats[i]] = true
+		if assignedGws == nil {
+			satPrefs := stablematch.PrefsFromWeights(w, 0)
+			// Neighbor cells rank satellites by the same lifetime.
+			rw := make([][]float64, len(neighbors))
+			caps := make([]int, len(neighbors))
+			for j, v := range neighbors {
+				rw[j] = make([]float64, len(sats))
+				for i := range sats {
+					rw[j][i] = w[i][j]
+				}
+				caps[j] = cfg.Topo.EdgeDemand(u, v)
+			}
+			rPrefs := stablematch.PrefsFromWeights(rw, 0)
+			rRank := stablematch.RanksFromPrefs(rPrefs, len(sats))
+			_, assigned := stablematch.ManyToOne(satPrefs, rRank, caps)
+			assignedGws = make([][]int, len(neighbors))
+			for j, held := range assigned {
+				gws := make([]int, 0, len(held))
+				for _, i := range held {
+					gws = append(gws, sats[i])
+				}
+				assignedGws[j] = gws
+			}
+			if ds != nil {
+				ds.cells[u] = &cellMatch{sats: append([]int(nil), sats...), w: w, gws: assignedGws}
+				obsDeltaCellsMatched.Inc()
+			}
+		}
+		for j, v := range neighbors {
+			gws := make([]int, 0, len(assignedGws[j]))
+			gws = append(gws, assignedGws[j]...)
+			for _, g := range gws {
+				taken[g] = true
 			}
 			snap.Gateways[[2]int{u, v}] = gws
-			if d := caps[j] - len(gws); d > 0 {
+			if d := cfg.Topo.EdgeDemand(u, v) - len(gws); d > 0 {
 				snap.Deficits[[2]int{u, v}] += d
 			}
 		}
@@ -319,6 +474,13 @@ func (c *Controller) Compile(t float64) *Snapshot {
 				w[i][j] = c.pairLifetime(sg, s, s2)
 			}
 		}
+		if ds != nil {
+			if rec := ds.edges[ek]; rec != nil && intsEqual(rec.gu, gu) && intsEqual(rec.gv, gv) && weightsEqual(rec.w, w) {
+				snap.InterLinks = append(snap.InterLinks, rec.links...)
+				obsDeltaEdgesReused.Inc()
+				continue
+			}
+		}
 		pPrefs := stablematch.PrefsFromWeights(w, 0)
 		rw := make([][]float64, len(gv))
 		for j := range gv {
@@ -329,10 +491,19 @@ func (c *Controller) Compile(t float64) *Snapshot {
 		}
 		rRank := stablematch.RanksFromPrefs(stablematch.PrefsFromWeights(rw, 0), len(gu))
 		match := stablematch.OneToOne(pPrefs, rRank)
+		var links []Link
 		for i, j := range match {
 			if j >= 0 {
-				snap.InterLinks = append(snap.InterLinks, MakeLink(gu[i], gv[j]))
+				links = append(links, MakeLink(gu[i], gv[j]))
 			}
+		}
+		snap.InterLinks = append(snap.InterLinks, links...)
+		if ds != nil {
+			ds.edges[ek] = &edgeMatch{
+				gu: append([]int(nil), gu...), gv: append([]int(nil), gv...),
+				w: w, links: links,
+			}
+			obsDeltaEdgesMatched.Inc()
 		}
 	}
 	sort.Slice(snap.InterLinks, func(a, b int) bool { return lessLink(snap.InterLinks[a], snap.InterLinks[b]) })
@@ -399,7 +570,7 @@ func (c *Controller) Compile(t float64) *Snapshot {
 					"slots", strconv.Itoa(d))
 			}
 		}
-		st := flightState(snap, "compile")
+		st := flightState(snap, kind)
 		// Computing the ratio here also publishes the enforcement gauge
 		// before the SLO engine evaluates this slot, so the availability
 		// rule never reads a stale pre-compile value.
@@ -501,7 +672,12 @@ func (c *Controller) meanLifetime(sg *orbit.SlotGeom, s int, vSats []int) float6
 // one to each endpoint satellite).
 func DiffLinks(prev, cur *Snapshot) (added, removed []Link) {
 	if prev == nil {
+		// Bootstrap path: sort exactly like the steady-state path below.
+		// Links() concatenates inter then ring links, which is not
+		// canonical link order, and delta enforcement depends on every
+		// diff arriving in the same canonical command order.
 		added = cur.Links()
+		sort.Slice(added, func(a, b int) bool { return lessLink(added[a], added[b]) })
 		obsLinksAdded.Add(int64(len(added)))
 		return added, nil
 	}

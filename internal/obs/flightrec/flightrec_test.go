@@ -343,14 +343,14 @@ func TestFailureSequences(t *testing.T) {
 func TestDiffSlots(t *testing.T) {
 	rec := sampleRecording()
 	d := DiffSlots(&rec.Slots[0], &rec.Slots[1])
-	if len(d.InterAdded) != 1 || d.InterAdded[0] != [2]int{5, 6} {
-		t.Fatalf("InterAdded = %v", d.InterAdded)
+	if len(d.Inter.Added) != 1 || d.Inter.Added[0] != [2]int{5, 6} {
+		t.Fatalf("Inter.Added = %v", d.Inter.Added)
 	}
-	if len(d.InterRemoved) != 1 || d.InterRemoved[0] != [2]int{3, 4} {
-		t.Fatalf("InterRemoved = %v", d.InterRemoved)
+	if len(d.Inter.Removed) != 1 || d.Inter.Removed[0] != [2]int{3, 4} {
+		t.Fatalf("Inter.Removed = %v", d.Inter.Removed)
 	}
-	if len(d.RingAdded) != 0 || len(d.RingRemoved) != 0 {
-		t.Fatalf("ring churn = %v / %v", d.RingAdded, d.RingRemoved)
+	if d.Ring.Size() != 0 {
+		t.Fatalf("ring churn = %v", d.Ring)
 	}
 	if got := d.CellsShrunk[10]; got != -1 {
 		t.Fatalf("cell 10 shrink = %d, want -1", got)

@@ -8,13 +8,32 @@ import (
 	"time"
 )
 
+// SlotDelta is the link-level change between two slot link sets — the
+// reusable diff core shared by the postmortem inspector and the
+// southbound delta-enforcement path (which turns a SlotDelta into
+// per-satellite add/remove op batches instead of re-pushing every
+// endpoint). Added and Removed are in canonical ascending link order,
+// so identical inputs always produce identical deltas.
+type SlotDelta struct {
+	Added, Removed [][2]int
+}
+
+// Size returns the number of link operations the delta carries.
+func (d SlotDelta) Size() int { return len(d.Added) + len(d.Removed) }
+
+// DiffLinkSets computes the SlotDelta from prev to cur.
+func DiffLinkSets(prev, cur [][2]int) SlotDelta {
+	var d SlotDelta
+	d.Added, d.Removed = diffLinks(prev, cur)
+	return d
+}
+
 // SlotDiff is the change between two consecutive recorded slots: the
 // postmortem unit the inspector prints.
 type SlotDiff struct {
 	Prev, Cur *SlotState
-	// InterAdded/InterRemoved/RingAdded/RingRemoved are ISL churn.
-	InterAdded, InterRemoved [][2]int
-	RingAdded, RingRemoved   [][2]int
+	// Inter and Ring are the ISL churn, split by link class.
+	Inter, Ring SlotDelta
 	// CellsLost lists cells that had coverage before and none now;
 	// CellsGained the reverse; CellsShrunk cells whose satellite count
 	// dropped (cell → before-after delta).
@@ -26,14 +45,14 @@ type SlotDiff struct {
 
 // Churn returns the total number of link changes in the diff.
 func (d *SlotDiff) Churn() int {
-	return len(d.InterAdded) + len(d.InterRemoved) + len(d.RingAdded) + len(d.RingRemoved)
+	return d.Inter.Size() + d.Ring.Size()
 }
 
 // DiffSlots computes the change from prev to cur.
 func DiffSlots(prev, cur *SlotState) *SlotDiff {
 	d := &SlotDiff{Prev: prev, Cur: cur, CellsShrunk: map[int]int{}}
-	d.InterAdded, d.InterRemoved = diffLinks(prev.InterLinks, cur.InterLinks)
-	d.RingAdded, d.RingRemoved = diffLinks(prev.RingLinks, cur.RingLinks)
+	d.Inter = DiffLinkSets(prev.InterLinks, cur.InterLinks)
+	d.Ring = DiffLinkSets(prev.RingLinks, cur.RingLinks)
 	cells := map[int]bool{}
 	for u := range prev.CellSats {
 		cells[u] = true
@@ -189,8 +208,8 @@ func (rec *Recording) WriteReport(w io.Writer, opt InspectOptions) error {
 			bw.printf("  no change from slot %d\n", rec.Slots[i-1].Slot)
 			continue
 		}
-		bw.linkDiff("  inter", d.InterAdded, d.InterRemoved, opt.MaxLinks)
-		bw.linkDiff("  ring ", d.RingAdded, d.RingRemoved, opt.MaxLinks)
+		bw.linkDiff("  inter", d.Inter, opt.MaxLinks)
+		bw.linkDiff("  ring ", d.Ring, opt.MaxLinks)
 		if len(d.CellsLost) > 0 {
 			bw.printf("  cells lost ALL coverage: %v\n", d.CellsLost)
 		}
@@ -348,16 +367,16 @@ func (b *reportWriter) event(prefix string, ev *Event) {
 	b.printf("\n")
 }
 
-func (b *reportWriter) linkDiff(label string, added, removed [][2]int, maxLinks int) {
-	if len(added) == 0 && len(removed) == 0 {
+func (b *reportWriter) linkDiff(label string, d SlotDelta, maxLinks int) {
+	if d.Size() == 0 {
 		return
 	}
-	b.printf("%s +%d -%d", label, len(added), len(removed))
-	if len(added) > 0 {
-		b.printf("  added %s", linksString(added, maxLinks))
+	b.printf("%s +%d -%d", label, len(d.Added), len(d.Removed))
+	if len(d.Added) > 0 {
+		b.printf("  added %s", linksString(d.Added, maxLinks))
 	}
-	if len(removed) > 0 {
-		b.printf("  removed %s", linksString(removed, maxLinks))
+	if len(d.Removed) > 0 {
+		b.printf("  removed %s", linksString(d.Removed, maxLinks))
 	}
 	b.printf("\n")
 }

@@ -52,6 +52,26 @@ type lifeShard struct {
 	m  map[pairKey]float64
 }
 
+// visRun records the outcome of one lifetime evaluation for a satellite
+// pair: which visibility samples the stepping loop observed and what they
+// were. A later evaluation of the same pair at a nearby establishment
+// time re-derives most of its samples from the record instead of calling
+// Visible — soundly, because a sample is only reused when its absolute
+// time is bit-identical to one the recorded run actually evaluated, and
+// visibility is a pure function of (pair, time).
+type visRun struct {
+	base    float64 // establishment time of the recorded run
+	lastVis float64 // latest sample time known visible (valid if visAny)
+	end     float64 // first sample time known invisible (valid if !capped)
+	visAny  bool    // at least one visible sample was observed
+	capped  bool    // the run reached the horizon without going invisible
+}
+
+type runShard struct {
+	mu sync.Mutex
+	m  map[[2]int32]visRun
+}
+
 // PropCache memoizes orbit propagation for a fixed satellite set: ECI
 // positions keyed by (satellite, quantized time), predicted ISL lifetimes
 // keyed by (pair, quantized time), and per-slot geometry (sub-satellite
@@ -73,14 +93,23 @@ type PropCache struct {
 	pos  [cacheShards]posShard
 	life [cacheShards]lifeShard
 
+	// warm gates the per-pair visibility-run reuse in computeLifetime;
+	// offs precomputes the stepping loop's accumulated sample offsets so
+	// a recorded sample's absolute time can be reproduced bit-exactly.
+	warm atomic.Bool
+	offs []float64
+	runs [cacheShards]runShard
+
 	slotMu sync.Mutex
 	slots  map[uint64]*slotEntry
 
-	posHits    atomic.Uint64
-	posMisses  atomic.Uint64
-	lifeHits   atomic.Uint64
-	lifeMisses atomic.Uint64
-	pruned     atomic.Uint64
+	posHits     atomic.Uint64
+	posMisses   atomic.Uint64
+	lifeHits    atomic.Uint64
+	lifeMisses  atomic.Uint64
+	pruned      atomic.Uint64
+	warmSamples atomic.Uint64
+	warmSkips   atomic.Uint64
 }
 
 type slotEntry struct {
@@ -105,8 +134,25 @@ func NewPropCache(sats []Elements, isl ISLParams, lifetimeHorizon, lifetimeStep 
 	for i := range pc.life {
 		pc.life[i].m = map[pairKey]float64{}
 	}
+	for i := range pc.runs {
+		pc.runs[i].m = map[[2]int32]visRun{}
+	}
+	// Mirror computeLifetime's accumulation (t += step) exactly so
+	// offs[m] reproduces the m-th sample offset bit for bit.
+	pc.offs = append(pc.offs, 0)
+	for t := pc.step; t <= pc.horizon; t += pc.step {
+		pc.offs = append(pc.offs, t)
+	}
 	return pc
 }
+
+// EnableWarmLifetimes turns on per-pair visibility-run reuse: lifetime
+// evaluations record which samples they observed, and later evaluations
+// of the same pair skip samples whose absolute time is bit-identical to
+// a recorded observation. Outputs stay bit-identical to the cold path —
+// only redundant Visible calls are elided. Safe to call at any time;
+// once on, it stays on for the cache's lifetime.
+func (pc *PropCache) EnableWarmLifetimes() { pc.warm.Store(true) }
 
 // NumSats returns the size of the cached satellite set.
 func (pc *PropCache) NumSats() int { return len(pc.sats) }
@@ -175,6 +221,9 @@ func (pc *PropCache) Lifetime(i, j int, t0 float64) float64 {
 // structure (t += dt accumulation, <= horizon bound) must stay identical
 // to ISLLifetime so both paths evaluate the same float64 times.
 func (pc *PropCache) computeLifetime(i, j int, t0 float64) float64 {
+	if pc.warm.Load() {
+		return pc.warmLifetime(i, j, t0)
+	}
 	if !pc.isl.Visible(pc.PositionECI(i, t0), pc.PositionECI(j, t0)) {
 		return 0
 	}
@@ -184,6 +233,78 @@ func (pc *PropCache) computeLifetime(i, j int, t0 float64) float64 {
 		}
 	}
 	return pc.horizon
+}
+
+// warmLifetime is computeLifetime with per-pair visibility-run reuse: it
+// walks the identical sample sequence, but resolves any sample whose
+// absolute time bit-matches one the pair's previous run observed from
+// the record instead of calling Visible. Because visibility is a pure
+// function of (pair, time) and reuse requires bitwise time identity, the
+// returned τ is bit-identical to the cold path.
+func (pc *PropCache) warmLifetime(i, j int, t0 float64) float64 {
+	key := [2]int32{int32(i), int32(j)}
+	sh := &pc.runs[shardIndex(key[0], key[1], 0)]
+	sh.mu.Lock()
+	r, hasRun := sh.m[key]
+	sh.mu.Unlock()
+	// The run's sample grid and ours share the step, so the candidate
+	// record index of sample idx is idx plus a constant base shift —
+	// computed once here instead of a Round+divide per sample. lookup's
+	// bitwise time check still validates every candidate, so a wrong
+	// guess degrades to a real Visible call, never a wrong answer.
+	shift := 0
+	if hasRun {
+		shift = int(math.Round((t0 - r.base) / pc.step))
+	}
+	var samples, skips uint64
+	offs := pc.offs
+	// visible resolves one sample, preferring the recorded run. The fast
+	// path is inlined (no lookup call) because a warm delta compile walks
+	// it for nearly every sample of every pair evaluation.
+	visible := func(idx int, s float64) bool {
+		samples++
+		if hasRun {
+			if m := idx + shift; m >= 0 && m < len(offs) && r.base+offs[m] == s {
+				if r.visAny && s <= r.lastVis {
+					skips++
+					return true
+				}
+				if !r.capped && s == r.end {
+					skips++
+					return false
+				}
+			}
+		}
+		return pc.isl.Visible(pc.PositionECI(i, s), pc.PositionECI(j, s))
+	}
+	nr := visRun{base: t0}
+	tau := pc.horizon
+	if !visible(0, t0) {
+		tau = 0
+		nr.end = t0
+	} else {
+		nr.visAny, nr.lastVis, nr.capped = true, t0, true
+		idx := 1
+		for t := pc.step; t <= pc.horizon; t += pc.step {
+			s := t0 + t
+			if !visible(idx, s) {
+				tau = t
+				nr.end, nr.capped = s, false
+				break
+			}
+			nr.lastVis = s
+			idx++
+		}
+	}
+	sh.mu.Lock()
+	if len(sh.m) >= maxShardEntries {
+		sh.m = make(map[[2]int32]visRun, maxShardEntries/4)
+	}
+	sh.m[key] = nr
+	sh.mu.Unlock()
+	pc.warmSamples.Add(samples)
+	pc.warmSkips.Add(skips)
+	return tau
 }
 
 // Slot returns the memoized per-slot geometry at time t, building it on
@@ -223,11 +344,15 @@ func (pc *PropCache) buildSlot(t float64) *SlotGeom {
 		maxRange: pc.isl.MaxRange,
 	}
 	rot := -GMST(t)
+	g.subU = make([]geom.Vec3, len(pc.sats))
 	for i := range pc.sats {
 		p := pc.PositionECI(i, t)
 		g.pos[i] = p
 		// Identical to Elements.SubSatellitePoint: ECEF = ECI·RotZ(−GMST).
 		g.sub[i] = geom.FromUnit(p.RotZ(rot))
+		// Memoize the sub-point's unit vector (ToUnit is pure, so this is
+		// the exact vector CentralAngle would derive) for Coverage.
+		g.subU[i] = g.sub[i].ToUnit()
 	}
 	if g.maxRange > 0 {
 		g.bucket = make([][3]int32, len(pc.sats))
@@ -251,16 +376,32 @@ func (pc *PropCache) Stats() CacheStats {
 		LifeHits:    pc.lifeHits.Load(),
 		LifeMisses:  pc.lifeMisses.Load(),
 		PrunedPairs: pc.pruned.Load(),
+		WarmSamples: pc.warmSamples.Load(),
+		WarmSkips:   pc.warmSkips.Load(),
 	}
 }
 
 // CacheStats reports PropCache effectiveness: memo hits and misses for
-// positions and pair lifetimes, plus candidate pairs the spatial grid
-// pruned without any propagation.
+// positions and pair lifetimes, candidate pairs the spatial grid pruned
+// without any propagation, and — when warm lifetimes are enabled — how
+// many visibility samples were evaluated and how many of those were
+// resolved from a prior run's record without calling Visible.
 type CacheStats struct {
-	PosHits, PosMisses   uint64
-	LifeHits, LifeMisses uint64
-	PrunedPairs          uint64
+	PosHits, PosMisses     uint64
+	LifeHits, LifeMisses   uint64
+	PrunedPairs            uint64
+	WarmSamples, WarmSkips uint64
+}
+
+// WarmHitRatio returns the fraction of visibility samples resolved from
+// recorded runs instead of fresh geometry, in [0, 1]; zero samples yield
+// 0. This is the honest "warm hit" figure for delta compiles: it counts
+// only work actually skipped.
+func (s CacheStats) WarmHitRatio() float64 {
+	if s.WarmSamples == 0 {
+		return 0
+	}
+	return float64(s.WarmSkips) / float64(s.WarmSamples)
 }
 
 // HitRatio returns the fraction of all memo lookups served from cache,
@@ -287,6 +428,7 @@ type SlotGeom struct {
 	Time     float64
 	pos      []geom.Vec3
 	sub      []geom.LatLon
+	subU     []geom.Vec3 // sub[i].ToUnit(), memoized for Coverage
 	bucket   [][3]int32
 	maxRange float64
 }
@@ -297,6 +439,69 @@ func (g *SlotGeom) Position(i int) geom.Vec3 { return g.pos[i] }
 // SubPoint returns satellite i's sub-satellite point at the slot time,
 // bit-identical to Elements.SubSatellitePoint.
 func (g *SlotGeom) SubPoint(i int) geom.LatLon { return g.sub[i] }
+
+// Coverage computes the slot's satellite→cell coverage: cover[ci] lists,
+// in ascending satellite order, every satellite whose footprint (angular
+// radius radius[s]) covers centers[ci]. This is the MPC's stage-0 query;
+// exposing it here lets the delta compiler diff consecutive slots'
+// coverage (ChangedCells) without re-deriving sub-satellite points.
+func (g *SlotGeom) Coverage(centers []geom.LatLon, radius []float64) [][]int {
+	cover := make([][]int, len(centers))
+	// CentralAngle(sub, c) is AngleTo over the two ToUnit vectors; both
+	// conversions are pure, so hoisting them out of the pair loop keeps
+	// every comparison bit-identical while doing the trig once per point
+	// instead of once per (satellite, cell) pair.
+	cu := make([]geom.Vec3, len(centers))
+	for ci, c := range centers {
+		cu[ci] = c.ToUnit()
+	}
+	for si := range g.sub {
+		su := g.subU[si]
+		lam := radius[si]
+		for ci := range centers {
+			if su.AngleTo(cu[ci]) <= lam {
+				cover[ci] = append(cover[ci], si)
+			}
+		}
+	}
+	return cover
+}
+
+// ChangedCells returns the indices whose coverage list differs between
+// two Coverage results (aligned by index). A nil prev marks every
+// non-empty cur cell changed.
+func ChangedCells(prev, cur [][]int) []int {
+	n := len(cur)
+	if len(prev) > n {
+		n = len(prev)
+	}
+	var changed []int
+	for ci := 0; ci < n; ci++ {
+		var p, c []int
+		if ci < len(prev) {
+			p = prev[ci]
+		}
+		if ci < len(cur) {
+			c = cur[ci]
+		}
+		if !intsEqual(p, c) {
+			changed = append(changed, ci)
+		}
+	}
+	return changed
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // InRange reports whether satellites i and j are within ISL range at the
 // slot time. A false result is exact — the pair's distance exceeds

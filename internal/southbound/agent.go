@@ -23,13 +23,16 @@ import (
 // and a quiesced agent's rollup could never exactly equal its local
 // registry. The controller meters telemetry traffic on its side instead.
 var agentMetrics = struct {
-	rx, tx     [MsgAck + 1]*obs.Counter
+	rx, tx     [MsgSlotSnapshot + 1]*obs.Counter
 	reconnects *obs.Counter
 	duplicates *obs.Counter
 }{}
 
 func init() {
-	for t := MsgHello; t <= MsgAck; t++ {
+	for t := MsgHello; t <= MsgSlotSnapshot; t++ {
+		if t == MsgTelemetry {
+			continue
+		}
 		agentMetrics.rx[t] = obs.Default().Counter(
 			"tinyleo_southbound_agent_messages_total", "dir", "rx", "type", t.String())
 		agentMetrics.tx[t] = obs.Default().Counter(
@@ -99,10 +102,13 @@ type Agent struct {
 
 	// rng drives backoff jitter; only the read loop touches it.
 	rng *rand.Rand
-	// seen / seenQ implement the bounded dedup window; only the read loop
-	// touches them.
-	seen  map[uint32]struct{}
-	seenQ []uint32
+	// seen / seenRing / seenHead implement the bounded dedup window; only
+	// the read loop touches them. seenRing is a fixed-size ring buffer —
+	// a slice that is appended to and re-sliced from the front grows its
+	// backing array without bound over a long session.
+	seen     map[uint32]struct{}
+	seenRing []uint32
+	seenHead int
 
 	// OnCommand is invoked for every controller command (SetISL, SetRing,
 	// InstallRoute). The agent auto-acks after the callback returns.
@@ -170,17 +176,25 @@ func (a *Agent) dedupWindow() int {
 }
 
 // isDuplicate records seq in the dedup window and reports whether it was
-// already there. Read loop only.
+// already there. Read loop only. The window is a fixed ring buffer
+// allocated once: when full, the oldest remembered sequence number is
+// evicted in place, so memory stays constant no matter how many commands
+// a session sees.
 func (a *Agent) isDuplicate(seq uint32) bool {
 	if _, ok := a.seen[seq]; ok {
 		return true
 	}
 	a.seen[seq] = struct{}{}
-	a.seenQ = append(a.seenQ, seq)
-	if len(a.seenQ) > a.dedupWindow() {
-		delete(a.seen, a.seenQ[0])
-		a.seenQ = a.seenQ[1:]
+	if a.seenRing == nil {
+		a.seenRing = make([]uint32, 0, a.dedupWindow())
 	}
+	if len(a.seenRing) < cap(a.seenRing) {
+		a.seenRing = append(a.seenRing, seq)
+		return false
+	}
+	delete(a.seen, a.seenRing[a.seenHead])
+	a.seenRing[a.seenHead] = seq
+	a.seenHead = (a.seenHead + 1) % len(a.seenRing)
 	return false
 }
 
@@ -209,7 +223,7 @@ func (a *Agent) readLoop() {
 				a.acked = true
 				close(a.helloAck)
 			}
-		case MsgSetISL, MsgSetRing, MsgInstallRoute:
+		case MsgSetISL, MsgSetRing, MsgInstallRoute, MsgSlotDelta, MsgSlotSnapshot:
 			if a.isDuplicate(m.Seq) {
 				// Retransmission of a command already applied: re-ack so
 				// the controller stops resending, but do not re-apply.

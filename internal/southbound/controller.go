@@ -139,13 +139,19 @@ type Controller struct {
 	// connection's read loop without internal locks held; nil drops the
 	// reports. Set before agents connect.
 	OnTelemetry func(satID uint32, payload []byte)
+	// OnRegister observes agent registrations (every MsgHello, including
+	// reconnects). The delta enforcer uses it to force a full-snapshot
+	// re-sync for a reconnected agent, whose dataplane view may have
+	// missed deltas. Called from the connection's read loop without
+	// internal locks held; set before agents connect.
+	OnRegister func(satID uint32)
 
 	// reg is the controller's always-enabled telemetry registry (the
 	// Figure 17 signaling accounting, plus wire bytes, the connected-agent
 	// gauge, and the ack RTT histogram). Read it via Count/TotalMessages/
 	// Metrics; serve it via obs.Serve.
 	reg         *obs.Registry
-	rx, tx      [MsgTelemetry + 1]*obs.Counter // indexed by MsgType
+	rx, tx      [MsgSlotSnapshot + 1]*obs.Counter // indexed by MsgType
 	rxBytes     *obs.Counter
 	txBytes     *obs.Counter
 	connected   *obs.Gauge
@@ -181,7 +187,7 @@ func ListenController(addr string) (*Controller, error) {
 		retransmits: reg.Counter(MetricRetransmits),
 		untracked:   reg.Counter(MetricUntracked),
 	}
-	for t := MsgHello; t <= MsgTelemetry; t++ {
+	for t := MsgHello; t <= MsgSlotSnapshot; t++ {
 		c.rx[t] = reg.Counter(MetricMessages, "dir", "rx", "type", t.String())
 		c.tx[t] = reg.Counter(MetricMessages, "dir", "tx", "type", t.String())
 	}
@@ -308,6 +314,9 @@ func (c *Controller) serve(conn net.Conn) {
 			}
 			c.countTx(ack)
 			c.deliverResends(resends)
+			if c.OnRegister != nil {
+				c.OnRegister(satID)
+			}
 		case MsgFailureReport:
 			if flightrec.Enabled() {
 				flightrec.Emit(flightrec.CompSouthbound, "failure_report",

@@ -1,0 +1,315 @@
+package southbound
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSeenRingStableMemory is the regression test for the dedup-window
+// leak: the old implementation re-sliced its FIFO from the front
+// (seenQ = seenQ[1:]), so the backing array grew without bound over a
+// long session. The ring buffer must keep one fixed allocation while
+// still deduplicating within the window and evicting beyond it.
+func TestSeenRingStableMemory(t *testing.T) {
+	const window = 64
+	a := &Agent{seen: map[uint32]struct{}{}, opts: AgentOptions{DedupWindow: window}}
+	// Warm the ring to capacity, then remember its backing array.
+	for seq := uint32(1); seq <= window; seq++ {
+		if a.isDuplicate(seq) {
+			t.Fatalf("fresh seq %d reported duplicate", seq)
+		}
+	}
+	base := &a.seenRing[0]
+	for seq := uint32(window + 1); seq <= 10_000; seq++ {
+		if a.isDuplicate(seq) {
+			t.Fatalf("fresh seq %d reported duplicate", seq)
+		}
+	}
+	if &a.seenRing[0] != base {
+		t.Error("ring backing array was reallocated")
+	}
+	if cap(a.seenRing) != window || len(a.seenRing) != window {
+		t.Errorf("ring len/cap = %d/%d, want %d/%d", len(a.seenRing), cap(a.seenRing), window, window)
+	}
+	if len(a.seen) != window {
+		t.Errorf("seen set holds %d entries, want %d", len(a.seen), window)
+	}
+	// The newest window of sequence numbers still deduplicates...
+	for seq := uint32(10_000 - window + 1); seq <= 10_000; seq++ {
+		if !a.isDuplicate(seq) {
+			t.Fatalf("in-window seq %d not deduplicated", seq)
+		}
+	}
+	// ...and an evicted one does not (it was forgotten, as designed).
+	if a.isDuplicate(1) {
+		t.Error("evicted seq 1 still remembered")
+	}
+}
+
+// TestSlotDeltaCodecRoundTrip covers the delta/snapshot payload codecs,
+// including empty batches and corrupt inputs.
+func TestSlotDeltaCodecRoundTrip(t *testing.T) {
+	ops := []SlotDeltaOp{{Peer: 9, Up: true}, {Peer: 0xFFFFFFFF, Up: false}, {Peer: 0, Up: true}}
+	got, err := DecodeSlotDelta(EncodeSlotDelta(ops))
+	if err != nil || !reflect.DeepEqual(got, ops) {
+		t.Errorf("delta roundtrip = %v, %v; want %v", got, err, ops)
+	}
+	if got, err := DecodeSlotDelta(EncodeSlotDelta(nil)); err != nil || got != nil {
+		t.Errorf("empty delta roundtrip = %v, %v", got, err)
+	}
+	peers := []uint32{3, 1, 4, 1<<31 + 5}
+	if got, err := DecodeSlotSnapshot(EncodeSlotSnapshot(peers)); err != nil || !reflect.DeepEqual(got, peers) {
+		t.Errorf("snapshot roundtrip = %v, %v; want %v", got, err, peers)
+	}
+	if got, err := DecodeSlotSnapshot(EncodeSlotSnapshot(nil)); err != nil || got != nil {
+		t.Errorf("empty snapshot roundtrip = %v, %v", got, err)
+	}
+	for _, corrupt := range [][]byte{nil, {1, 2}, {0, 0, 0, 5, 1}, {0xFF, 0xFF, 0xFF, 0xFF}} {
+		if _, err := DecodeSlotDelta(corrupt); err == nil {
+			t.Errorf("DecodeSlotDelta(%v) accepted corrupt payload", corrupt)
+		}
+		if _, err := DecodeSlotSnapshot(corrupt); err == nil {
+			t.Errorf("DecodeSlotSnapshot(%v) accepted corrupt payload", corrupt)
+		}
+	}
+	// The payloads ride the standard message frame unchanged.
+	var buf bytes.Buffer
+	want := &Message{Type: MsgSlotDelta, SatID: 7, Seq: 3, Payload: EncodeSlotDelta(ops)}
+	if err := WriteMessage(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil || !reflect.DeepEqual(m, want) {
+		t.Errorf("framed delta roundtrip = %+v, %v", m, err)
+	}
+}
+
+// satView is a test stand-in for an agent's ISL dataplane view, applying
+// slot-delta / slot-snapshot commands the way tinyleo-sat does.
+type satView struct {
+	mu    sync.Mutex
+	peers map[uint32]bool
+}
+
+func newSatView() *satView { return &satView{peers: map[uint32]bool{}} }
+
+func (v *satView) apply(t *testing.T, m *Message) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	switch m.Type {
+	case MsgSlotDelta:
+		ops, err := DecodeSlotDelta(m.Payload)
+		if err != nil {
+			t.Errorf("decode delta: %v", err)
+			return
+		}
+		for _, op := range ops {
+			if op.Up {
+				v.peers[op.Peer] = true
+			} else {
+				delete(v.peers, op.Peer)
+			}
+		}
+	case MsgSlotSnapshot:
+		peers, err := DecodeSlotSnapshot(m.Payload)
+		if err != nil {
+			t.Errorf("decode snapshot: %v", err)
+			return
+		}
+		v.peers = map[uint32]bool{}
+		for _, p := range peers {
+			v.peers[p] = true
+		}
+	}
+}
+
+func (v *satView) snapshot() map[uint32]bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[uint32]bool, len(v.peers))
+	for p := range v.peers {
+		out[p] = true
+	}
+	return out
+}
+
+func (v *satView) waitFor(t *testing.T, peer uint32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		v.mu.Lock()
+		ok := v.peers[peer]
+		v.mu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("peer %d never appeared in view", peer)
+}
+
+// TestDeltaEnforcerPush exercises the basic enforcement contract: the
+// first push to a satellite is a full snapshot (never-synced), later
+// pushes are per-op deltas, and a no-change push to a synced satellite
+// sends nothing at all.
+func TestDeltaEnforcerPush(t *testing.T) {
+	c := startController(t)
+	e := NewDeltaEnforcer(c)
+	view := newSatView()
+	a, err := DialAgent(c.Addr(), 42, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.OnCommand = func(m *Message) { view.apply(t, m) }
+
+	if err := e.Push(42, []uint32{7, 3}, nil, time.Time{}, obs.SpanContext{}); err != nil {
+		t.Fatal(err)
+	}
+	view.waitFor(t, 7)
+	if got := view.snapshot(); !reflect.DeepEqual(got, map[uint32]bool{3: true, 7: true}) {
+		t.Errorf("view after bootstrap = %v", got)
+	}
+	if n := c.Count("tx-slot-snapshot"); n != 1 {
+		t.Errorf("bootstrap sent %d snapshots, want 1", n)
+	}
+
+	if err := e.Push(42, []uint32{9}, []uint32{3}, time.Time{}, obs.SpanContext{}); err != nil {
+		t.Fatal(err)
+	}
+	view.waitFor(t, 9)
+	if got := view.snapshot(); !reflect.DeepEqual(got, map[uint32]bool{7: true, 9: true}) {
+		t.Errorf("view after delta = %v", got)
+	}
+	if n := c.Count("tx-slot-delta"); n != 1 {
+		t.Errorf("sent %d deltas, want 1", n)
+	}
+
+	// A no-change push to a synced satellite is silent.
+	before := c.Count("tx-slot-delta") + c.Count("tx-slot-snapshot")
+	if err := e.Push(42, []uint32{9}, []uint32{3}, time.Time{}, obs.SpanContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if after := c.Count("tx-slot-delta") + c.Count("tx-slot-snapshot"); after != before {
+		t.Errorf("no-op push sent %d messages", after-before)
+	}
+	if got := e.Desired(42); !reflect.DeepEqual(got, []uint32{7, 9}) {
+		t.Errorf("Desired = %v", got)
+	}
+}
+
+// TestDeltaResyncOnReconnect is the convergence half of the delta
+// property test: a delta-enforced agent that restarts mid-horizon (fresh
+// process, empty dataplane view — the worst case for composing per-op
+// deltas) must converge to exactly the view a snapshot-only push
+// sequence produces, because re-registration forces a full-snapshot
+// re-sync before deltas resume.
+func TestDeltaResyncOnReconnect(t *testing.T) {
+	c := startController(t)
+	e := NewDeltaEnforcer(c)
+
+	const deltaSat, snapSat = 42, 43
+	deltaView, snapView := newSatView(), newSatView()
+	dial := func(sat uint32, view *satView) *Agent {
+		t.Helper()
+		a, err := DialAgent(c.Addr(), sat, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.OnCommand = func(m *Message) { view.apply(t, m) }
+		return a
+	}
+	deltaAgent := dial(deltaSat, deltaView)
+	snapAgent := dial(snapSat, snapView)
+	defer func() { deltaAgent.Close(); snapAgent.Close() }()
+
+	// waitAcked blocks until every delta/snapshot push so far has been
+	// acknowledged, so a restart cannot race pending-command resends
+	// against the fresh agent's OnCommand installation.
+	waitAcked := func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			sent := c.Count("tx-slot-delta") + c.Count("tx-slot-snapshot")
+			if c.Count("rx-ack") >= sent {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatal("pushes never fully acknowledged")
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	expected := map[uint32]bool{}
+	for slot := 0; slot < 10; slot++ {
+		if slot == 5 {
+			// Mid-horizon restart: the agent process dies and comes back
+			// with an empty view, having missed whatever was applied
+			// before. OnRegister must force the enforcer to re-sync.
+			waitAcked()
+			deltaAgent.Close()
+			deltaView = newSatView()
+			deltaAgent = dial(deltaSat, deltaView)
+		}
+		var add, del []uint32
+		for p := range expected {
+			if rng.Intn(3) == 0 {
+				del = append(del, p)
+			}
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			add = append(add, uint32(100+rng.Intn(20)))
+		}
+		for _, p := range del {
+			delete(expected, p)
+		}
+		for _, p := range add {
+			expected[p] = true
+		}
+		if err := e.Push(deltaSat, add, del, time.Time{}, obs.SpanContext{}); err != nil {
+			t.Fatalf("slot %d: delta push: %v", slot, err)
+		}
+		// The reference chain receives the same batches but is forced to
+		// a full snapshot every slot.
+		e.MarkUnsynced(snapSat)
+		if err := e.Push(snapSat, add, del, time.Time{}, obs.SpanContext{}); err != nil {
+			t.Fatalf("slot %d: snapshot push: %v", slot, err)
+		}
+	}
+	// Sentinel push: commands to one satellite are delivered in order, so
+	// once the sentinel peer is visible every earlier batch has applied.
+	const sentinel = 999
+	if err := e.Push(deltaSat, []uint32{sentinel}, nil, time.Time{}, obs.SpanContext{}); err != nil {
+		t.Fatal(err)
+	}
+	e.MarkUnsynced(snapSat)
+	if err := e.Push(snapSat, []uint32{sentinel}, nil, time.Time{}, obs.SpanContext{}); err != nil {
+		t.Fatal(err)
+	}
+	deltaView.waitFor(t, sentinel)
+	snapView.waitFor(t, sentinel)
+	expected[sentinel] = true
+
+	dv, sv := deltaView.snapshot(), snapView.snapshot()
+	if !reflect.DeepEqual(dv, sv) {
+		t.Errorf("delta view %v != snapshot view %v", dv, sv)
+	}
+	if !reflect.DeepEqual(dv, expected) {
+		t.Errorf("delta view %v != expected %v", dv, expected)
+	}
+	// The restart actually exercised the re-sync path: at least two
+	// snapshots went to the delta satellite (bootstrap + post-restart),
+	// and deltas were still used when synced.
+	if n := c.Metrics().Counter(MetricDeltaResyncs).Value(); n < 12 {
+		t.Errorf("resyncs = %d, want >= 12 (10 forced + bootstrap + restart)", n)
+	}
+	if n := c.Metrics().Counter(MetricDeltaMessages, "kind", "delta").Value(); n == 0 {
+		t.Error("no slot-delta messages were ever sent")
+	}
+}

@@ -40,6 +40,16 @@ const (
 	// MsgTelemetry carries an opaque fleet-telemetry report (see
 	// internal/obs/fleet) from agent to controller in the Payload trailer.
 	MsgTelemetry
+	// MsgSlotDelta carries one satellite's batch of ISL add/remove ops for
+	// a control slot (the delta enforcement path). The ops ride the
+	// Payload trailer (EncodeSlotDelta), so the frame layout is identical
+	// to every other message and pre-delta readers skip it cleanly.
+	MsgSlotDelta
+	// MsgSlotSnapshot carries one satellite's full desired ISL peer set —
+	// the re-sync fallback when an agent reconnected or its ack state was
+	// declared unreachable and per-op deltas can no longer be trusted to
+	// compose. Peers ride the Payload trailer (EncodeSlotSnapshot).
+	MsgSlotSnapshot
 )
 
 func (t MsgType) String() string {
@@ -60,6 +70,10 @@ func (t MsgType) String() string {
 		return "ack"
 	case MsgTelemetry:
 		return "telemetry"
+	case MsgSlotDelta:
+		return "slot-delta"
+	case MsgSlotSnapshot:
+		return "slot-snapshot"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
 }
