@@ -249,6 +249,7 @@ func runController() {
 	agg.RegisterHTTP()
 	fleetTick := time.NewTicker(time.Second)
 	defer fleetTick.Stop()
+	//tinyleo:goroutine liveness ticker runs for the controller's whole process lifetime; reclaimed at exit
 	go func() {
 		for range fleetTick.C {
 			agg.Tick()

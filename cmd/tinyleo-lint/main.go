@@ -1,5 +1,6 @@
-// Command tinyleo-lint runs TinyLEO's determinism and hot-path analyzers
-// over the module and exits nonzero on any finding. CI runs it blocking:
+// Command tinyleo-lint runs TinyLEO's determinism, hot-path, and
+// concurrency-contract analyzers over the module and exits nonzero on
+// any finding. CI runs it blocking:
 //
 //	go run ./cmd/tinyleo-lint ./...
 //
@@ -7,13 +8,17 @@
 //
 //	-analyzers maporder,walltime   run a subset (default: all)
 //	-list                          print the suite and exit
+//	-json findings.json            also write findings as JSON
 //
 // Patterns use the go tool's "./..." syntax relative to the module root;
 // with no patterns, ./... is assumed. Suppress individual findings with
-// a "//lint:tinyleo-ignore <reason>" comment on or above the line.
+// a "//lint:tinyleo-ignore <reason>" comment on or above the line; when
+// the full suite runs, directives that suppress nothing are themselves
+// reported (stale suppressions hide future findings).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,14 +27,20 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/goroutinelife"
+	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/walltime"
 )
 
 var suite = []*analysis.Analyzer{
 	globalrand.Analyzer,
+	goroutinelife.Analyzer,
+	guardedby.Analyzer,
 	hotpathalloc.Analyzer,
+	lockorder.Analyzer,
 	maporder.Analyzer,
 	walltime.Analyzer,
 }
@@ -44,6 +55,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "print the analyzer suite and exit")
 	dir := fs.String("C", ".", "module root to analyze")
+	jsonOut := fs.String("json", "", "write findings as a deterministic JSON array to this file (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,7 +93,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	findings, err := analysis.Run(analyzers, selected)
+	// Stale-suppression detection only makes sense against the full
+	// suite: a subset run cannot tell a stale directive from one aimed at
+	// an unselected analyzer.
+	opts := analysis.RunOptions{ReportStaleIgnores: len(analyzers) == len(suite)}
+	findings, err := analysis.RunWithOptions(analyzers, selected, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "tinyleo-lint:", err)
 		return 2
@@ -89,11 +105,50 @@ func run(args []string, stdout, stderr *os.File) int {
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f.String())
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, findings, stdout); err != nil {
+			fmt.Fprintln(stderr, "tinyleo-lint:", err)
+			return 2
+		}
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "tinyleo-lint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable finding schema: stable field order,
+// findings already sorted by position, so output is deterministic for a
+// given tree.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders findings as an indented JSON array ("[]" when clean)
+// to path, or to stdout for "-".
+func writeJSON(path string, findings []analysis.Finding, stdout *os.File) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Position.Filename, Line: f.Position.Line, Col: f.Position.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // selectAnalyzers resolves the -analyzers flag against the suite.

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"sort"
 	"strings"
 )
@@ -17,10 +18,26 @@ import (
 // by the pseudo-analyzer "ignoredirective".
 const IgnoreDirective = "lint:tinyleo-ignore"
 
+// RunOptions tunes a driver Run.
+type RunOptions struct {
+	// ReportStaleIgnores adds an "ignoredirective" finding for every
+	// suppression directive that suppressed zero diagnostics during the
+	// run — a directive that earns its keep silences something; one that
+	// does not is dead weight hiding future findings. Enable only when
+	// the full analyzer suite runs: under an -analyzers subset a
+	// directive aimed at an unselected analyzer would be called stale.
+	ReportStaleIgnores bool
+}
+
 // Run executes every analyzer over every package and returns the
 // surviving findings sorted by position. Suppressed diagnostics are
 // dropped; malformed (reasonless) directives are themselves findings.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	return RunWithOptions(analyzers, pkgs, RunOptions{})
+}
+
+// RunWithOptions is Run with explicit driver options.
+func RunWithOptions(analyzers []*Analyzer, pkgs []*Package, opts RunOptions) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		ig := collectIgnores(pkg)
@@ -47,6 +64,9 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 			}
 		}
 		findings = append(findings, ig.malformed...)
+		if opts.ReportStaleIgnores {
+			findings = append(findings, ig.stale()...)
+		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -64,22 +84,50 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 	return findings, nil
 }
 
+// directive is one well-formed ignore directive and how often it fired.
+type directive struct {
+	position token.Position
+	used     int
+}
+
 // ignores records, per file, the lines on which diagnostics are
-// suppressed, plus findings for directives missing their reason.
+// suppressed (pointing back to the suppressing directive so stale ones
+// can be detected), plus findings for directives missing their reason.
 type ignores struct {
-	lines     map[string]map[int]bool
-	malformed []Finding
+	lines      map[string]map[int]*directive
+	directives []*directive
+	malformed  []Finding
 }
 
 func (ig *ignores) suppressed(file string, line int) bool {
-	return ig.lines[file][line]
+	d := ig.lines[file][line]
+	if d == nil {
+		return false
+	}
+	d.used++
+	return true
+}
+
+// stale returns a finding for every directive that suppressed nothing.
+func (ig *ignores) stale() []Finding {
+	var out []Finding
+	for _, d := range ig.directives {
+		if d.used == 0 {
+			out = append(out, Finding{
+				Position: d.position,
+				Analyzer: "ignoredirective",
+				Message:  "tinyleo-ignore directive suppressed no findings in this run; remove it (stale suppressions hide future findings)",
+			})
+		}
+	}
+	return out
 }
 
 // collectIgnores scans a package's comments for ignore directives. A
 // directive suppresses its own line and the line below it, covering both
 // the end-of-line form and the annotation-above-the-statement form.
 func collectIgnores(pkg *Package) *ignores {
-	ig := &ignores{lines: map[string]map[int]bool{}}
+	ig := &ignores{lines: map[string]map[int]*directive{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -104,11 +152,13 @@ func collectIgnores(pkg *Package) *ignores {
 				}
 				m := ig.lines[pos.Filename]
 				if m == nil {
-					m = map[int]bool{}
+					m = map[int]*directive{}
 					ig.lines[pos.Filename] = m
 				}
-				m[pos.Line] = true
-				m[pos.Line+1] = true
+				d := &directive{position: pos}
+				ig.directives = append(ig.directives, d)
+				m[pos.Line] = d
+				m[pos.Line+1] = d
 			}
 		}
 	}

@@ -1,0 +1,234 @@
+// Package goroutinelife flags fire-and-forget goroutines: every `go`
+// statement in non-test code must have a visible termination path, or an
+// annotation explaining why it may not need one.
+//
+// A goroutine launch is accounted when any of the following holds:
+//
+//   - The launched function (a literal, or a function/method declared in
+//     the same package) registers with a lifecycle primitive: its body
+//     calls a method named Done — covering both sync.WaitGroup
+//     registration (defer wg.Done()) and context watching (<-ctx.Done()).
+//   - The launched function takes a context.Context parameter: its
+//     caller owns cancellation.
+//   - Its body receives from (or selects on) a channel whose name says
+//     shutdown: done, stop, quit, exit, close(d), or ctx.
+//   - The `go` statement carries a "//tinyleo:goroutine <reason>"
+//     annotation on its line or the line above, stating why the goroutine
+//     is allowed to outlive these signals (e.g. it exits when a listener
+//     or connection it consumes is closed). The reason is mandatory; a
+//     bare annotation is itself a finding.
+//
+// Launches whose body the analyzer cannot see (extra-package callees,
+// method values, function-typed variables) must carry the annotation:
+// an invisible termination path is indistinguishable from a leak.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Marker is the goroutine-lifecycle annotation prefix; the rest of the
+// comment is the mandatory reason.
+const Marker = "//tinyleo:goroutine"
+
+// Analyzer is the goroutinelife check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "flags go statements with no visible termination path (ctx/done/WaitGroup) and no //tinyleo:goroutine annotation",
+	Run:  run,
+}
+
+// doneNames are substrings of channel identifiers that signal shutdown.
+var doneNames = []string{"done", "stop", "quit", "exit", "close", "ctx"}
+
+func run(pass *analysis.Pass) error {
+	ann := collectAnnotations(pass)
+	idx := pass.FuncIndex()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if ann.covers(pass.Fset.Position(g.Pos())) {
+				return true
+			}
+			if accounted(pass, idx, g.Call) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine has no visible termination path: pass a context, register "+
+					"with a WaitGroup, select on a done channel, or annotate the launch "+
+					"with %q and the reason it cannot leak", Marker+" <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// accounted reports whether the launched call's lifecycle is visible:
+// the function body shows a termination signal, or the callee takes a
+// context.
+func accounted(pass *analysis.Pass, idx map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) bool {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return hasContextParam(pass, lit.Type) || hasLifecycleSignal(lit.Body)
+	}
+	if decl := pass.CalleeDecl(call, idx); decl != nil {
+		return hasContextParam(pass, decl.Type) ||
+			(decl.Body != nil && hasLifecycleSignal(decl.Body))
+	}
+	// Any context.Context argument at the call site counts: the callee is
+	// out of sight, but its caller visibly owns cancellation.
+	for _, arg := range call.Args {
+		if isContextExpr(pass, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasContextParam reports whether the signature takes a context.Context.
+func hasContextParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		if isContextType(pass, p.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType matches the type syntax context.Context (the context
+// package is stubbed by the loader, so this is an AST check).
+func isContextType(pass *analysis.Pass, t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	path, ok := pass.PkgNameOf(base)
+	return ok && path == "context"
+}
+
+// isContextExpr reports whether an argument expression is named like a
+// context ("ctx" or a selector ending in Ctx/ctx).
+func isContextExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return strings.EqualFold(x.Name, "ctx")
+	case *ast.SelectorExpr:
+		return strings.EqualFold(x.Sel.Name, "ctx")
+	case *ast.CallExpr:
+		if pkg, _, ok := pass.CalleePkgFunc(x); ok && pkg == "context" {
+			return true
+		}
+	}
+	return false
+}
+
+// hasLifecycleSignal scans a function body for evidence of a termination
+// path: a call to a method named Done (WaitGroup registration or
+// ctx.Done watching), or a receive from a shutdown-named channel.
+func hasLifecycleSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && isDoneChannel(x.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isDoneChannel(x.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isDoneChannel matches channel expressions whose name says shutdown,
+// including the result of a shutdown-named accessor (<-s.stopCh()).
+func isDoneChannel(e ast.Expr) bool {
+	var last string
+	switch x := e.(type) {
+	case *ast.Ident:
+		last = x.Name
+	case *ast.SelectorExpr:
+		last = x.Sel.Name
+	case *ast.CallExpr:
+		return isDoneChannel(x.Fun)
+	default:
+		return false
+	}
+	last = strings.ToLower(last)
+	for _, n := range doneNames {
+		if strings.Contains(last, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// annotations records the lines covered by //tinyleo:goroutine markers.
+type annotations struct {
+	lines map[string]map[int]bool
+}
+
+// covers reports whether a go statement at pos carries an annotation.
+func (a *annotations) covers(pos token.Position) bool {
+	return a.lines[pos.Filename][pos.Line]
+}
+
+// collectAnnotations scans comments for goroutine markers; a marker
+// covers its own line and the next (annotation-above form). Reasonless
+// markers are reported immediately.
+func collectAnnotations(pass *analysis.Pass) *annotations {
+	a := &annotations{lines: map[string]map[int]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), Marker)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // a longer marker, e.g. //tinyleo:goroutinepool
+				}
+				pos := pass.Fset.Position(c.Pos())
+				// A nested comment is not a reason.
+				rest, _, _ = strings.Cut(rest, "//")
+				if strings.TrimSpace(rest) == "" {
+					pass.Reportf(c.Pos(),
+						"tinyleo:goroutine annotation is missing its mandatory reason")
+					continue
+				}
+				m := a.lines[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					a.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutinelife"
+)
+
+func TestGoroutinelife(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinelife.Analyzer, "gr")
+}

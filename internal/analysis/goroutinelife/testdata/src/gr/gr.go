@@ -1,0 +1,80 @@
+// Package gr exercises the goroutinelife analyzer: accounted launches
+// (WaitGroup, ctx, done channels, annotations) and leaks.
+package gr
+
+import (
+	"context"
+	"sync"
+
+	"repro/util"
+)
+
+// Server mimics the repo's loop-owning types.
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	out  chan int
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case s.out <- 1:
+		}
+	}
+}
+
+// drain has no termination signal of its own.
+func (s *Server) drain() {
+	for v := range s.out {
+		_ = v
+	}
+}
+
+func (s *Server) watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func (s *Server) Start(ctx context.Context) {
+	s.wg.Add(1)
+	go s.acceptLoop() // accounted: body registers wg.Done
+
+	go s.drain() // want `goroutine has no visible termination path`
+
+	go s.watch(ctx) // accounted: context parameter
+
+	go func() {
+		defer s.wg.Done()
+		<-s.stop
+	}()
+
+	go func() { // want `goroutine has no visible termination path`
+		for range s.out {
+		}
+	}()
+
+	//tinyleo:goroutine exits when s.out is closed by the producer
+	go s.drain()
+
+	//tinyleo:goroutine // want `missing its mandatory reason`
+	go s.drain() // want `goroutine has no visible termination path`
+
+	go util.Spin() // want `goroutine has no visible termination path`
+
+	//tinyleo:goroutine test fixture: runs until process exit by design
+	go util.Spin()
+
+	f := s.drain
+	go f() // want `goroutine has no visible termination path`
+
+	go func() {
+		<-quitCh()
+	}()
+}
+
+// quitCh names its result like a shutdown channel; the receive above is
+// matched by the callee name.
+func quitCh() chan struct{} { return make(chan struct{}) }

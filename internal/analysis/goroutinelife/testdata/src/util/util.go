@@ -1,0 +1,9 @@
+// Package util provides an extra-package callee for the goroutinelife
+// testdata: its body is out of the analyzed package's sight.
+package util
+
+// Spin loops forever; the launching package cannot see that.
+func Spin() {
+	for {
+	}
+}

@@ -1,0 +1,192 @@
+// Package guardedby enforces the //tinyleo:guardedby field annotation:
+// a struct field bound to a named sibling mutex may only be accessed
+// while that mutex is held.
+//
+// Annotation grammar (doc or line comment on the field):
+//
+//	mu sync.Mutex
+//	//tinyleo:guardedby mu
+//	pending map[uint32]*pendingCmd
+//
+// The checker is flow-based within methods of the owning type: it walks
+// each method body in statement order tracking Lock/RLock/Unlock/RUnlock
+// calls and defer'd unlocks on the receiver's mutexes (see
+// analysis.WalkHeld for the exact model), then requires every receiver
+// field access to hold the guard — any mode for reads, write mode for
+// writes (an RLock hold does not license a write). Methods named *Locked
+// (or *RLocked) are assumed entered with the receiver's mutexes held,
+// matching the repo's naming convention for helpers called under the
+// lock. Function literals are separate scopes: a closure must take the
+// lock itself, because nothing ties its execution to the enclosing
+// critical section.
+//
+// Out of scope, deliberately: accesses through a variable other than the
+// method receiver (a second instance's fields are that instance's locks'
+// business), accesses outside methods of the owning type (constructors
+// initialize fields before the value escapes), and lock aliasing through
+// pointers. Accesses that are safe for reasons the checker cannot see
+// (single-goroutine confinement, pre-publication setup) carry a
+// //lint:tinyleo-ignore directive with the reason.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "flags //tinyleo:guardedby field accesses made without holding the named mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	gs := analysis.CollectGuards(pass)
+	for _, d := range gs.Malformed {
+		pass.Report(analysis.Diagnostic{Pos: d.Pos, Message: d.Message})
+	}
+	if len(gs.ByField) == 0 {
+		return nil
+	}
+	for _, fn := range pass.FuncDecls() {
+		recv := pass.ReceiverVar(fn)
+		if recv == nil || fn.Body == nil {
+			continue
+		}
+		writes := writePositions(fn)
+		analysis.WalkHeld(pass, gs, fn, func(n ast.Node, held analysis.Held) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			fv := pass.FieldOf(sel)
+			if fv == nil {
+				return
+			}
+			guard, ok := gs.ByField[fv]
+			if !ok {
+				return
+			}
+			base := baseObject(pass, sel.X)
+			if base == nil || base != types.Object(recv) {
+				return
+			}
+			mu := guard.Mutex
+			write := writes[sel]
+			mode := analysis.ModeRead
+			if write {
+				mode = analysis.ModeWrite
+			}
+			if held.Holds(base, mu.Var, mode) {
+				return
+			}
+			verb := "read"
+			if write {
+				verb = "written"
+			}
+			if write && held.Holds(base, mu.Var, analysis.ModeRead) {
+				pass.Reportf(sel.Sel.Pos(),
+					"%s.%s is guarded by %s and %s while holding only %s.RLock(): "+
+						"writes require %s.Lock()",
+					mu.Struct, fv.Name(), mu.Name, verb, mu.Name, mu.Name)
+				return
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"%s.%s is guarded by %s and %s in %s without holding %s: "+
+					"lock %s.%s (or hold it via a *Locked helper)",
+				mu.Struct, fv.Name(), mu.Name, verb, fn.Name.Name, mu.Name,
+				recvName(fn), mu.Name)
+		})
+	}
+	return nil
+}
+
+// baseObject resolves the root identifier of a selector base expression
+// to its object (unwrapping parens and pointer derefs).
+func baseObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[e]
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// writePositions classifies which selector expressions in the function
+// are written: assignment left-hand sides (including through index and
+// dereference chains, so m[k] = v is a write of the map field), ++/--,
+// delete's map argument, and address-taking (conservatively a write: the
+// escaping pointer can be stored through).
+func writePositions(fn *ast.FuncDecl) map[*ast.SelectorExpr]bool {
+	writes := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		if sel := rootSelector(e); sel != nil {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(st.X)
+		case *ast.RangeStmt:
+			if st.Tok == token.ASSIGN {
+				mark(st.Key)
+				mark(st.Value)
+			}
+		case *ast.UnaryExpr:
+			if st.Op == token.AND {
+				mark(st.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) == 2 {
+				mark(st.Args[0])
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// rootSelector unwraps an lvalue expression (index, slice, deref, paren
+// chains) to the selector it is rooted at, nil when rooted elsewhere.
+func rootSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// recvName returns the receiver identifier for diagnostics ("c" in
+// func (c *Controller)).
+func recvName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		return fn.Recv.List[0].Names[0].Name
+	}
+	return "recv"
+}

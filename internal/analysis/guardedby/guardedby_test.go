@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/guardedby"
+)
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "sb")
+}

@@ -1,0 +1,99 @@
+// Package sb exercises the guardedby analyzer: annotated fields, both
+// lock modes, the *Locked convention, closures, and malformed
+// annotations.
+package sb
+
+import "sync"
+
+// Controller mimics the southbound controller's guarded state.
+type Controller struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+
+	// pending is the seq→command table.
+	//tinyleo:guardedby mu
+	pending map[uint32]int
+	//tinyleo:guardedby mu
+	seq uint32
+	//tinyleo:guardedby rmu
+	view []int
+
+	//tinyleo:guardedby nosuch // want `not a sync.Mutex/sync.RWMutex field`
+	stray int
+	//tinyleo:guardedby // want `missing its mutex name`
+	orphan int
+
+	free int // unannotated: never checked
+}
+
+func (c *Controller) good(seq uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending[seq] = 1
+	c.seq++
+	return c.pending[seq] + c.free
+}
+
+func (c *Controller) inlineUnlock() {
+	c.mu.Lock()
+	delete(c.pending, 1)
+	c.mu.Unlock()
+	c.seq++ // want `Controller.seq is guarded by mu and written`
+}
+
+func (c *Controller) reads() uint32 {
+	return c.seq // want `Controller.seq is guarded by mu and read`
+}
+
+func (c *Controller) rlockModes() int {
+	c.rmu.RLock()
+	n := len(c.view)
+	c.view = nil // want `written while holding only rmu.RLock`
+	c.rmu.RUnlock()
+	c.rmu.Lock()
+	c.view = append(c.view, n)
+	c.rmu.Unlock()
+	return n
+}
+
+// sweepLocked follows the *Locked convention: entered with c.mu held.
+func (c *Controller) sweepLocked() {
+	c.seq++
+	delete(c.pending, c.seq)
+}
+
+func (c *Controller) branches(ok bool) {
+	c.mu.Lock()
+	if ok {
+		c.mu.Unlock()
+		return
+	}
+	c.seq++ // still held on the fall-through path
+	c.mu.Unlock()
+}
+
+func (c *Controller) closures() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() {
+		c.seq++ // want `Controller.seq is guarded by mu and written`
+	}
+	g := func() {
+		c.mu.Lock()
+		c.seq++
+		c.mu.Unlock()
+	}
+	f()
+	g()
+}
+
+func (c *Controller) suppressed() uint32 {
+	//lint:tinyleo-ignore read-only snapshot for logging; torn reads acceptable
+	return c.seq
+}
+
+// otherInstance accesses a different value's fields: out of scope for
+// the receiver-rooted checker.
+func (c *Controller) otherInstance(d *Controller) uint32 {
+	return d.seq
+}

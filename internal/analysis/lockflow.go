@@ -1,0 +1,582 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GuardMarker is the field annotation binding struct state to a mutex:
+//
+//	mu sync.Mutex
+//	// pending is the seq→command table.
+//	//tinyleo:guardedby mu
+//	pending map[uint32]*pendingCmd
+//
+// The named guard must be a sibling sync.Mutex or sync.RWMutex field of
+// the same struct. The guardedby analyzer then requires every access to
+// the annotated field inside methods of the owning type to hold the
+// guard: any lock mode for reads, write mode (Lock, not RLock) for
+// writes.
+const GuardMarker = "//tinyleo:guardedby"
+
+// LockMode distinguishes how a mutex is held at a program point.
+type LockMode int
+
+// Lock modes, ordered so that higher covers lower: a write lock satisfies
+// a read requirement.
+const (
+	// ModeRead is an RLock hold: shared, reads only.
+	ModeRead LockMode = iota + 1
+	// ModeWrite is a Lock hold: exclusive, reads and writes.
+	ModeWrite
+)
+
+// String renders the mode as the method that establishes it.
+func (m LockMode) String() string {
+	if m == ModeRead {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// MutexField describes one sync.Mutex / sync.RWMutex struct field found
+// in the package.
+type MutexField struct {
+	// Var is the field's type-checker object (identity across the package).
+	Var *types.Var
+	// Struct is the declared name of the owning struct type.
+	Struct string
+	// Name is the field name.
+	Name string
+	// RW reports a sync.RWMutex (RLock/RUnlock available).
+	RW bool
+}
+
+// Guard binds one annotated field to its mutex.
+type Guard struct {
+	// Field is the annotated field's object.
+	Field *types.Var
+	// Mutex is the sibling mutex field guarding it.
+	Mutex *MutexField
+}
+
+// GuardSet is the package's parsed concurrency annotations: every mutex
+// field, every //tinyleo:guardedby binding, and the malformed annotations
+// (missing guard name, unknown sibling, guard that is not a mutex) for
+// the guardedby analyzer to report.
+type GuardSet struct {
+	// Mutexes indexes every sync mutex field by its object.
+	Mutexes map[*types.Var]*MutexField
+	// ByField maps an annotated field's object to its guard.
+	ByField map[*types.Var]*Guard
+	// Malformed are annotation errors, ready to report.
+	Malformed []Diagnostic
+	// structMutexes lists each struct's mutex fields by struct type name,
+	// for the *Locked-suffix entry-state convention.
+	structMutexes map[string][]*MutexField
+}
+
+// CollectGuards parses every struct declaration in the pass for mutex
+// fields and //tinyleo:guardedby annotations. Mutex-ness is decided from
+// the field's type syntax (sync.Mutex / sync.RWMutex, optionally
+// pointer): the loader stubs the sync package, so go/types cannot name
+// the type, but the import alias resolves through PkgNameOf regardless.
+func CollectGuards(pass *Pass) *GuardSet {
+	gs := &GuardSet{
+		Mutexes:       map[*types.Var]*MutexField{},
+		ByField:       map[*types.Var]*Guard{},
+		structMutexes: map[string][]*MutexField{},
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs.collectStruct(pass, ts.Name.Name, st)
+			return true
+		})
+	}
+	return gs
+}
+
+// collectStruct scans one struct's fields: first the mutexes, then the
+// guardedby annotations that must name them.
+func (gs *GuardSet) collectStruct(pass *Pass, structName string, st *ast.StructType) {
+	byName := map[string]*MutexField{}
+	for _, field := range st.Fields.List {
+		rw, isMutex := mutexType(pass, field.Type)
+		if !isMutex {
+			continue
+		}
+		for _, name := range field.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			mf := &MutexField{Var: v, Struct: structName, Name: name.Name, RW: rw}
+			gs.Mutexes[v] = mf
+			byName[name.Name] = mf
+			gs.structMutexes[structName] = append(gs.structMutexes[structName], mf)
+		}
+	}
+	for _, field := range st.Fields.List {
+		guardName, pos, ok := guardAnnotation(field)
+		if !ok {
+			continue
+		}
+		if guardName == "" {
+			gs.Malformed = append(gs.Malformed, Diagnostic{Pos: pos,
+				Message: "tinyleo:guardedby annotation is missing its mutex name"})
+			continue
+		}
+		mf, ok := byName[guardName]
+		if !ok {
+			gs.Malformed = append(gs.Malformed, Diagnostic{Pos: pos,
+				Message: "tinyleo:guardedby names " + guardName +
+					", which is not a sync.Mutex/sync.RWMutex field of " + structName})
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				gs.ByField[v] = &Guard{Field: v, Mutex: mf}
+			}
+		}
+	}
+}
+
+// StructMutexes returns the mutex fields of the named struct type (the
+// *Locked-suffix convention assumes all of them held on entry).
+func (gs *GuardSet) StructMutexes(structName string) []*MutexField {
+	return gs.structMutexes[structName]
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment; ok is false when the field carries no annotation at all.
+func guardAnnotation(field *ast.Field) (name string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(strings.TrimSpace(c.Text), GuardMarker)
+			if !found {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //tinyleo:guardedbyX — a different marker
+			}
+			// The guard is the first token; anything after it (or after a
+			// nested "//") is commentary.
+			rest, _, _ = strings.Cut(rest, "//")
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0], c.Pos(), true
+			}
+			return "", c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// mutexType reports whether a field type is sync.Mutex or sync.RWMutex
+// (directly or behind one pointer); rw distinguishes the RWMutex.
+func mutexType(pass *Pass, expr ast.Expr) (rw, ok bool) {
+	if star, isStar := expr.(*ast.StarExpr); isStar {
+		expr = star.X
+	}
+	sel, isSel := expr.(*ast.SelectorExpr)
+	if !isSel {
+		return false, false
+	}
+	base, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return false, false
+	}
+	if path, isPkg := pass.PkgNameOf(base); !isPkg || path != "sync" {
+		return false, false
+	}
+	switch sel.Sel.Name {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// HeldKey identifies one held lock: the mutex field plus the object the
+// receiver expression resolves to, so locking other.mu does not count as
+// holding this.mu.
+type HeldKey struct {
+	// Base is the variable the mutex was selected from (receiver or
+	// local), or nil when the lock call's base was not a plain identifier.
+	Base types.Object
+	// Mutex is the mutex field.
+	Mutex *types.Var
+}
+
+// Held is the set of locks held at a program point.
+type Held map[HeldKey]LockMode
+
+// clone copies the held set for branch-local tracking.
+func (h Held) clone() Held {
+	out := make(Held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// Holds reports whether base's mutex is held at least in the given mode
+// (a write hold satisfies a read requirement).
+func (h Held) Holds(base types.Object, mu *types.Var, mode LockMode) bool {
+	return h[HeldKey{base, mu}] >= mode
+}
+
+// Sorted returns the held keys ordered by mutex then base declaration
+// position, so consumers that emit per-held-lock output stay
+// deterministic.
+func (h Held) Sorted() []HeldKey {
+	keys := make([]HeldKey, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Mutex.Pos() != keys[j].Mutex.Pos() {
+			return keys[i].Mutex.Pos() < keys[j].Mutex.Pos()
+		}
+		var pi, pj token.Pos
+		if keys[i].Base != nil {
+			pi = keys[i].Base.Pos()
+		}
+		if keys[j].Base != nil {
+			pj = keys[j].Base.Pos()
+		}
+		return pi < pj
+	})
+	return keys
+}
+
+// LockOp is one resolved mutex method call (x.mu.Lock() and friends).
+type LockOp struct {
+	// Key identifies the mutex instance being operated on.
+	Key HeldKey
+	// Mutex is the mutex field (same as Key.Mutex, for convenience).
+	Mutex *MutexField
+	// Acquire is true for Lock/RLock, false for Unlock/RUnlock.
+	Acquire bool
+	// Mode is ModeRead for RLock/RUnlock, ModeWrite for Lock/Unlock.
+	Mode LockMode
+}
+
+// LockOpOf resolves a call expression to a mutex operation against one of
+// the package's known mutex fields. The inner selector (x.mu) resolves
+// through Selections; the method name is matched syntactically because
+// the stubbed sync package gives the mutex an unresolvable type.
+func LockOpOf(pass *Pass, gs *GuardSet, call *ast.CallExpr) (LockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return LockOp{}, false
+	}
+	var acquire bool
+	var mode LockMode
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire, mode = true, ModeWrite
+	case "RLock":
+		acquire, mode = true, ModeRead
+	case "Unlock":
+		acquire, mode = false, ModeWrite
+	case "RUnlock":
+		acquire, mode = false, ModeRead
+	default:
+		return LockOp{}, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return LockOp{}, false
+	}
+	fv := pass.FieldOf(inner)
+	if fv == nil {
+		return LockOp{}, false
+	}
+	mf, ok := gs.Mutexes[fv]
+	if !ok {
+		return LockOp{}, false
+	}
+	var base types.Object
+	if id, ok := baseIdent(inner.X); ok {
+		base = pass.TypesInfo.Uses[id]
+	}
+	return LockOp{Key: HeldKey{base, fv}, Mutex: mf, Acquire: acquire, Mode: mode}, true
+}
+
+// baseIdent unwraps parens and one pointer dereference to the identifier
+// a selector chain is rooted at.
+func baseIdent(expr ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e, true
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// LockedSuffix marks methods called with their receiver's locks already
+// held (the repo-wide "…Locked" naming convention); RLockedSuffix is the
+// read-mode variant.
+const (
+	LockedSuffix  = "Locked"
+	RLockedSuffix = "RLocked"
+)
+
+// EntryHeld returns the lock set a function body starts with: empty for
+// ordinary functions, every receiver mutex (write mode, or read mode for
+// the RLocked suffix) for methods following the *Locked convention.
+func EntryHeld(pass *Pass, gs *GuardSet, fn *ast.FuncDecl) Held {
+	held := Held{}
+	if fn.Recv == nil {
+		return held
+	}
+	mode := LockMode(0)
+	switch {
+	case strings.HasSuffix(fn.Name.Name, RLockedSuffix):
+		mode = ModeRead
+	case strings.HasSuffix(fn.Name.Name, LockedSuffix):
+		mode = ModeWrite
+	default:
+		return held
+	}
+	recv := pass.ReceiverVar(fn)
+	if recv == nil {
+		return held
+	}
+	for _, mf := range gs.StructMutexes(receiverTypeName(fn)) {
+		held[HeldKey{recv, mf.Var}] = mode
+	}
+	return held
+}
+
+// receiverTypeName extracts the declared type name from a method receiver
+// ("" when unresolvable).
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// WalkHeld walks a function body in statement order, tracking the set of
+// locks held at each node and invoking visit for every expression node
+// with that set. The tracking is deliberately simple and conservative —
+// the flow model the concurrency analyzers share:
+//
+//   - x.mu.Lock()/RLock() as a statement adds the lock from the next
+//     statement on; Unlock/RUnlock removes it.
+//   - defer x.mu.Unlock() keeps the lock held to the end of the scope.
+//   - Branch bodies (if/else, for, switch/select cases, nested blocks)
+//     inherit the current set but their internal changes do not leak out:
+//     a conditional Lock does not make later code "maybe locked", and an
+//     early-return branch that unlocks does not clear the fall-through
+//     path's hold.
+//   - Function literals are separate scopes starting empty: a closure may
+//     run on another goroutine, so it must take locks itself. Deferred
+//     closures likewise.
+//   - Methods named *Locked / *RLocked start with every receiver mutex
+//     held (EntryHeld).
+//
+// visit also receives lock-op calls themselves (with the set held before
+// the op takes effect), which is what the lockorder analyzer keys on.
+func WalkHeld(pass *Pass, gs *GuardSet, fn *ast.FuncDecl, visit func(n ast.Node, held Held)) {
+	if fn.Body == nil {
+		return
+	}
+	w := &heldWalker{pass: pass, gs: gs, visit: visit}
+	w.stmts(fn.Body.List, EntryHeld(pass, gs, fn))
+}
+
+type heldWalker struct {
+	pass  *Pass
+	gs    *GuardSet
+	visit func(n ast.Node, held Held)
+}
+
+// stmts walks one statement list, threading the held set through it.
+func (w *heldWalker) stmts(list []ast.Stmt, held Held) Held {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+// stmt walks one statement and returns the held set after it.
+func (w *heldWalker) stmt(s ast.Stmt, held Held) Held {
+	switch st := s.(type) {
+	case nil:
+		return held
+	case *ast.ExprStmt:
+		w.expr(st.X, held)
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if op, ok := LockOpOf(w.pass, w.gs, call); ok {
+				held = held.clone()
+				if op.Acquire {
+					held[op.Key] = op.Mode
+				} else {
+					delete(held, op.Key)
+				}
+			}
+		}
+		return held
+	case *ast.DeferStmt:
+		// A deferred unlock runs at return: the lock stays held for the
+		// rest of this scope, so no state change. A deferred closure is a
+		// fresh scope.
+		w.expr(st.Call, held)
+		return held
+	case *ast.BlockStmt:
+		w.stmts(st.List, held.clone())
+		return held
+	case *ast.IfStmt:
+		inner := held
+		if st.Init != nil {
+			inner = w.stmt(st.Init, inner.clone())
+		}
+		w.expr(st.Cond, inner)
+		w.stmts(st.Body.List, inner.clone())
+		if st.Else != nil {
+			w.stmt(st.Else, inner.clone())
+		}
+		return held
+	case *ast.ForStmt:
+		inner := held
+		if st.Init != nil {
+			inner = w.stmt(st.Init, inner.clone())
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, inner)
+		}
+		body := w.stmts(st.Body.List, inner.clone())
+		if st.Post != nil {
+			w.stmt(st.Post, body)
+		}
+		return held
+	case *ast.RangeStmt:
+		if st.Key != nil {
+			w.expr(st.Key, held)
+		}
+		if st.Value != nil {
+			w.expr(st.Value, held)
+		}
+		w.expr(st.X, held)
+		w.stmts(st.Body.List, held.clone())
+		return held
+	case *ast.SwitchStmt:
+		inner := held
+		if st.Init != nil {
+			inner = w.stmt(st.Init, inner.clone())
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag, inner)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e, inner)
+				}
+				w.stmts(cc.Body, inner.clone())
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		inner := held
+		if st.Init != nil {
+			inner = w.stmt(st.Init, inner.clone())
+		}
+		w.stmt(st.Assign, inner)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, inner.clone())
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := held.clone()
+				if cc.Comm != nil {
+					inner = w.stmt(cc.Comm, inner)
+				}
+				w.stmts(cc.Body, inner)
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+	case *ast.GoStmt:
+		w.expr(st.Call, held)
+		return held
+	default:
+		// Assignments, returns, sends, inc/dec, declarations, branches:
+		// no lock-state effect; visit every contained expression.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if n == nil || n == s {
+				return true
+			}
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e, held)
+				return false
+			}
+			if inner, ok := n.(ast.Stmt); ok { // e.g. a body hiding in a bad cast
+				w.stmt(inner, held)
+				return false
+			}
+			return true
+		})
+		return held
+	}
+}
+
+// expr visits one expression subtree with the current held set, treating
+// any function literal as a fresh scope.
+func (w *heldWalker) expr(e ast.Expr, held Held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.visit(fl, held)
+			w.stmts(fl.Body.List, Held{})
+			return false
+		}
+		w.visit(n, held)
+		return true
+	})
+}

@@ -1,0 +1,290 @@
+// Package lockorder detects potential deadlocks from inconsistent mutex
+// acquisition order within a package.
+//
+// The analyzer builds the package's lock-acquisition graph: nodes are
+// the sync.Mutex / sync.RWMutex struct fields declared in the package
+// (annotation-free — every mutex field participates), and an edge A → B
+// records a site that acquires B while A is held. "While held" comes
+// from the same statement-flow model the guardedby analyzer uses
+// (analysis.WalkHeld); acquisitions are either direct (x.b.Lock() under
+// a.mu) or propagated through intra-package calls — each function's
+// may-acquire summary is computed to a fixpoint over the package call
+// graph, so `a.mu.Lock(); x.helper()` adds an edge for every mutex the
+// helper (transitively) locks. Goroutine bodies are excluded from
+// summaries: a `go` statement's acquisitions are not made synchronously
+// by the caller.
+//
+// Reported findings:
+//
+//   - A cycle A → B → … → A means two call paths can interleave into a
+//     deadlock; the finding lists every edge with its acquisition site.
+//   - A direct re-acquisition (x.mu.Lock() while x.mu is held through
+//     the same receiver) is a guaranteed self-deadlock: Go mutexes are
+//     not reentrant.
+//
+// Lock identity is the field, not the instance: locking two different
+// values of the same type in both orders is reported as a cycle, which
+// is the correct call unless the code orders instances some other way
+// (annotate such sites with //lint:tinyleo-ignore and the ordering
+// argument).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "builds the package lock-acquisition graph and flags cycles (potential deadlocks)",
+	Run:  run,
+}
+
+// edge is one observed "B acquired while A held" site.
+type edge struct {
+	from, to *analysis.MutexField
+	pos      token.Pos
+	// via names the called function when the acquisition is indirect.
+	via string
+}
+
+func run(pass *analysis.Pass) error {
+	gs := analysis.CollectGuards(pass)
+	if len(gs.Mutexes) == 0 {
+		return nil
+	}
+	idx := pass.FuncIndex()
+	summaries := acquireSummaries(pass, gs, idx)
+
+	var edges []edge
+	for _, fn := range pass.FuncDecls() {
+		analysis.WalkHeld(pass, gs, fn, func(n ast.Node, held analysis.Held) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(held) == 0 {
+				return
+			}
+			if op, ok := analysis.LockOpOf(pass, gs, call); ok {
+				if !op.Acquire {
+					return
+				}
+				for _, key := range held.Sorted() {
+					from := gs.Mutexes[key.Mutex]
+					if from == nil {
+						continue
+					}
+					if key.Mutex == op.Key.Mutex {
+						if key.Base != nil && key.Base == op.Key.Base {
+							pass.Reportf(call.Pos(),
+								"recursive acquisition of %s.%s: already held here, and Go mutexes are not reentrant",
+								op.Mutex.Struct, op.Mutex.Name)
+						} else {
+							edges = append(edges, edge{from: from, to: op.Mutex, pos: call.Pos()})
+						}
+						continue
+					}
+					edges = append(edges, edge{from: from, to: op.Mutex, pos: call.Pos()})
+				}
+				return
+			}
+			callee := pass.CalleeDecl(call, idx)
+			if callee == nil {
+				return
+			}
+			acq := summaries[callee]
+			if len(acq) == 0 {
+				return
+			}
+			for _, mv := range sortedVars(acq) {
+				to := gs.Mutexes[mv]
+				if to == nil {
+					continue
+				}
+				for _, key := range held.Sorted() {
+					from := gs.Mutexes[key.Mutex]
+					if from == nil {
+						continue
+					}
+					edges = append(edges, edge{from: from, to: to, pos: call.Pos(), via: callee.Name.Name})
+				}
+			}
+		})
+	}
+	reportCycles(pass, edges)
+	return nil
+}
+
+// acquireSummaries computes, for every function in the package, the set
+// of mutex fields it may acquire — directly or through intra-package
+// calls — iterated to a fixpoint. Acquisitions inside `go` statements
+// are excluded (they happen on another goroutine).
+func acquireSummaries(pass *analysis.Pass, gs *analysis.GuardSet,
+	idx map[*types.Func]*ast.FuncDecl) map[*ast.FuncDecl]map[*types.Var]bool {
+
+	decls := pass.FuncDecls()
+	acquires := make(map[*ast.FuncDecl]map[*types.Var]bool, len(decls))
+	callees := make(map[*ast.FuncDecl][]*ast.FuncDecl, len(decls))
+	for _, fn := range decls {
+		if fn.Body == nil {
+			continue
+		}
+		set := map[*types.Var]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, ok := analysis.LockOpOf(pass, gs, call); ok && op.Acquire {
+				set[op.Key.Mutex] = true
+				return true
+			}
+			if callee := pass.CalleeDecl(call, idx); callee != nil {
+				callees[fn] = append(callees[fn], callee)
+			}
+			return true
+		})
+		acquires[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range decls {
+			set := acquires[fn]
+			for _, callee := range callees[fn] {
+				for mv := range acquires[callee] {
+					if !set[mv] {
+						set[mv] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acquires
+}
+
+// reportCycles condenses the edge list into a graph, finds its cycles,
+// and reports each once, deterministically anchored at the smallest
+// acquisition position in the cycle.
+func reportCycles(pass *analysis.Pass, edges []edge) {
+	// One representative edge per (from, to) pair: the lexically first.
+	rep := map[pairKey]edge{}
+	adj := map[*analysis.MutexField][]*analysis.MutexField{}
+	for _, e := range edges {
+		p := pairKey{e.from, e.to}
+		if old, ok := rep[p]; !ok || e.pos < old.pos {
+			if !ok {
+				adj[e.from] = append(adj[e.from], e.to)
+			}
+			rep[p] = e
+		}
+	}
+	nodes := make([]*analysis.MutexField, 0, len(adj))
+	seen := map[*analysis.MutexField]bool{}
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		sort.Slice(tos, func(i, j int) bool { return name(tos[i]) < name(tos[j]) })
+		for _, to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return name(nodes[i]) < name(nodes[j]) })
+
+	// DFS from each node in name order; a back edge to a node on the
+	// current stack closes a cycle. Each cycle is reported once, keyed by
+	// its canonical node set.
+	reported := map[string]bool{}
+	var stack []*analysis.MutexField
+	onStack := map[*analysis.MutexField]int{}
+	var dfs func(n *analysis.MutexField)
+	dfs = func(n *analysis.MutexField) {
+		onStack[n] = len(stack)
+		stack = append(stack, n)
+		for _, to := range adj[n] {
+			if i, ok := onStack[to]; ok {
+				cycle := append([]*analysis.MutexField{}, stack[i:]...)
+				reportCycle(pass, rep, cycle, reported)
+				continue
+			}
+			dfs(to)
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, n)
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+}
+
+// reportCycle emits one finding for a cycle unless an equivalent one
+// (same node set) was already reported.
+func reportCycle(pass *analysis.Pass, rep map[pairKey]edge, cycle []*analysis.MutexField, reported map[string]bool) {
+	names := make([]string, len(cycle))
+	for i, n := range cycle {
+		names[i] = name(n)
+	}
+	sorted := append([]string{}, names...)
+	sort.Strings(sorted)
+	key := strings.Join(sorted, ",")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+
+	var sites []string
+	minPos := token.Pos(0)
+	for i, n := range cycle {
+		next := cycle[(i+1)%len(cycle)]
+		e := rep[pairKey{n, next}]
+		if minPos == 0 || e.pos < minPos {
+			minPos = e.pos
+		}
+		site := pass.Fset.Position(e.pos)
+		desc := fmt.Sprintf("%s locked at %s:%d while holding %s",
+			name(next), shortFile(site.Filename), site.Line, name(n))
+		if e.via != "" {
+			desc += " (via " + e.via + ")"
+		}
+		sites = append(sites, desc)
+	}
+	pass.Reportf(minPos, "lock-order cycle %s -> %s: %s",
+		strings.Join(names, " -> "), names[0], strings.Join(sites, "; "))
+}
+
+// pairKey mirrors reportCycles' pair type for reportCycle's lookups.
+type pairKey struct{ from, to *analysis.MutexField }
+
+func name(m *analysis.MutexField) string { return m.Struct + "." + m.Name }
+
+// sortedVars orders a may-acquire set by declaration position for
+// deterministic edge emission.
+func sortedVars(set map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// shortFile trims the path to its base for compact cycle descriptions.
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

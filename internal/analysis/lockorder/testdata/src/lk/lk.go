@@ -1,0 +1,108 @@
+// Package lk exercises the lockorder analyzer: a direct AB/BA cycle, an
+// indirect cycle through a helper call, and recursive re-acquisition.
+package lk
+
+import "sync"
+
+// Engine holds two locks that are taken in both orders below.
+type Engine struct {
+	mu    sync.Mutex
+	wmu   sync.Mutex
+	state int
+}
+
+func (e *Engine) abPath() {
+	e.mu.Lock()
+	e.wmu.Lock() // want `lock-order cycle Engine.mu -> Engine.wmu -> Engine.mu`
+	e.state++
+	e.wmu.Unlock()
+	e.mu.Unlock()
+}
+
+func (e *Engine) baPath() {
+	e.wmu.Lock()
+	e.mu.Lock()
+	e.state++
+	e.mu.Unlock()
+	e.wmu.Unlock()
+}
+
+// Pair's cycle closes only through an intra-package call.
+type Pair struct {
+	a     sync.Mutex
+	b     sync.Mutex
+	count int
+}
+
+func (p *Pair) lockB() {
+	p.b.Lock()
+	p.count++
+	p.b.Unlock()
+}
+
+func (p *Pair) aThenB() {
+	p.a.Lock()
+	p.lockB() // want `lock-order cycle Pair.a -> Pair.b -> Pair.a`
+	p.a.Unlock()
+}
+
+func (p *Pair) bThenA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.count++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Rec re-locks its own mutex: guaranteed self-deadlock.
+type Rec struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *Rec) double() {
+	r.mu.Lock()
+	r.mu.Lock() // want `recursive acquisition of Rec.mu`
+	r.n++
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Ordered locks two instances of the same type; the type-level self-edge
+// is suppressed here with the repo's ignore directive.
+type Ordered struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (o *Ordered) merge(other *Ordered) {
+	o.mu.Lock()
+	//lint:tinyleo-ignore instances are ordered by caller so AB/BA cannot interleave
+	other.mu.Lock()
+	o.v += other.v
+	other.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// Solo takes its locks in one consistent order everywhere: no cycle.
+type Solo struct {
+	first  sync.Mutex
+	second sync.Mutex
+	n      int
+}
+
+func (s *Solo) one() {
+	s.first.Lock()
+	s.second.Lock()
+	s.n++
+	s.second.Unlock()
+	s.first.Unlock()
+}
+
+func (s *Solo) two() {
+	s.first.Lock()
+	s.second.Lock()
+	s.n--
+	s.second.Unlock()
+	s.first.Unlock()
+}

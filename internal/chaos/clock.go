@@ -12,7 +12,8 @@ import (
 // real scheduling latency.
 type VClock struct {
 	mu sync.Mutex
-	t  time.Time
+	//tinyleo:guardedby mu
+	t time.Time
 }
 
 // NewVClock starts a virtual clock at a fixed epoch.

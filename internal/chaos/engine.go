@@ -113,14 +113,21 @@ type runner struct {
 
 	// mu guards everything the southbound callbacks (controller and agent
 	// goroutines) share with the engine goroutine.
-	mu             sync.Mutex
-	agents         map[int]*southbound.Agent
-	gates          map[int]chan struct{}  // blackholed agents (OnCommand blocks)
-	wedgedEntered  map[int]bool           // gated agents that reached their blocking callback
-	acked          map[uint32]bool        // SetISL/probe seqs acknowledged
-	actions        map[uint32][]islAction // this round's seq → topology changes (one per SetISL, a batch per slot-delta)
-	abandonedRound int                    // OnCommandFailed count this round
-	reconnects     int64                  // successful agent reconnections
+	mu sync.Mutex
+	//tinyleo:guardedby mu
+	agents map[int]*southbound.Agent
+	//tinyleo:guardedby mu
+	gates map[int]chan struct{} // blackholed agents (OnCommand blocks)
+	//tinyleo:guardedby mu
+	wedgedEntered map[int]bool // gated agents that reached their blocking callback
+	//tinyleo:guardedby mu
+	acked map[uint32]bool // SetISL/probe seqs acknowledged
+	//tinyleo:guardedby mu
+	actions map[uint32][]islAction // this round's seq → topology changes (one per SetISL, a batch per slot-delta)
+	//tinyleo:guardedby mu
+	abandonedRound int // OnCommandFailed count this round
+	//tinyleo:guardedby mu
+	reconnects int64 // successful agent reconnections
 
 	// Fleet telemetry plane: one always-enabled private registry +
 	// reporter per agent feeding a virtual-clock aggregator, so the
@@ -290,7 +297,9 @@ func (r *runner) start() error {
 			}
 			applied.Inc()
 		}
+		r.mu.Lock()
 		r.agents[id] = a
+		r.mu.Unlock()
 		r.fleetApplied[id] = applied
 		r.fleetReps[id] = fleet.NewReporter(fleet.NewEncoder(reg), a.SendTelemetry)
 	}

@@ -82,7 +82,6 @@ func fleetPhase(agents, cmds int, telemetry bool) (wall float64, reports, bytes 
 		c := reg.Counter("tinyleo_bench_applied_total")
 		h := reg.Histogram("tinyleo_bench_apply_delay_s", nil)
 		perAgent[i] = c
-		//lint:tinyleo-ignore dial timeout on a real TCP benchmark path, not part of any deterministic output
 		a, err := southbound.DialAgentOptions(ctl.Addr(), uint32(i), 5*time.Second,
 			southbound.AgentOptions{})
 		if err != nil {

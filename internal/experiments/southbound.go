@@ -80,7 +80,6 @@ func southboundPhase(agents, cmds int, traced bool) (wall, rttMS float64, retran
 			tr.Enable(1 << 14)
 			opts.Tracer = tr
 		}
-		//lint:tinyleo-ignore dial timeout on a real TCP benchmark path, not part of any deterministic output
 		a, err := southbound.DialAgentOptions(ctl.Addr(), uint32(i), 5*time.Second, opts)
 		if err != nil {
 			return 0, 0, 0, err

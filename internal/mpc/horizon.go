@@ -94,6 +94,7 @@ func (c *Controller) HorizonStream(t0, dt float64, slots, workers int, deliver f
 			}
 		}()
 	}
+	//tinyleo:goroutine feeder exits after queueing all slots; the workers above always drain jobs
 	go func() {
 		for slot := 0; slot < slots; slot++ {
 			jobs <- slot

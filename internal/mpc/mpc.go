@@ -184,7 +184,8 @@ type Controller struct {
 	// per-cell and per-edge matching records from the previous delta
 	// slot, so incremental compiles are inherently sequential.
 	deltaMu sync.Mutex
-	delta   *deltaState
+	//tinyleo:guardedby deltaMu
+	delta *deltaState
 }
 
 // deltaState is the warm-start memory a DeltaCompile chain carries from

@@ -115,9 +115,11 @@ type Aggregator struct {
 
 	rollup *obs.Registry
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//tinyleo:guardedby mu
 	agents map[uint32]*agentState
-	kinds  map[string]obs.Kind // rollup name → kind, guards kind clashes
+	//tinyleo:guardedby mu
+	kinds map[string]obs.Kind // rollup name → kind, guards kind clashes
 	// decodeErrs counts reports dropped as malformed.
 	decodeErrs *obs.Counter
 	agentsG    *obs.Gauge
@@ -166,10 +168,11 @@ func NewAggregator(o Options) *Aggregator {
 // the controller's telemetry surface and SLO engine.
 func (a *Aggregator) Registry() *obs.Registry { return a.rollup }
 
-// resolve returns the rollup instrument for desc under agent id, or an
-// empty instrument when the descriptor clashes with an existing series
-// kind (the report entry is then skipped, not fatal).
-func (a *Aggregator) resolve(id uint32, d Desc) instrument {
+// resolveLocked returns the rollup instrument for desc under agent id,
+// or an empty instrument when the descriptor clashes with an existing
+// series kind (the report entry is then skipped, not fatal). Callers
+// hold a.mu.
+func (a *Aggregator) resolveLocked(id uint32, d Desc) instrument {
 	if k, ok := a.kinds[d.Name]; ok && k != d.Kind {
 		return instrument{}
 	}
@@ -249,7 +252,7 @@ func (a *Aggregator) HandleReport(agent uint32, payload []byte) error {
 		if ss == nil {
 			ss = &seriesState{
 				desc:    d,
-				inst:    a.resolve(agent, d),
+				inst:    a.resolveLocked(agent, d),
 				histBkt: make([]int64, len(d.Bounds)+1),
 			}
 			st.series[key] = ss

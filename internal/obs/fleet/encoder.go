@@ -26,17 +26,24 @@ type histLast struct {
 type Encoder struct {
 	regs []*obs.Registry
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	//tinyleo:guardedby mu
 	seq uint64
+	//tinyleo:guardedby mu
 	ids map[string]int // series key → session ID
 	// next report starts a fresh session (first report, or after Reset).
+	//tinyleo:guardedby mu
 	baseline bool
 
+	//tinyleo:guardedby mu
 	lastCounter map[int]int64
-	lastGauge   map[int]float64
-	lastHist    map[int]*histLast
+	//tinyleo:guardedby mu
+	lastGauge map[int]float64
+	//tinyleo:guardedby mu
+	lastHist map[int]*histLast
 	// gaugeSent marks gauges shipped at least once this session, so a
 	// gauge that never changes still rides the baseline exactly once.
+	//tinyleo:guardedby mu
 	gaugeSent map[int]bool
 }
 
@@ -44,11 +51,13 @@ type Encoder struct {
 // argument order on every Encode).
 func NewEncoder(regs ...*obs.Registry) *Encoder {
 	e := &Encoder{regs: regs}
-	e.reset()
+	e.resetLocked()
 	return e
 }
 
-func (e *Encoder) reset() {
+// resetLocked starts a fresh session. Callers hold e.mu (NewEncoder
+// calls it before the encoder escapes the constructor).
+func (e *Encoder) resetLocked() {
 	e.ids = map[string]int{}
 	e.baseline = true
 	e.lastCounter = map[int]int64{}
@@ -64,7 +73,7 @@ func (e *Encoder) reset() {
 // increasing across resets, so the receiver can still see gaps.
 func (e *Encoder) Reset() {
 	e.mu.Lock()
-	e.reset()
+	e.resetLocked()
 	e.mu.Unlock()
 }
 

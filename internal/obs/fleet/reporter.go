@@ -15,10 +15,13 @@ type Reporter struct {
 	enc  *Encoder
 	send func(payload []byte) error
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//tinyleo:guardedby mu
 	stopped bool
-	stop    chan struct{}
-	done    chan struct{}
+	//tinyleo:guardedby mu
+	stop chan struct{}
+	//tinyleo:guardedby mu
+	done chan struct{}
 }
 
 // NewReporter wraps enc with a send function — typically

@@ -126,13 +126,19 @@ const DefaultEventCapacity = 8192
 type Log struct {
 	on atomic.Bool
 
-	mu      sync.Mutex
-	buf     []Event
-	next    int
+	mu sync.Mutex
+	//tinyleo:guardedby mu
+	buf []Event
+	//tinyleo:guardedby mu
+	next int
+	//tinyleo:guardedby mu
 	wrapped bool
+	//tinyleo:guardedby mu
 	dropped uint64
-	seq     uint64
-	epoch   time.Time
+	//tinyleo:guardedby mu
+	seq uint64
+	//tinyleo:guardedby mu
+	epoch time.Time
 }
 
 // Enable (re)enables the log with the given ring capacity

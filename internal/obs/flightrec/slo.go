@@ -192,10 +192,13 @@ func ParseRules(spec string) ([]Rule, error) {
 type Engine struct {
 	log *Log
 
-	mu     sync.Mutex
-	regs   []RegistrySource
+	mu sync.Mutex
+	//tinyleo:guardedby mu
+	regs []RegistrySource
+	//tinyleo:guardedby mu
 	status []RuleStatus
-	start  time.Time
+	//tinyleo:guardedby mu
+	start time.Time
 }
 
 // NewEngine builds an engine over the given event log and rules (empty
@@ -235,9 +238,10 @@ func (e *Engine) AddRegistries(regs ...RegistrySource) {
 func (e *Engine) Eval() []RuleStatus {
 	e.mu.Lock()
 	regs := append([]RegistrySource(nil), e.regs...)
+	start := e.start
 	e.mu.Unlock()
 	samples := obs.Snapshot(regs...)
-	now := time.Since(e.start).Microseconds()
+	now := time.Since(start).Microseconds()
 
 	e.mu.Lock()
 	defer e.mu.Unlock()

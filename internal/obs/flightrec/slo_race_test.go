@@ -1,0 +1,32 @@
+package flightrec
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEngineEvalConcurrent drives Eval, AddRegistries, and Status from
+// concurrent goroutines. Regression for the guardedby sweep: Eval read
+// e.start between its two locked regions, off the declared mu contract —
+// under -race this test pins the fixed locking discipline.
+func TestEngineEvalConcurrent(t *testing.T) {
+	var log Log
+	log.Enable(64)
+	e := NewEngine(&log)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				e.Eval()
+				e.AddRegistries()
+				e.Status()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Status(); len(got) == 0 {
+		t.Fatal("engine lost its rule statuses under concurrent eval")
+	}
+}

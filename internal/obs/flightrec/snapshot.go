@@ -77,14 +77,22 @@ const DefaultSlotCapacity = 256
 // allocates O(snapshot) per control slot; nothing here is on a
 // per-packet path.
 type Snapshotter struct {
-	mu       sync.Mutex
-	buf      []SlotState
-	next     int
-	wrapped  bool
-	seq      int
-	spill    *os.File
-	spillGz  *gzip.Writer
+	mu sync.Mutex
+	//tinyleo:guardedby mu
+	buf []SlotState
+	//tinyleo:guardedby mu
+	next int
+	//tinyleo:guardedby mu
+	wrapped bool
+	//tinyleo:guardedby mu
+	seq int
+	//tinyleo:guardedby mu
+	spill *os.File
+	//tinyleo:guardedby mu
+	spillGz *gzip.Writer
+	//tinyleo:guardedby mu
 	spillEnc *json.Encoder
+	//tinyleo:guardedby mu
 	spillErr error
 }
 

@@ -54,8 +54,10 @@ var HopBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
 type Registry struct {
 	enabled atomic.Bool
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//tinyleo:guardedby mu
 	index map[string]*series
+	//tinyleo:guardedby mu
 	order []*series
 }
 

@@ -48,14 +48,21 @@ type Tracer struct {
 	idSeq  atomic.Uint64
 	clock  atomic.Pointer[func() time.Time]
 
-	mu      sync.Mutex
-	seeded  bool
-	proc    string
-	buf     []Event
-	next    int
+	mu sync.Mutex
+	//tinyleo:guardedby mu
+	seeded bool
+	//tinyleo:guardedby mu
+	proc string
+	//tinyleo:guardedby mu
+	buf []Event
+	//tinyleo:guardedby mu
+	next int
+	//tinyleo:guardedby mu
 	wrapped bool
+	//tinyleo:guardedby mu
 	dropped int64
-	epoch   time.Time
+	//tinyleo:guardedby mu
+	epoch time.Time
 }
 
 // DefaultTraceCapacity is the ring size used by EnableTracing(0).

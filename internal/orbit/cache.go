@@ -44,12 +44,14 @@ type pairKey struct {
 
 type posShard struct {
 	mu sync.RWMutex
-	m  map[posKey]geom.Vec3
+	//tinyleo:guardedby mu
+	m map[posKey]geom.Vec3
 }
 
 type lifeShard struct {
 	mu sync.RWMutex
-	m  map[pairKey]float64
+	//tinyleo:guardedby mu
+	m map[pairKey]float64
 }
 
 // visRun records the outcome of one lifetime evaluation for a satellite
@@ -69,7 +71,8 @@ type visRun struct {
 
 type runShard struct {
 	mu sync.Mutex
-	m  map[[2]int32]visRun
+	//tinyleo:guardedby mu
+	m map[[2]int32]visRun
 }
 
 // PropCache memoizes orbit propagation for a fixed satellite set: ECI
@@ -101,7 +104,8 @@ type PropCache struct {
 	runs [cacheShards]runShard
 
 	slotMu sync.Mutex
-	slots  map[uint64]*slotEntry
+	//tinyleo:guardedby slotMu
+	slots map[uint64]*slotEntry
 
 	posHits     atomic.Uint64
 	posMisses   atomic.Uint64

@@ -95,6 +95,7 @@ type Agent struct {
 	timeout time.Duration
 	opts    AgentOptions
 
+	//tinyleo:guardedby mu
 	conn net.Conn
 	mu   sync.Mutex
 	wg   sync.WaitGroup
@@ -116,9 +117,11 @@ type Agent struct {
 
 	helloAck chan struct{}
 	acked    bool // helloAck already closed (read loop only)
-	closed   bool
+	//tinyleo:guardedby mu
+	closed bool
 
-	reconnects int64 // successful reconnections (mu)
+	//tinyleo:guardedby mu
+	reconnects int64 // successful reconnections
 }
 
 // DialAgent connects and registers an agent with default options (no

@@ -113,14 +113,21 @@ type Controller struct {
 	// across both processes. Set before the first Send.
 	Tracer *obs.Tracer
 
-	mu          sync.Mutex
-	agents      map[uint32]net.Conn
-	hellos      map[uint32]uint64 // satID → registration count
-	unreachable map[uint32]bool   // satIDs with abandoned commands
-	seq         uint32
-	closed      bool
-	pending     map[uint32]*pendingCmd // command seq → pending state
-	lastSweep   time.Time              // last ack-timeout sweep
+	mu sync.Mutex
+	//tinyleo:guardedby mu
+	agents map[uint32]net.Conn
+	//tinyleo:guardedby mu
+	hellos map[uint32]uint64 // satID → registration count
+	//tinyleo:guardedby mu
+	unreachable map[uint32]bool // satIDs with abandoned commands
+	//tinyleo:guardedby mu
+	seq uint32
+	//tinyleo:guardedby mu
+	closed bool
+	//tinyleo:guardedby mu
+	pending map[uint32]*pendingCmd // command seq → pending state
+	//tinyleo:guardedby mu
+	lastSweep time.Time // last ack-timeout sweep
 
 	// wmu serializes frame writes so a retransmission and a Send to the
 	// same agent cannot interleave bytes on the connection.

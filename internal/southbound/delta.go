@@ -129,9 +129,11 @@ func DecodeSlotSnapshot(p []byte) ([]uint32, error) {
 type DeltaEnforcer struct {
 	c *Controller
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//tinyleo:guardedby mu
 	desired map[uint32]map[uint32]struct{} // sat → desired ISL peer set
-	synced  map[uint32]bool                // sat may receive per-op deltas
+	//tinyleo:guardedby mu
+	synced map[uint32]bool // sat may receive per-op deltas
 
 	deltaMsgs *obs.Counter
 	snapMsgs  *obs.Counter

@@ -48,10 +48,13 @@ type metricsPoller struct {
 	stop chan struct{}
 	done chan struct{}
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	//tinyleo:guardedby mu
 	rawMetrics []byte
-	samples    []obs.Sample
-	view       *fleet.View
+	//tinyleo:guardedby mu
+	samples []obs.Sample
+	//tinyleo:guardedby mu
+	view *fleet.View
 }
 
 // newMetricsPoller starts polling the telemetry address at the

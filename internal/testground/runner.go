@@ -163,6 +163,7 @@ func RunExec(m *Manifest, cfg ExecConfig) (*RunReport, error) {
 	// Fault schedule: sleep to each fault's offset from the start
 	// barrier and signal the target agent process.
 	faultDone := make(chan []FaultRecord, 1)
+	//tinyleo:goroutine exits on its own after delivering the finite fault schedule and signalling faultDone
 	go func() {
 		faults := append([]FaultSpec(nil), m.Faults...)
 		sort.SliceStable(faults, func(i, j int) bool { return faults[i].AtS < faults[j].AtS })
@@ -256,6 +257,7 @@ func launch(bin, dir, name string, args ...string) (*proc, error) {
 		return nil, fmt.Errorf("testground: launch %s: %w", name, err)
 	}
 	p := &proc{cmd: cmd, done: make(chan error, 1), log: logf}
+	//tinyleo:goroutine reaper exits as soon as the child process does
 	go func() {
 		p.done <- cmd.Wait()
 		close(p.done)

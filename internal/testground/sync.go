@@ -46,8 +46,10 @@ type barrier struct {
 //	                         (?n=N lazily defines, ?timeout_s= bounds)
 //	GET  /barrier/NAME       {"need":N,"arrived":K,"released":bool}
 type Sync struct {
-	mu       sync.Mutex
-	params   map[string]string
+	mu sync.Mutex
+	//tinyleo:guardedby mu
+	params map[string]string
+	//tinyleo:guardedby mu
 	barriers map[string]*barrier
 
 	srv *http.Server
@@ -173,6 +175,7 @@ func (s *Sync) Start(addr string) error {
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: s}
+	//tinyleo:goroutine Serve returns when Close shuts the listener down
 	go func() { _ = s.srv.Serve(ln) }()
 	return nil
 }
